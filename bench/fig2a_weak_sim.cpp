@@ -1,0 +1,36 @@
+// Figure 2a — weak-scaling, simulation side, 128 MiB per process:
+// per-iteration Simulation compute, Post Hoc Write, DEISA1 Communication
+// and DEISA3 Communication (mean ± stddev over ranks, iterations and 3
+// runs). Paper shape: flat simulation ≈ 2.4 s; post-hoc write grows with
+// process count (PFS saturation); DEISA3 < DEISA1, both ≈ flat.
+#include "common.hpp"
+
+int main() {
+  using namespace bench;
+  print_header("Figure 2a — weak scaling, simulation side (128 MiB/process)",
+               "paper: sim flat ~2.4s | write 2.5->17s | DEISA1 > DEISA3");
+  util::Table table({"procs", "simulation (s)", "posthoc write (s)",
+                     "DEISA1 comm (s)", "DEISA3 comm (s)"});
+  for (int procs : {4, 8, 16, 32, 64}) {
+    harness::ScenarioParams p = paper_defaults();
+    p.ranks = procs;
+    p.workers = std::max(2, procs / 2);
+    p.block_bytes = 128ull * 1024 * 1024;
+
+    const auto ph = run_many(harness::Pipeline::kPosthocNewIpca, p);
+    const auto d1 = run_many(harness::Pipeline::kDeisa1, p);
+    const auto d3 = run_many(harness::Pipeline::kDeisa3, p);
+
+    const auto sim = iteration_stats(d3, &harness::RunResult::sim_compute);
+    // The paper computes post-hoc write stats over iterations 2..N (the
+    // first iteration pays file creation).
+    const auto write =
+        iteration_stats(ph, &harness::RunResult::sim_io, /*skip_first=*/1);
+    const auto comm1 = iteration_stats(d1, &harness::RunResult::sim_io);
+    const auto comm3 = iteration_stats(d3, &harness::RunResult::sim_io);
+    table.add_row({std::to_string(procs), ms(sim), ms(write), ms(comm1),
+                   ms(comm3)});
+  }
+  table.print(std::cout);
+  return 0;
+}

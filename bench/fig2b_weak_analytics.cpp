@@ -1,0 +1,32 @@
+// Figure 2b — weak-scaling, analytics side, 128 MiB per chunk, workers
+// 2→32 (paired with 2x as many simulation processes): analytics duration
+// for post hoc old/new IPCA and DEISA1 (old IPCA) / DEISA3 (new IPCA).
+// Paper shape: post hoc grows steeply (~300 s at 32 workers for old
+// IPCA); in-situ wins from ~4 workers; DEISA3+new IPCA lowest.
+#include "common.hpp"
+
+int main() {
+  using namespace bench;
+  print_header(
+      "Figure 2b — weak scaling, analytics side (128 MiB chunks)",
+      "paper: posthoc old ~300s @32w | posthoc new ~0.5-0.7x old | "
+      "in-situ best beyond 4 workers");
+  util::Table table({"workers", "posthoc IPCA (s)", "posthoc new IPCA (s)",
+                     "DEISA1 IPCA (s)", "DEISA3 new IPCA (s)"});
+  for (int workers : {2, 4, 8, 16, 32}) {
+    harness::ScenarioParams p = paper_defaults();
+    p.workers = workers;
+    p.ranks = workers * 2;
+    p.block_bytes = 128ull * 1024 * 1024;
+
+    const auto ph_old = run_many(harness::Pipeline::kPosthocOldIpca, p);
+    const auto ph_new = run_many(harness::Pipeline::kPosthocNewIpca, p);
+    const auto d1 = run_many(harness::Pipeline::kDeisa1, p);
+    const auto d3 = run_many(harness::Pipeline::kDeisa3, p);
+    table.add_row({std::to_string(workers), ms(analytics_stats(ph_old)),
+                   ms(analytics_stats(ph_new)), ms(analytics_stats(d1)),
+                   ms(analytics_stats(d3))});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 3a — simulation-side bandwidth (MiB/s) while weak-scaling the
+// process count; mean ± stddev over per-process block sizes. Paper
+// shape: post-hoc write bandwidth halves when the process count doubles
+// (saturated PFS); DEISA1/DEISA3 stay fairly stable, DEISA3 highest.
+#include "common.hpp"
+
+int main() {
+  using namespace bench;
+  print_header("Figure 3a — bandwidth, simulation side",
+               "paper: write bw halves per doubling | deisa stable, "
+               "DEISA3 > DEISA1");
+  util::Table table({"procs", "posthoc write (MiB/s)", "DEISA1 comm (MiB/s)",
+                     "DEISA3 comm (MiB/s)"});
+  const std::vector<std::uint64_t> sizes = {64ull << 20, 128ull << 20,
+                                            256ull << 20};
+  for (int procs : {4, 8, 16, 32, 64}) {
+    util::RunningStats bw_write;
+    util::RunningStats bw_d1;
+    util::RunningStats bw_d3;
+    for (std::uint64_t block : sizes) {
+      harness::ScenarioParams p = paper_defaults();
+      p.ranks = procs;
+      p.workers = std::max(2, procs / 2);
+      p.block_bytes = block;
+
+      const auto add_bw = [&](util::RunningStats& rs,
+                              const std::vector<harness::RunResult>& runs,
+                              int skip) {
+        for (const auto& r : runs) {
+          const auto s = r.iteration_summary(r.sim_io, skip);
+          if (s.mean > 0)
+            rs.add(util::mib_per_second(p.block_bytes, s.mean));
+        }
+      };
+      add_bw(bw_write, run_many(harness::Pipeline::kPosthocNewIpca, p), 1);
+      add_bw(bw_d1, run_many(harness::Pipeline::kDeisa1, p), 0);
+      add_bw(bw_d3, run_many(harness::Pipeline::kDeisa3, p), 0);
+    }
+    table.add_row(
+        {std::to_string(procs),
+         ms({bw_write.mean(), bw_write.stddev()}, 1),
+         ms({bw_d1.mean(), bw_d1.stddev()}, 1),
+         ms({bw_d3.mean(), bw_d3.stddev()}, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 3b — analytics-side bandwidth (MiB/s processed) as the worker
+// count scales, mean ± stddev over chunk sizes. Paper shape: at 2 workers
+// the post-hoc new IPCA is slightly ahead; from 4 workers the in-situ
+// versions win, climbing toward ~1000 MiB/s at 32 workers for DEISA3.
+#include "common.hpp"
+
+int main() {
+  using namespace bench;
+  print_header("Figure 3b — bandwidth, analytics side",
+               "paper: in-situ overtakes post hoc from 4 workers; DEISA3 "
+               "reaches ~1000 MiB/s at 32 workers");
+  util::Table table({"workers", "posthoc IPCA", "posthoc new IPCA",
+                     "DEISA1 IPCA", "DEISA3 new IPCA"});
+  const std::vector<std::uint64_t> sizes = {64ull << 20, 128ull << 20,
+                                            256ull << 20};
+  for (int workers : {2, 4, 8, 16, 32}) {
+    std::map<harness::Pipeline, util::RunningStats> bw;
+    for (std::uint64_t block : sizes) {
+      harness::ScenarioParams p = paper_defaults();
+      p.workers = workers;
+      p.ranks = workers * 2;
+      p.block_bytes = block;
+      const std::uint64_t total =
+          block * static_cast<std::uint64_t>(p.ranks * p.timesteps);
+      for (auto pipeline :
+           {harness::Pipeline::kPosthocOldIpca,
+            harness::Pipeline::kPosthocNewIpca, harness::Pipeline::kDeisa1,
+            harness::Pipeline::kDeisa3}) {
+        for (const auto& r : run_many(pipeline, p))
+          bw[pipeline].add(util::mib_per_second(total, r.analytics_seconds));
+      }
+    }
+    const auto cell = [&](harness::Pipeline pl) {
+      return ms({bw[pl].mean(), bw[pl].stddev()}, 1);
+    };
+    table.add_row({std::to_string(workers),
+                   cell(harness::Pipeline::kPosthocOldIpca),
+                   cell(harness::Pipeline::kPosthocNewIpca),
+                   cell(harness::Pipeline::kDeisa1),
+                   cell(harness::Pipeline::kDeisa3)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 4b — strong scaling, analytics side, 8 GiB problem, workers
+// 8→32; cost in core-hours (worker nodes x 48 cores x analytics hours).
+// Paper shape: post-hoc costs grow ~linearly with workers (old IPCA
+// worst, ~120 core-h at 32 workers, ≈ x3.5 DEISA3+new IPCA); the in-situ
+// versions stay much cheaper with a mild rise.
+#include "common.hpp"
+
+int main() {
+  using namespace bench;
+  print_header("Figure 4b — strong scaling cost, analytics side (8 GiB)",
+               "paper: posthoc old worst (~x3.5 DEISA3 at 32 workers); "
+               "in-situ nearly flat");
+  util::Table table({"workers", "posthoc IPCA", "posthoc new IPCA",
+                     "DEISA1 IPCA", "DEISA3 new IPCA", "old-ph/DEISA3"});
+  const std::uint64_t total_bytes = 8ull << 30;
+  for (int workers : {8, 16, 32}) {
+    harness::ScenarioParams p = paper_defaults();
+    p.workers = workers;
+    p.ranks = workers * 2;
+    p.block_bytes = total_bytes / static_cast<std::uint64_t>(p.ranks);
+
+    const auto cost = [&](harness::Pipeline pl) {
+      const auto runs = run_many(pl, p);
+      const auto s = analytics_stats(runs);
+      return core_hours(workers, s.mean);
+    };
+    const double ph_old = cost(harness::Pipeline::kPosthocOldIpca);
+    const double ph_new = cost(harness::Pipeline::kPosthocNewIpca);
+    const double d1 = cost(harness::Pipeline::kDeisa1);
+    const double d3 = cost(harness::Pipeline::kDeisa3);
+    table.add_row({std::to_string(workers), util::Table::num(ph_old, 2),
+                   util::Table::num(ph_new, 2), util::Table::num(d1, 2),
+                   util::Table::num(d3, 2),
+                   "x" + util::Table::num(ph_old / d3, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

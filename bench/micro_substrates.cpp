@@ -1,0 +1,196 @@
+// Substrate microbenchmarks (google-benchmark): wall-clock throughput of
+// the building blocks — event engine, channels, scheduler pipeline,
+// linear algebra kernels, IPCA update, YAML parsing.
+#include <benchmark/benchmark.h>
+
+#include "deisa/config/yaml.hpp"
+#include "deisa/dts/runtime.hpp"
+#include "deisa/linalg/decomp.hpp"
+#include "deisa/ml/pca.hpp"
+#include "deisa/sim/engine.hpp"
+#include "deisa/sim/primitives.hpp"
+#include "deisa/util/rng.hpp"
+
+namespace {
+
+namespace dts = deisa::dts;
+namespace la = deisa::linalg;
+namespace ml = deisa::ml;
+namespace net = deisa::net;
+namespace sim = deisa::sim;
+
+sim::Co<void> ping_pong(sim::Engine& eng, sim::Channel<int>& a,
+                        sim::Channel<int>& b, int n) {
+  for (int i = 0; i < n; ++i) {
+    a.send(i);
+    (void)co_await b.recv();
+  }
+  (void)eng;
+}
+
+sim::Co<void> echo(sim::Channel<int>& a, sim::Channel<int>& b, int n) {
+  for (int i = 0; i < n; ++i) {
+    const int v = co_await a.recv();
+    b.send(v);
+  }
+}
+
+void BM_EngineChannelRoundtrip(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Channel<int> a(eng);
+    sim::Channel<int> b(eng);
+    const int n = static_cast<int>(state.range(0));
+    eng.spawn(ping_pong(eng, a, b, n));
+    eng.spawn(echo(a, b, n));
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineChannelRoundtrip)->Arg(1000);
+
+void BM_EngineTimerWheel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    deisa::util::Rng rng(7);
+    for (int i = 0; i < state.range(0); ++i)
+      eng.schedule_callback([] {}, rng.uniform(0.0, 100.0));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineTimerWheel)->Arg(10000);
+
+la::Matrix random_matrix(std::size_t m, std::size_t n) {
+  deisa::util::Rng rng(42);
+  la::Matrix a(m, n);
+  for (double& x : a.data()) x = rng.normal();
+  return a;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n);
+  const auto b = random_matrix(n, n);
+  for (auto _ : state) {
+    auto c = la::matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128);
+
+void BM_QrThin(benchmark::State& state) {
+  const auto a = random_matrix(static_cast<std::size_t>(state.range(0)), 32);
+  for (auto _ : state) {
+    auto qr = la::qr_thin(a);
+    benchmark::DoNotOptimize(qr.r.data().data());
+  }
+}
+BENCHMARK(BM_QrThin)->Arg(256)->Arg(1024);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const auto a = random_matrix(static_cast<std::size_t>(state.range(0)), 24);
+  for (auto _ : state) {
+    auto svd = la::svd(a);
+    benchmark::DoNotOptimize(svd.s.data());
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(128)->Arg(512);
+
+void BM_RandomizedSvd(benchmark::State& state) {
+  const auto a = random_matrix(static_cast<std::size_t>(state.range(0)),
+                               static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto svd = la::randomized_svd(a, 4, 8, 2, 5);
+    benchmark::DoNotOptimize(svd.s.data());
+  }
+}
+BENCHMARK(BM_RandomizedSvd)->Arg(128)->Arg(256);
+
+void BM_IpcaPartialFit(benchmark::State& state) {
+  ml::PcaOptions opts;
+  opts.n_components = 4;
+  const auto x = random_matrix(static_cast<std::size_t>(state.range(0)), 64);
+  for (auto _ : state) {
+    ml::IncrementalPca ipca(opts);
+    ipca.partial_fit(x);
+    ipca.partial_fit(x);
+    benchmark::DoNotOptimize(ipca.singular_values().data());
+  }
+}
+BENCHMARK(BM_IpcaPartialFit)->Arg(64)->Arg(256);
+
+void BM_YamlParseListing1(benchmark::State& state) {
+  const std::string doc = R"(
+metadata: { step: int, cfg: config_t, rank: int }
+data:
+  temp:
+    type: array
+    subtype: double
+    size: [ '$cfg.loc[0]', '$cfg.loc[1]' ]
+plugins:
+  PdiPluginDeisa:
+    scheduler_info: scheduler.json
+    init_on: init
+    time_step: $step
+    deisa_arrays:
+      G_temp:
+        type: array
+        subtype: double
+        size: ['$cfg.maxTimeStep', '$cfg.loc[0] * $cfg.proc[0]', '$cfg.loc[1] * $cfg.proc[1]']
+        subsize: [1, '$cfg.loc[0]', '$cfg.loc[1]']
+        start: [$step, '$cfg.loc[0] * ($rank % $cfg.proc[0])', '$cfg.loc[1] * ($rank / $cfg.proc[0])']
+        timedim: 0
+    map_in:
+      temp: G_temp
+)";
+  for (auto _ : state) {
+    auto node = deisa::config::parse_yaml(doc);
+    benchmark::DoNotOptimize(&node);
+  }
+}
+BENCHMARK(BM_YamlParseListing1);
+
+sim::Co<void> scheduler_pipeline(dts::Client& client, dts::Runtime& rt,
+                                 int n) {
+  std::vector<dts::TaskSpec> tasks;
+  std::vector<dts::Key> wants;
+  for (int i = 0; i < n; ++i) {
+    dts::Key k = "t" + std::to_string(i);
+    std::vector<dts::Key> deps;
+    if (i > 0) deps.push_back("t" + std::to_string(i - 1));
+    tasks.emplace_back(k, std::move(deps), nullptr, 0.0, 64);
+    wants.push_back(std::move(k));
+  }
+  co_await client.submit(std::move(tasks), {});
+  co_await client.wait_key("t" + std::to_string(n - 1));
+  co_await rt.shutdown();
+}
+
+void BM_SchedulerTaskChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::ClusterParams cp;
+    cp.physical_nodes = 8;
+    net::Cluster cluster(eng, cp);
+    dts::RuntimeParams rp;
+    rp.scheduler.service_base = 0;  // wall-clock of the machinery itself
+    rp.scheduler.service_per_task = 0;
+    rp.scheduler.service_per_key = 0;
+    rp.worker.heartbeat_interval = 0;
+    dts::Runtime rt(eng, cluster, 0, {1, 2}, rp);
+    rt.start();
+    dts::Client& client = rt.make_client(3);
+    eng.spawn(scheduler_pipeline(client, rt, n));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerTaskChain)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+#include "deisa/array/darray.hpp"
+
+namespace deisa::array {
+
+int preselected_worker(std::int64_t linear, int num_workers) {
+  DEISA_CHECK(num_workers > 0, "no workers available for placement");
+  return static_cast<int>(linear % num_workers);
+}
+
+DArray::DArray(dts::Client& client, std::string name, ChunkGrid grid)
+    : client_(&client), name_(std::move(name)), grid_(std::move(grid)) {}
+
+void DArray::build_keys(const std::string& prefix) {
+  const std::int64_t n = grid_.num_chunks();
+  keys_.reserve(static_cast<std::size_t>(n));
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    keys_.push_back(chunk_key(prefix, name_, grid_.coord_of(i)));
+    workers_.push_back(preselected_worker(i, client_->num_workers()));
+  }
+}
+
+const dts::Key& DArray::key_of(const Index& c) const {
+  return keys_[static_cast<std::size_t>(grid_.linear_of(c))];
+}
+
+int DArray::worker_of(const Index& c) const {
+  return workers_[static_cast<std::size_t>(grid_.linear_of(c))];
+}
+
+DArray DArray::descriptor(dts::Client& client, std::string name, Index shape,
+                          Index chunk_shape) {
+  DArray a(client, std::move(name),
+           ChunkGrid(std::move(shape), std::move(chunk_shape)));
+  a.build_keys(kDeisaPrefix);
+  return a;
+}
+
+sim::Co<DArray> DArray::from_external(dts::Client& client, std::string name,
+                                      Index shape, Index chunk_shape) {
+  DArray a = descriptor(client, std::move(name), std::move(shape),
+                        std::move(chunk_shape));
+  co_await client.external_futures(a.keys_, a.workers_);
+  co_return a;
+}
+
+sim::Co<DArray> DArray::map_chunks(
+    const DArray& src, std::string name,
+    std::function<dts::Data(const dts::Data&)> fn, double cost_per_chunk,
+    std::uint64_t out_bytes_per_chunk) {
+  DArray out(*src.client_, name, src.grid_);
+  out.build_keys("");
+  std::vector<dts::TaskSpec> tasks;
+  const std::int64_t n = src.grid_.num_chunks();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i);
+    dts::TaskFn task_fn;
+    if (fn)
+      task_fn = [fn](const std::vector<dts::Data>& in) { return fn(in[0]); };
+    tasks.emplace_back(out.keys_[si], std::vector<dts::Key>{src.keys_[si]},
+                       std::move(task_fn), cost_per_chunk,
+                       out_bytes_per_chunk);
+  }
+  co_await src.client_->submit(std::move(tasks), out.keys_);
+  co_return out;
+}
+
+sim::Co<DArray> DArray::rechunk(Index new_chunk_shape,
+                                std::string name) const {
+  DArray out(*client_, std::move(name),
+             ChunkGrid(grid_.shape(), std::move(new_chunk_shape)));
+  out.build_keys("");
+  const ChunkGrid src_grid = grid_;
+  const ChunkGrid dst_grid = out.grid_;
+
+  std::vector<dts::TaskSpec> tasks;
+  const std::int64_t n = dst_grid.num_chunks();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Index dst_coord = dst_grid.coord_of(i);
+    const Box dst_box = dst_grid.box_of(dst_coord);
+    const std::vector<Index> srcs = src_grid.chunks_overlapping(dst_box);
+    std::vector<dts::Key> deps;
+    std::vector<Box> src_boxes;
+    deps.reserve(srcs.size());
+    for (const Index& sc : srcs) {
+      deps.push_back(key_of(sc));
+      src_boxes.push_back(src_grid.box_of(sc));
+    }
+    // Assemble the destination box from the overlapping source chunks.
+    dts::TaskFn fn = [dst_box, src_boxes](const std::vector<dts::Data>& in) {
+      NDArray dst(
+          [&] {
+            Index s(dst_box.ndim());
+            for (std::size_t d = 0; d < s.size(); ++d)
+              s[d] = dst_box.extent(d);
+            return s;
+          }());
+      bool any_value = false;
+      for (std::size_t j = 0; j < in.size(); ++j) {
+        if (!in[j].has_value()) continue;
+        any_value = true;
+        const auto& src = in[j].as<NDArray>();
+        const Box overlap = dst_box.intersect(src_boxes[j]);
+        // Source-local coordinates of the overlap.
+        Box src_local;
+        Box dst_local;
+        src_local.lo.resize(overlap.ndim());
+        src_local.hi.resize(overlap.ndim());
+        dst_local.lo.resize(overlap.ndim());
+        dst_local.hi.resize(overlap.ndim());
+        for (std::size_t d = 0; d < overlap.ndim(); ++d) {
+          src_local.lo[d] = overlap.lo[d] - src_boxes[j].lo[d];
+          src_local.hi[d] = overlap.hi[d] - src_boxes[j].lo[d];
+          dst_local.lo[d] = overlap.lo[d] - dst_box.lo[d];
+          dst_local.hi[d] = overlap.hi[d] - dst_box.lo[d];
+        }
+        dst.insert(dst_local, src.extract(src_local));
+      }
+      if (!any_value) {
+        // Synthetic inputs: forward size only.
+        std::uint64_t b = static_cast<std::uint64_t>(dst.size()) *
+                          sizeof(double);
+        return dts::Data::sized(b);
+      }
+      const std::uint64_t b = dst.bytes();
+      return dts::Data::make<NDArray>(std::move(dst), b);
+    };
+    const std::uint64_t out_bytes =
+        static_cast<std::uint64_t>(dst_box.volume()) * sizeof(double);
+    tasks.emplace_back(out.keys_[static_cast<std::size_t>(i)],
+                       std::move(deps), std::move(fn), 0.0, out_bytes);
+  }
+  co_await client_->submit(std::move(tasks), out.keys_);
+  co_return out;
+}
+
+sim::Co<NDArray> DArray::gather_box(const Selection& sel) const {
+  Index out_shape(sel.box.ndim());
+  for (std::size_t d = 0; d < out_shape.size(); ++d)
+    out_shape[d] = sel.box.extent(d);
+  NDArray out(out_shape);
+  const std::vector<Index> coords = grid_.chunks_overlapping(sel.box);
+  for (const Index& c : coords) {
+    const dts::Data d = co_await client_->gather(key_of(c));
+    const NDArray& chunk = d.as<NDArray>();
+    const Box cbox = grid_.box_of(c);
+    const Box overlap = cbox.intersect(sel.box);
+    Box src_local;
+    Box dst_local;
+    src_local.lo.resize(overlap.ndim());
+    src_local.hi.resize(overlap.ndim());
+    dst_local.lo.resize(overlap.ndim());
+    dst_local.hi.resize(overlap.ndim());
+    for (std::size_t d2 = 0; d2 < overlap.ndim(); ++d2) {
+      src_local.lo[d2] = overlap.lo[d2] - cbox.lo[d2];
+      src_local.hi[d2] = overlap.hi[d2] - cbox.lo[d2];
+      dst_local.lo[d2] = overlap.lo[d2] - sel.box.lo[d2];
+      dst_local.hi[d2] = overlap.hi[d2] - sel.box.lo[d2];
+    }
+    out.insert(dst_local, chunk.extract(src_local));
+  }
+  co_return out;
+}
+
+}  // namespace deisa::array

@@ -1,0 +1,68 @@
+// Local dense n-dimensional double array (row-major) — the in-memory
+// payload of one chunk of a distributed array.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace deisa::array {
+
+using Index = std::vector<std::int64_t>;
+
+/// Half-open axis-aligned box [lo, hi) in n-d index space.
+struct Box {
+  Box() = default;
+  Box(Index lo_, Index hi_) : lo(std::move(lo_)), hi(std::move(hi_)) {}
+  Index lo;
+  Index hi;
+
+  std::size_t ndim() const { return lo.size(); }
+  std::int64_t extent(std::size_t d) const { return hi[d] - lo[d]; }
+  std::int64_t volume() const;
+  bool empty() const { return volume() == 0; }
+  bool contains(const Box& inner) const;
+  /// Intersection (possibly empty).
+  Box intersect(const Box& other) const;
+  bool operator==(const Box& other) const = default;
+};
+
+class NDArray {
+public:
+  NDArray() = default;
+  explicit NDArray(Index shape, double fill = 0.0);
+
+  const Index& shape() const { return shape_; }
+  std::size_t ndim() const { return shape_.size(); }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  std::uint64_t bytes() const { return data_.size() * sizeof(double); }
+
+  double& at(std::span<const std::int64_t> idx);
+  double at(std::span<const std::int64_t> idx) const;
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+
+  /// Copy out the sub-box (box given in this array's local coordinates).
+  NDArray extract(const Box& box) const;
+  /// Write `src` into the sub-box (shapes must match).
+  void insert(const Box& box, const NDArray& src);
+
+  /// Collapse to 2D: dims listed in `row_dims` become rows (in order),
+  /// remaining dims (in order) become columns. Used to stack sample and
+  /// feature dimensions for the multidimensional IPCA (paper §3.2).
+  NDArray reshape_2d(const std::vector<std::size_t>& row_dims) const;
+
+  bool same_shape(const NDArray& other) const {
+    return shape_ == other.shape_;
+  }
+
+private:
+  std::int64_t offset_of(std::span<const std::int64_t> idx) const;
+
+  Index shape_;
+  std::vector<std::int64_t> strides_;  // row-major
+  std::vector<double> data_;
+};
+
+}  // namespace deisa::array

@@ -1,0 +1,146 @@
+#include "deisa/array/ndarray.hpp"
+
+#include <numeric>
+
+#include "deisa/util/error.hpp"
+
+namespace deisa::array {
+
+std::int64_t Box::volume() const {
+  std::int64_t v = 1;
+  for (std::size_t d = 0; d < lo.size(); ++d) v *= std::max<std::int64_t>(0, hi[d] - lo[d]);
+  return v;
+}
+
+bool Box::contains(const Box& inner) const {
+  DEISA_CHECK(lo.size() == inner.lo.size(), "box rank mismatch");
+  for (std::size_t d = 0; d < lo.size(); ++d)
+    if (inner.lo[d] < lo[d] || inner.hi[d] > hi[d]) return false;
+  return true;
+}
+
+Box Box::intersect(const Box& other) const {
+  DEISA_CHECK(lo.size() == other.lo.size(), "box rank mismatch");
+  Box out;
+  out.lo.resize(lo.size());
+  out.hi.resize(lo.size());
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    out.lo[d] = std::max(lo[d], other.lo[d]);
+    out.hi[d] = std::max(out.lo[d], std::min(hi[d], other.hi[d]));
+  }
+  return out;
+}
+
+NDArray::NDArray(Index shape, double fill) : shape_(std::move(shape)) {
+  std::int64_t n = 1;
+  strides_.resize(shape_.size());
+  for (std::size_t d = shape_.size(); d-- > 0;) {
+    DEISA_CHECK(shape_[d] >= 0, "negative dimension in NDArray shape");
+    strides_[d] = n;
+    n *= shape_[d];
+  }
+  data_.assign(static_cast<std::size_t>(n), fill);
+}
+
+std::int64_t NDArray::offset_of(std::span<const std::int64_t> idx) const {
+  DEISA_CHECK(idx.size() == shape_.size(), "index rank mismatch");
+  std::int64_t off = 0;
+  for (std::size_t d = 0; d < idx.size(); ++d) {
+    DEISA_CHECK(idx[d] >= 0 && idx[d] < shape_[d],
+                "index " << idx[d] << " out of range in dim " << d);
+    off += idx[d] * strides_[d];
+  }
+  return off;
+}
+
+double& NDArray::at(std::span<const std::int64_t> idx) {
+  return data_[static_cast<std::size_t>(offset_of(idx))];
+}
+
+double NDArray::at(std::span<const std::int64_t> idx) const {
+  return data_[static_cast<std::size_t>(offset_of(idx))];
+}
+
+namespace {
+/// Iterate all indices of a box, calling fn(local_index_in_box).
+template <typename Fn>
+void for_each_index(const Box& box, Fn&& fn) {
+  const std::size_t nd = box.ndim();
+  if (box.volume() == 0) return;
+  Index idx = box.lo;
+  while (true) {
+    fn(idx);
+    std::size_t d = nd;
+    while (d-- > 0) {
+      if (++idx[d] < box.hi[d]) break;
+      idx[d] = box.lo[d];
+      if (d == 0) return;
+    }
+    if (nd == 0) return;
+  }
+}
+}  // namespace
+
+NDArray NDArray::extract(const Box& box) const {
+  DEISA_CHECK(box.ndim() == ndim(), "extract box rank mismatch");
+  Index out_shape(ndim());
+  for (std::size_t d = 0; d < ndim(); ++d) {
+    DEISA_CHECK(box.lo[d] >= 0 && box.hi[d] <= shape_[d],
+                "extract box out of range in dim " << d);
+    out_shape[d] = box.extent(d);
+  }
+  NDArray out(out_shape);
+  Index local(ndim());
+  for_each_index(box, [&](const Index& idx) {
+    for (std::size_t d = 0; d < idx.size(); ++d) local[d] = idx[d] - box.lo[d];
+    out.at(local) = at(idx);
+  });
+  return out;
+}
+
+void NDArray::insert(const Box& box, const NDArray& src) {
+  DEISA_CHECK(box.ndim() == ndim(), "insert box rank mismatch");
+  for (std::size_t d = 0; d < ndim(); ++d) {
+    DEISA_CHECK(box.extent(d) == src.shape()[d],
+                "insert shape mismatch in dim " << d);
+    DEISA_CHECK(box.lo[d] >= 0 && box.hi[d] <= shape_[d],
+                "insert box out of range in dim " << d);
+  }
+  Index local(ndim());
+  for_each_index(box, [&](const Index& idx) {
+    for (std::size_t d = 0; d < idx.size(); ++d) local[d] = idx[d] - box.lo[d];
+    at(idx) = src.at(local);
+  });
+}
+
+NDArray NDArray::reshape_2d(const std::vector<std::size_t>& row_dims) const {
+  std::vector<bool> is_row(ndim(), false);
+  for (std::size_t d : row_dims) {
+    DEISA_CHECK(d < ndim(), "row dim out of range");
+    is_row[d] = true;
+  }
+  std::vector<std::size_t> col_dims;
+  for (std::size_t d = 0; d < ndim(); ++d)
+    if (!is_row[d]) col_dims.push_back(d);
+
+  std::int64_t nrows = 1;
+  for (std::size_t d : row_dims) nrows *= shape_[d];
+  std::int64_t ncols = 1;
+  for (std::size_t d : col_dims) ncols *= shape_[d];
+
+  NDArray out(Index{nrows, ncols});
+  Box all;
+  all.lo.assign(ndim(), 0);
+  all.hi = shape_;
+  for_each_index(all, [&](const Index& idx) {
+    std::int64_t r = 0;
+    for (std::size_t d : row_dims) r = r * shape_[d] + idx[d];
+    std::int64_t c = 0;
+    for (std::size_t d : col_dims) c = c * shape_[d] + idx[d];
+    const Index rc{r, c};
+    out.at(rc) = at(idx);
+  });
+  return out;
+}
+
+}  // namespace deisa::array

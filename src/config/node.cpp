@@ -1,0 +1,172 @@
+#include "deisa/config/node.hpp"
+
+#include <sstream>
+
+#include "deisa/util/error.hpp"
+
+namespace deisa::config {
+
+using util::ConfigError;
+
+Node::Kind Node::kind() const {
+  return static_cast<Kind>(value_.index());
+}
+
+bool Node::is_scalar() const {
+  const Kind k = kind();
+  return k == Kind::kBool || k == Kind::kInt || k == Kind::kFloat ||
+         k == Kind::kString;
+}
+
+namespace {
+[[noreturn]] void kind_error(const char* wanted, Node::Kind got) {
+  std::ostringstream oss;
+  oss << "config node is not a " << wanted << " (kind=" << static_cast<int>(got)
+      << ")";
+  throw ConfigError(oss.str());
+}
+}  // namespace
+
+bool Node::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  kind_error("bool", kind());
+}
+
+std::int64_t Node::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  kind_error("int", kind());
+}
+
+double Node::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&value_))
+    return static_cast<double>(*i);
+  kind_error("float", kind());
+}
+
+const std::string& Node::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  kind_error("string", kind());
+}
+
+const Seq& Node::as_seq() const {
+  if (const auto* s = std::get_if<Seq>(&value_)) return *s;
+  kind_error("sequence", kind());
+}
+
+const Map& Node::as_map() const {
+  if (const auto* m = std::get_if<Map>(&value_)) return *m;
+  kind_error("map", kind());
+}
+
+const Node* Node::find(const std::string& key) const {
+  const auto* m = std::get_if<Map>(&value_);
+  if (m == nullptr) return nullptr;
+  for (const auto& [k, v] : *m)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Node& Node::at(const std::string& key) const {
+  const Node* n = find(key);
+  if (n == nullptr) throw ConfigError("missing config key: " + key);
+  return *n;
+}
+
+const Node& Node::at(std::size_t index) const {
+  const Seq& s = as_seq();
+  if (index >= s.size())
+    throw ConfigError("config sequence index " + std::to_string(index) +
+                      " out of range (size " + std::to_string(s.size()) + ")");
+  return s[index];
+}
+
+std::size_t Node::size() const {
+  if (const auto* s = std::get_if<Seq>(&value_)) return s->size();
+  if (const auto* m = std::get_if<Map>(&value_)) return m->size();
+  return 0;
+}
+
+std::int64_t Node::get_int(const std::string& key, std::int64_t dflt) const {
+  const Node* n = find(key);
+  return n != nullptr ? n->as_int() : dflt;
+}
+
+double Node::get_double(const std::string& key, double dflt) const {
+  const Node* n = find(key);
+  return n != nullptr ? n->as_double() : dflt;
+}
+
+std::string Node::get_string(const std::string& key,
+                             const std::string& dflt) const {
+  const Node* n = find(key);
+  return n != nullptr ? n->as_string() : dflt;
+}
+
+bool Node::get_bool(const std::string& key, bool dflt) const {
+  const Node* n = find(key);
+  return n != nullptr ? n->as_bool() : dflt;
+}
+
+void Node::set(const std::string& key, Node value) {
+  if (is_null()) value_ = Map{};
+  auto* m = std::get_if<Map>(&value_);
+  if (m == nullptr) kind_error("map", kind());
+  for (auto& [k, v] : *m) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  m->emplace_back(key, std::move(value));
+}
+
+void Node::push_back(Node value) {
+  if (is_null()) value_ = Seq{};
+  auto* s = std::get_if<Seq>(&value_);
+  if (s == nullptr) kind_error("sequence", kind());
+  s->push_back(std::move(value));
+}
+
+namespace {
+void render(const Node& n, std::ostream& os) {
+  switch (n.kind()) {
+    case Node::Kind::kNull: os << "null"; break;
+    case Node::Kind::kBool: os << (n.as_bool() ? "true" : "false"); break;
+    case Node::Kind::kInt: os << n.as_int(); break;
+    case Node::Kind::kFloat: os << n.as_double(); break;
+    case Node::Kind::kString: os << '"' << n.as_string() << '"'; break;
+    case Node::Kind::kSeq: {
+      os << '[';
+      bool first = true;
+      for (const auto& e : n.as_seq()) {
+        if (!first) os << ", ";
+        first = false;
+        render(e, os);
+      }
+      os << ']';
+      break;
+    }
+    case Node::Kind::kMap: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, v] : n.as_map()) {
+        if (!first) os << ", ";
+        first = false;
+        os << k << ": ";
+        render(v, os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+}  // namespace
+
+std::string Node::to_string() const {
+  std::ostringstream oss;
+  render(*this, oss);
+  return oss.str();
+}
+
+}  // namespace deisa::config

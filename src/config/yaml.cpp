@@ -1,0 +1,356 @@
+#include "deisa/config/yaml.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "deisa/util/error.hpp"
+#include "deisa/util/strings.hpp"
+
+namespace deisa::config {
+
+using util::ConfigError;
+
+namespace {
+
+struct Line {
+  int indent = 0;
+  std::string content;  // without indentation or trailing comment
+  std::size_t number = 0;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw ConfigError("yaml line " + std::to_string(line) + ": " + msg);
+}
+
+/// Strip a trailing comment that is not inside quotes.
+std::string strip_comment(std::string_view s) {
+  bool in_single = false;
+  bool in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    else if (c == '"' && !in_single) in_double = !in_double;
+    else if (c == '#' && !in_single && !in_double &&
+             (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t'))
+      return std::string(s.substr(0, i));
+  }
+  return std::string(s);
+}
+
+std::vector<Line> tokenize(std::string_view text) {
+  std::vector<Line> lines;
+  std::size_t number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view raw = text.substr(start, end - start);
+    ++number;
+    start = end + 1;
+    if (end == text.size() && raw.empty() && start > text.size()) break;
+
+    int indent = 0;
+    while (static_cast<std::size_t>(indent) < raw.size() &&
+           raw[static_cast<std::size_t>(indent)] == ' ')
+      ++indent;
+    if (static_cast<std::size_t>(indent) < raw.size() &&
+        raw[static_cast<std::size_t>(indent)] == '\t')
+      fail(number, "tabs are not allowed for indentation");
+    std::string content =
+        strip_comment(raw.substr(static_cast<std::size_t>(indent)));
+    std::string_view trimmed = util::trim(content);
+    if (trimmed.empty()) continue;
+    lines.push_back(Line{indent, std::string(trimmed), number});
+    if (end == text.size()) break;
+  }
+  return lines;
+}
+
+/// Parse a scalar token into the most specific Node kind.
+Node parse_scalar(std::string_view tok) {
+  std::string_view s = util::trim(tok);
+  if (s.empty() || s == "~" || s == "null") return Node{};
+  if (s == "true" || s == "True") return Node{true};
+  if (s == "false" || s == "False") return Node{false};
+  if ((s.front() == '\'' && s.back() == '\'' && s.size() >= 2) ||
+      (s.front() == '"' && s.back() == '"' && s.size() >= 2))
+    return Node{std::string(s.substr(1, s.size() - 2))};
+
+  // Integer?
+  {
+    std::int64_t v = 0;
+    const char* first = s.data();
+    const char* last = s.data() + s.size();
+    auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec == std::errc() && ptr == last) return Node{v};
+  }
+  // Float?
+  {
+    double v = 0.0;
+    const char* first = s.data();
+    const char* last = s.data() + s.size();
+    auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec == std::errc() && ptr == last) return Node{v};
+  }
+  return Node{std::string(s)};
+}
+
+class FlowParser {
+public:
+  FlowParser(std::string_view s, std::size_t line) : s_(s), line_(line) {}
+
+  Node parse() {
+    Node n = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail(line_, "trailing characters in flow value");
+    return n;
+  }
+
+private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  char peek() { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  Node parse_value() {
+    skip_ws();
+    if (peek() == '{') return parse_map();
+    if (peek() == '[') return parse_seq();
+    return parse_scalar(read_scalar_token());
+  }
+
+  std::string read_scalar_token() {
+    skip_ws();
+    std::size_t start = pos_;
+    if (peek() == '\'' || peek() == '"') {
+      const char q = s_[pos_++];
+      while (pos_ < s_.size() && s_[pos_] != q) ++pos_;
+      if (pos_ == s_.size()) fail(line_, "unterminated quoted string");
+      ++pos_;
+      return std::string(s_.substr(start, pos_ - start));
+    }
+    while (pos_ < s_.size() && s_[pos_] != ',' && s_[pos_] != '}' &&
+           s_[pos_] != ']' && s_[pos_] != ':')
+      ++pos_;
+    return std::string(util::trim(s_.substr(start, pos_ - start)));
+  }
+
+  Node parse_map() {
+    ++pos_;  // '{'
+    Map map;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Node{std::move(map)};
+    }
+    while (true) {
+      const std::string key = read_scalar_token();
+      skip_ws();
+      if (peek() != ':') fail(line_, "expected ':' in flow map");
+      ++pos_;
+      Node value = parse_value();
+      map.emplace_back(unquote(key), std::move(value));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return Node{std::move(map)};
+      }
+      fail(line_, "expected ',' or '}' in flow map");
+    }
+  }
+
+  Node parse_seq() {
+    ++pos_;  // '['
+    Seq seq;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Node{std::move(seq)};
+    }
+    while (true) {
+      seq.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return Node{std::move(seq)};
+      }
+      fail(line_, "expected ',' or ']' in flow sequence");
+    }
+  }
+
+  static std::string unquote(std::string_view s) {
+    s = util::trim(s);
+    if (s.size() >= 2 && ((s.front() == '\'' && s.back() == '\'') ||
+                          (s.front() == '"' && s.back() == '"')))
+      return std::string(s.substr(1, s.size() - 2));
+    return std::string(s);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::size_t line_;
+};
+
+Node parse_flow_or_scalar(std::string_view s, std::size_t line) {
+  std::string_view t = util::trim(s);
+  if (!t.empty() && (t.front() == '{' || t.front() == '[')) {
+    return FlowParser(t, line).parse();
+  }
+  return parse_scalar(t);
+}
+
+/// Split "key: value" at the first ':' that is outside quotes and not
+/// inside a flow collection. Returns nullopt for non-mapping lines.
+std::optional<std::pair<std::string, std::string>> split_key_value(
+    std::string_view s) {
+  bool in_single = false;
+  bool in_double = false;
+  int depth = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    else if (c == '"' && !in_single) in_double = !in_double;
+    else if (in_single || in_double) continue;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    else if (c == ':' && depth == 0 &&
+             (i + 1 == s.size() || s[i + 1] == ' ' || s[i + 1] == '\t')) {
+      std::string key(util::trim(s.substr(0, i)));
+      std::string value(util::trim(s.substr(i + 1)));
+      if (key.size() >= 2 && ((key.front() == '\'' && key.back() == '\'') ||
+                              (key.front() == '"' && key.back() == '"')))
+        key = key.substr(1, key.size() - 2);
+      return std::make_pair(std::move(key), std::move(value));
+    }
+  }
+  return std::nullopt;
+}
+
+class BlockParser {
+public:
+  explicit BlockParser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  Node parse() {
+    if (lines_.empty()) return Node{};
+    Node root = parse_block(lines_[0].indent);
+    if (pos_ != lines_.size())
+      fail(lines_[pos_].number, "unexpected dedent/indent structure");
+    return root;
+  }
+
+private:
+  const Line& cur() const { return lines_[pos_]; }
+  bool done() const { return pos_ >= lines_.size(); }
+
+  Node parse_block(int indent) {
+    if (cur().content.front() == '-' &&
+        (cur().content.size() == 1 || cur().content[1] == ' ' ||
+         cur().content[1] == '\t'))
+      return parse_seq_block(indent);
+    return parse_map_block(indent);
+  }
+
+  Node parse_map_block(int indent) {
+    Map map;
+    while (!done() && cur().indent == indent) {
+      const Line line = cur();
+      auto kv = split_key_value(line.content);
+      if (!kv) fail(line.number, "expected 'key: value' mapping");
+      ++pos_;
+      auto& [key, value] = *kv;
+      if (!value.empty()) {
+        map.emplace_back(key, parse_flow_or_scalar(value, line.number));
+      } else if (!done() && cur().indent > indent) {
+        map.emplace_back(key, parse_block(cur().indent));
+      } else {
+        map.emplace_back(key, Node{});
+      }
+    }
+    if (!done() && cur().indent > indent)
+      fail(cur().number, "unexpected indentation");
+    return Node{std::move(map)};
+  }
+
+  Node parse_seq_block(int indent) {
+    Seq seq;
+    while (!done() && cur().indent == indent && cur().content.front() == '-') {
+      const Line line = cur();
+      std::string rest(util::trim(std::string_view(line.content).substr(1)));
+      ++pos_;
+      if (rest.empty()) {
+        if (!done() && cur().indent > indent) {
+          seq.push_back(parse_block(cur().indent));
+        } else {
+          seq.push_back(Node{});
+        }
+        continue;
+      }
+      // "- key: value" starts an inline map item that may continue on the
+      // following, deeper-indented lines.
+      auto kv = split_key_value(rest);
+      if (kv && !rest.empty() && rest.front() != '{' && rest.front() != '[' &&
+          rest.front() != '\'' && rest.front() != '"') {
+        Map item;
+        auto& [key, value] = *kv;
+        if (!value.empty()) {
+          item.emplace_back(key, parse_flow_or_scalar(value, line.number));
+        } else if (!done() && cur().indent > indent + 2) {
+          item.emplace_back(key, parse_block(cur().indent));
+        } else {
+          item.emplace_back(key, Node{});
+        }
+        // Continuation keys aligned two past the dash.
+        const int item_indent = indent + 2;
+        while (!done() && cur().indent == item_indent) {
+          const Line more = cur();
+          auto kv2 = split_key_value(more.content);
+          if (!kv2) fail(more.number, "expected mapping in sequence item");
+          ++pos_;
+          auto& [k2, v2] = *kv2;
+          if (!v2.empty()) {
+            item.emplace_back(k2, parse_flow_or_scalar(v2, more.number));
+          } else if (!done() && cur().indent > item_indent) {
+            item.emplace_back(k2, parse_block(cur().indent));
+          } else {
+            item.emplace_back(k2, Node{});
+          }
+        }
+        seq.push_back(Node{std::move(item)});
+      } else {
+        seq.push_back(parse_flow_or_scalar(rest, line.number));
+      }
+    }
+    return Node{std::move(seq)};
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Node parse_yaml(std::string_view text) {
+  return BlockParser(tokenize(text)).parse();
+}
+
+Node parse_yaml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open yaml file: " + path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return parse_yaml(oss.str());
+}
+
+}  // namespace deisa::config

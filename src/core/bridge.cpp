@@ -1,0 +1,89 @@
+#include "deisa/core/bridge.hpp"
+
+namespace deisa::core {
+
+Bridge::Bridge(dts::Client& client, Mode mode, int rank, int nranks)
+    : client_(&client), mode_(mode), rank_(rank), nranks_(nranks) {
+  DEISA_CHECK(rank >= 0 && rank < nranks, "bridge rank out of range");
+}
+
+sim::Co<void> Bridge::publish_arrays(std::vector<VirtualArray> arrays) {
+  DEISA_CHECK(rank_ == 0, "only the rank-0 bridge publishes the arrays");
+  std::uint64_t bytes = 256;
+  for (const auto& a : arrays) bytes += 64 + a.shape.size() * 48;
+  dts::Data payload =
+      dts::Data::make<std::vector<VirtualArray>>(std::move(arrays), bytes);
+  co_await client_->variable_set(kArraysVariable, std::move(payload));
+}
+
+sim::Co<void> Bridge::wait_contract() {
+  const dts::Data d = co_await client_->variable_get(kContractVariable);
+  contract_ = d.as<Contract>();
+  has_contract_ = true;
+}
+
+const Contract& Bridge::contract() const {
+  DEISA_CHECK(has_contract_, "contract not signed yet");
+  return contract_;
+}
+
+int Bridge::preselect_worker(const VirtualArray& va,
+                             const array::Index& coord) const {
+  const int workers =
+      has_contract_ && contract_.num_workers > 0
+          ? contract_.num_workers
+          : client_->num_workers();
+  return array::preselected_worker(va.grid().linear_of(coord), workers);
+}
+
+sim::Co<bool> Bridge::send_block(const VirtualArray& va,
+                                 const array::Index& coord, dts::Data data) {
+  DEISA_CHECK(has_contract_, "bridges must wait for the contract first");
+  DEISA_CHECK(uses_external_tasks(mode_),
+              "send_block is the DEISA2/3 path; DEISA1 uses "
+              "deisa1_send_block");
+  if (!contract_.includes(va, coord)) {
+    ++blocks_filtered_;
+    co_return false;
+  }
+  const dts::Key key = array::chunk_key(array::kDeisaPrefix, va.name, coord);
+  co_await client_->scatter(key, std::move(data), preselect_worker(va, coord),
+                            /*external=*/true);
+  ++blocks_sent_;
+  co_return true;
+}
+
+sim::Co<void> Bridge::run_heartbeats(sim::Event& stop) {
+  co_await client_->run_heartbeats(bridge_heartbeat_interval(mode_), stop);
+}
+
+sim::Co<void> Bridge::deisa1_fetch_selection() {
+  const dts::Data d = co_await client_->queue_get(deisa1_selection_queue(rank_));
+  contract_ = d.as<Contract>();
+  has_contract_ = true;
+}
+
+sim::Co<bool> Bridge::deisa1_send_block(const VirtualArray& va,
+                                        const array::Index& coord,
+                                        dts::Data data) {
+  DEISA_CHECK(mode_ == Mode::kDeisa1, "deisa1_send_block requires DEISA1");
+  DEISA_CHECK(has_contract_, "DEISA1 bridges fetch their selection first");
+  bool sent = false;
+  if (contract_.includes(va, coord)) {
+    const dts::Key key = array::chunk_key(array::kDeisaPrefix, va.name, coord);
+    co_await client_->scatter(key, std::move(data),
+                              preselect_worker(va, coord),
+                              /*external=*/false);
+    ++blocks_sent_;
+    sent = true;
+  } else {
+    ++blocks_filtered_;
+  }
+  // Notify the adaptor that this rank finished the step (whether or not
+  // the block passed the filter) so it can submit the step's graph.
+  co_await client_->queue_put(kDeisa1ReadyQueue,
+                              dts::Data::make<int>(rank_, 8));
+  co_return sent;
+}
+
+}  // namespace deisa::core

@@ -1,0 +1,68 @@
+// The DEISA bridge: one per MPI rank, "built in the Dask client class"
+// (§2.1). Rank 0 additionally publishes the virtual-array descriptors.
+// Bridges block until the contract is signed, then, each timestep, check
+// the contract locally and push only the needed blocks straight to their
+// preselected workers.
+#pragma once
+
+#include "deisa/array/darray.hpp"
+#include "deisa/core/contract.hpp"
+#include "deisa/dts/client.hpp"
+
+namespace deisa::core {
+
+class Bridge {
+public:
+  /// `client` is this rank's connection to the task system (the bridge is
+  /// built on the client class, as in the paper).
+  Bridge(dts::Client& client, Mode mode, int rank, int nranks);
+
+  int rank() const { return rank_; }
+  Mode mode() const { return mode_; }
+  dts::Client& client() { return *client_; }
+
+  /// Rank 0: make the deisa virtual arrays available to the adaptor
+  /// (step 1 of Figure 1, first half). One message.
+  sim::Co<void> publish_arrays(std::vector<VirtualArray> arrays);
+
+  /// Block until the adaptor signs the contract (step 1, second half).
+  /// All bridges, including rank 0, wait here before sending any data.
+  sim::Co<void> wait_contract();
+  const Contract& contract() const;
+  bool has_contract() const { return has_contract_; }
+
+  /// DEISA2/3 data path (step 3 of Figure 1): if the contract includes
+  /// this block, push it to the preselected worker as an external-task
+  /// completion. Returns whether the block was sent.
+  sim::Co<bool> send_block(const VirtualArray& va, const array::Index& coord,
+                           dts::Data data);
+
+  /// Heartbeat loop at the mode's interval (DEISA3: returns immediately).
+  sim::Co<void> run_heartbeats(sim::Event& stop);
+
+  // ---- DEISA1 legacy path ----
+  /// Fetch this rank's selection from its dedicated distributed queue.
+  sim::Co<void> deisa1_fetch_selection();
+  /// Plain scatter of a block (no external state), then notify the
+  /// adaptor through the shared ready-queue. Returns whether sent.
+  sim::Co<bool> deisa1_send_block(const VirtualArray& va,
+                                  const array::Index& coord, dts::Data data);
+
+  std::uint64_t blocks_sent() const { return blocks_sent_; }
+  std::uint64_t blocks_filtered() const { return blocks_filtered_; }
+
+private:
+  int preselect_worker(const VirtualArray& va,
+                       const array::Index& coord) const;
+
+  dts::Client* client_;
+  Mode mode_;
+  int rank_;
+  int nranks_;
+  Contract contract_;
+  bool has_contract_ = false;
+  std::uint64_t blocks_sent_ = 0;
+  std::uint64_t blocks_filtered_ = 0;
+};
+
+}  // namespace deisa::core

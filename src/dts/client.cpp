@@ -1,0 +1,155 @@
+#include "deisa/dts/client.hpp"
+
+namespace deisa::dts {
+
+Client::Client(sim::Engine& engine, net::Cluster& cluster, int id, int node,
+               int scheduler_node, sim::Channel<SchedMsg>* scheduler_inbox,
+               std::vector<WorkerRef> workers)
+    : engine_(&engine),
+      cluster_(&cluster),
+      id_(id),
+      node_(node),
+      scheduler_node_(scheduler_node),
+      scheduler_inbox_(scheduler_inbox),
+      workers_(std::move(workers)) {}
+
+sim::Co<void> Client::send_to_scheduler(SchedMsg msg) {
+  ++messages_sent_;
+  msg.sender_node = node_;
+  co_await cluster_->send_control(node_, scheduler_node_, wire_bytes(msg));
+  scheduler_inbox_->send(std::move(msg));
+}
+
+sim::Co<void> Client::submit(std::vector<TaskSpec> tasks,
+                             std::vector<Key> wants) {
+  SchedMsg msg(SchedMsgKind::kUpdateGraph);
+  msg.tasks = std::move(tasks);
+  msg.wants = std::move(wants);
+  co_await send_to_scheduler(std::move(msg));
+}
+
+sim::Co<std::vector<Future>> Client::external_futures(
+    std::vector<Key> keys, std::vector<int> preferred_workers) {
+  std::vector<Future> futures;
+  futures.reserve(keys.size());
+  for (const Key& k : keys) futures.emplace_back(k, this);
+  SchedMsg msg(SchedMsgKind::kCreateExternal);
+  msg.keys = std::move(keys);
+  msg.preferred_workers = std::move(preferred_workers);
+  co_await send_to_scheduler(std::move(msg));
+  co_return futures;
+}
+
+sim::Co<Future> Client::scatter(Key key, Data data, int worker, bool external,
+                                bool inform_scheduler) {
+  DEISA_CHECK(worker >= 0 && static_cast<std::size_t>(worker) < workers_.size(),
+              "scatter to unknown worker " << worker);
+  const WorkerRef& ref = workers_[static_cast<std::size_t>(worker)];
+  const std::uint64_t bytes = std::max<std::uint64_t>(data.bytes, 64);
+  // 1) bulk payload straight to the worker ...
+  co_await cluster_->transfer(node_, ref.node, bytes);
+  WorkerMsg push(WorkerMsgKind::kReceiveData);
+  push.key = key;
+  push.payload = data;
+  ref.inbox->send(std::move(push));
+  // 2) ... and the metadata registration to the scheduler — a
+  // synchronous RPC, as dask's scatter is: wait for the acknowledgement.
+  if (inform_scheduler) {
+    auto ack = std::make_shared<sim::Channel<int>>(*engine_);
+    SchedMsg reg(SchedMsgKind::kUpdateData);
+    reg.key = key;
+    reg.worker = worker;
+    reg.bytes = data.bytes;
+    reg.external = external;
+    reg.reply_worker = ack;
+    co_await send_to_scheduler(std::move(reg));
+    (void)co_await ack->recv();
+  }
+  co_return Future(std::move(key), this);
+}
+
+sim::Co<int> Client::wait_key(const Key& key) {
+  auto reply = std::make_shared<sim::Channel<int>>(*engine_);
+  SchedMsg msg(SchedMsgKind::kWaitKey);
+  msg.key = key;
+  msg.reply_worker = reply;
+  co_await send_to_scheduler(std::move(msg));
+  const int worker = co_await reply->recv();
+  DEISA_CHECK(worker != -2, "task erred: " << key);
+  co_return worker;
+}
+
+sim::Co<Data> Client::gather(const Key& key) {
+  const int worker = co_await wait_key(key);
+  const WorkerRef& ref = workers_[static_cast<std::size_t>(worker)];
+  auto reply = std::make_shared<sim::Channel<Data>>(*engine_);
+  co_await cluster_->send_control(node_, ref.node, 128 + key.size());
+  WorkerMsg req(WorkerMsgKind::kGetData);
+  req.key = key;
+  req.requester_node = node_;
+  req.reply_data = reply;
+  ref.inbox->send(std::move(req));
+  co_return co_await reply->recv();
+}
+
+sim::Co<void> Client::variable_set(const std::string& name, Data value) {
+  SchedMsg msg(SchedMsgKind::kVariableSet);
+  msg.name = name;
+  msg.payload = std::move(value);
+  co_await send_to_scheduler(std::move(msg));
+}
+
+sim::Co<Data> Client::variable_get(const std::string& name) {
+  auto reply = std::make_shared<sim::Channel<Data>>(*engine_);
+  SchedMsg msg(SchedMsgKind::kVariableGet);
+  msg.name = name;
+  msg.reply_data = reply;
+  co_await send_to_scheduler(std::move(msg));
+  co_return co_await reply->recv();
+}
+
+sim::Co<void> Client::queue_put(const std::string& name, Data value) {
+  auto ack = std::make_shared<sim::Channel<int>>(*engine_);
+  SchedMsg msg(SchedMsgKind::kQueuePut);
+  msg.name = name;
+  msg.payload = std::move(value);
+  msg.reply_worker = ack;  // Queue.put is synchronous in dask
+  co_await send_to_scheduler(std::move(msg));
+  (void)co_await ack->recv();
+}
+
+sim::Co<Data> Client::queue_get(const std::string& name) {
+  auto reply = std::make_shared<sim::Channel<Data>>(*engine_);
+  SchedMsg msg(SchedMsgKind::kQueueGet);
+  msg.name = name;
+  msg.reply_data = reply;
+  co_await send_to_scheduler(std::move(msg));
+  co_return co_await reply->recv();
+}
+
+sim::Co<void> Client::run_heartbeats(double interval, sim::Event& stop) {
+  if (interval <= 0.0) co_return;  // the paper's "infinite interval"
+  while (!stop.is_set()) {
+    co_await engine_->delay(interval);
+    if (stop.is_set()) co_return;
+    SchedMsg hb(SchedMsgKind::kHeartbeatBridge);
+    hb.worker = id_;
+    co_await send_to_scheduler(std::move(hb));
+  }
+}
+
+sim::Co<void> Client::cancel(const Key& key) {
+  auto ack = std::make_shared<sim::Channel<int>>(*engine_);
+  SchedMsg msg(SchedMsgKind::kCancelKey);
+  msg.key = key;
+  msg.reply_worker = ack;
+  co_await send_to_scheduler(std::move(msg));
+  (void)co_await ack->recv();
+}
+
+sim::Co<void> Client::send_shutdown() {
+  SchedMsg msg(SchedMsgKind::kShutdown);
+  co_await send_to_scheduler(std::move(msg));
+}
+
+}  // namespace deisa::dts

@@ -1,0 +1,104 @@
+// Client actor: the analytics-side handle on the distributed task system.
+// Extends the dask.distributed Client surface with the paper's additions:
+//   * scatter(..., keys=..., external=...)  (§2.2)
+//   * external_futures(...) — create tasks in the external state ahead of
+//     the data, so whole multi-timestep graphs can be submitted up front.
+// DEISA bridges are built on this same class (the paper keeps the bridge
+// "built in the Dask client class").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "deisa/dts/scheduler.hpp"
+#include "deisa/dts/worker.hpp"
+
+namespace deisa::dts {
+
+/// Client-side mirror of a scheduler task (a lightweight future).
+class Future {
+public:
+  Future() = default;
+  Future(Key key, class Client* client) : key_(std::move(key)), client_(client) {}
+  const Key& key() const { return key_; }
+  bool valid() const { return client_ != nullptr; }
+
+private:
+  Key key_;
+  Client* client_ = nullptr;
+};
+
+class Client {
+public:
+  Client(sim::Engine& engine, net::Cluster& cluster, int id, int node,
+         int scheduler_node, sim::Channel<SchedMsg>* scheduler_inbox,
+         std::vector<WorkerRef> workers);
+
+  int id() const { return id_; }
+  int node() const { return node_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Submit a task graph; `wants` marks the keys this client will gather.
+  sim::Co<void> submit(std::vector<TaskSpec> tasks,
+                       std::vector<Key> wants = {});
+
+  /// Create external tasks (paper §2.2): keyed, unschedulable, completed
+  /// later by an external environment. One batched RPC.
+  sim::Co<std::vector<Future>> external_futures(
+      std::vector<Key> keys, std::vector<int> preferred_workers = {});
+
+  /// Scatter one payload to a worker. With `external=true` this completes
+  /// a task previously created by external_futures (scheduler transitions
+  /// it external→memory and unblocks dependents). `inform_scheduler`
+  /// mirrors the two messages of a dask scatter: bulk data to the worker
+  /// plus metadata to the scheduler.
+  sim::Co<Future> scatter(Key key, Data data, int worker,
+                          bool external = false,
+                          bool inform_scheduler = true);
+
+  /// Block until `key` is finished; returns the worker holding it.
+  /// Throws util::Error if the task erred.
+  sim::Co<int> wait_key(const Key& key);
+
+  /// wait_key + fetch the payload from the owning worker.
+  sim::Co<Data> gather(const Key& key);
+
+  // Dask Variables: named single-slot broadcast values (used for the
+  // contract exchange in DEISA2/3 — two variables instead of the
+  // nbr_ranks queues of DEISA1).
+  sim::Co<void> variable_set(const std::string& name, Data value);
+  sim::Co<Data> variable_get(const std::string& name);
+
+  // Dask Queues (the DEISA1 mechanism).
+  sim::Co<void> queue_put(const std::string& name, Data value);
+  sim::Co<Data> queue_get(const std::string& name);
+
+  /// Periodic client heartbeat to the scheduler. DEISA1 keeps the default
+  /// interval, DEISA2 raises it to 60 s, DEISA3 sets it to infinity
+  /// (interval <= 0 here). Runs until `stop` is set.
+  sim::Co<void> run_heartbeats(double interval, sim::Event& stop);
+
+  /// Cancel a not-yet-finished task: it (and its downstream cone) moves
+  /// to the erred state with a "cancelled" message. Completed results
+  /// are left untouched. Synchronous.
+  sim::Co<void> cancel(const Key& key);
+
+  /// Ask the scheduler to shut down (tests/teardown).
+  sim::Co<void> send_shutdown();
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+private:
+  sim::Co<void> send_to_scheduler(SchedMsg msg);
+
+  sim::Engine* engine_;
+  net::Cluster* cluster_;
+  int id_;
+  int node_;
+  int scheduler_node_;
+  sim::Channel<SchedMsg>* scheduler_inbox_;
+  std::vector<WorkerRef> workers_;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace deisa::dts

@@ -1,0 +1,115 @@
+// Wire messages between dts actors. Every struct has a user-declared
+// constructor (never an aggregate) — see the GCC 12 coroutine note on
+// deisa::mpix::Message.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deisa/dts/task.hpp"
+#include "deisa/sim/primitives.hpp"
+
+namespace deisa::dts {
+
+/// Reference to a worker actor as seen by the scheduler/clients.
+struct WorkerRef {
+  WorkerRef() = default;
+  WorkerRef(int id_, int node_, sim::Channel<struct WorkerMsg>* inbox_)
+      : id(id_), node(node_), inbox(inbox_) {}
+  int id = -1;
+  int node = -1;
+  sim::Channel<struct WorkerMsg>* inbox = nullptr;
+};
+
+/// Dependency location handed to a worker with a compute request.
+struct DepLocation {
+  DepLocation() = default;
+  DepLocation(Key key_, int owner_, std::uint64_t bytes_)
+      : key(std::move(key_)), owner(owner_), bytes(bytes_) {}
+  Key key;
+  int owner = -1;  // worker id
+  std::uint64_t bytes = 0;
+};
+
+/// Message kinds accepted by the scheduler inbox. The scheduler counts
+/// arrivals per kind — those counters are the measured quantity of the
+/// paper's §2.1 metadata-message formula.
+enum class SchedMsgKind {
+  kUpdateGraph,
+  kTaskFinished,
+  kUpdateData,       // scatter registration; may carry external=true
+  kCreateExternal,   // the paper's external-future RPC
+  kWaitKey,          // client gather support
+  kHeartbeatWorker,
+  kHeartbeatBridge,
+  kCancelKey,
+  kVariableSet,
+  kVariableGet,
+  kQueuePut,
+  kQueueGet,
+  kShutdown,
+};
+
+const char* to_string(SchedMsgKind k);
+
+struct SchedMsg {
+  explicit SchedMsg(SchedMsgKind kind_) : kind(kind_) {}
+
+  SchedMsgKind kind;
+  int sender_node = -1;
+
+  // kUpdateGraph
+  std::vector<TaskSpec> tasks;
+  std::vector<Key> wants;
+
+  // kTaskFinished / kUpdateData / kWaitKey
+  Key key;
+  int worker = -1;
+  std::uint64_t bytes = 0;
+  bool external = false;
+  bool erred = false;
+  std::string error;
+
+  // kCreateExternal
+  std::vector<Key> keys;
+  std::vector<int> preferred_workers;
+
+  // kVariable* / kQueue*
+  std::string name;
+  Data payload;
+
+  // Replies (WaitKey -> worker id or -2 on error; VariableGet/QueueGet ->
+  // payload). Channels are engine-bound and shared with the requester.
+  std::shared_ptr<sim::Channel<int>> reply_worker;
+  std::shared_ptr<sim::Channel<Data>> reply_data;
+};
+
+/// Messages accepted by a worker inbox.
+enum class WorkerMsgKind {
+  kCompute,
+  kReceiveData,  // direct push (scatter / bridge send)
+  kGetData,      // peer or client fetch
+  kShutdown,
+};
+
+struct WorkerMsg {
+  explicit WorkerMsg(WorkerMsgKind kind_) : kind(kind_) {}
+
+  WorkerMsgKind kind;
+
+  // kCompute
+  TaskSpec spec;
+  std::vector<DepLocation> deps;
+
+  // kReceiveData / kGetData
+  Key key;
+  Data payload;
+  int requester_node = -1;
+  std::shared_ptr<sim::Channel<Data>> reply_data;
+};
+
+/// Estimated wire size of a scheduler message (metadata serialization).
+std::uint64_t wire_bytes(const SchedMsg& msg);
+
+}  // namespace deisa::dts

@@ -1,0 +1,47 @@
+// Runtime: wires scheduler + workers + clients onto cluster nodes and
+// manages actor lifecycles. One Runtime is one "Dask cluster".
+#pragma once
+
+#include <memory>
+
+#include "deisa/dts/client.hpp"
+#include "deisa/dts/scheduler.hpp"
+#include "deisa/dts/worker.hpp"
+
+namespace deisa::dts {
+
+struct RuntimeParams {
+  SchedulerParams scheduler;
+  WorkerParams worker;
+};
+
+class Runtime {
+public:
+  /// Places the scheduler on `scheduler_node` and one worker per entry of
+  /// `worker_nodes`.
+  Runtime(sim::Engine& engine, net::Cluster& cluster, int scheduler_node,
+          std::vector<int> worker_nodes, RuntimeParams params = {});
+
+  /// Spawn the scheduler and worker actors onto the engine.
+  void start();
+  /// Ask every actor to exit (idempotent); the engine then drains.
+  sim::Co<void> shutdown();
+
+  Scheduler& scheduler() { return *scheduler_; }
+  Worker& worker(int i) { return *workers_.at(static_cast<std::size_t>(i)); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  std::vector<WorkerRef> worker_refs() const;
+
+  /// Create a client homed on `node`; owned by the Runtime.
+  Client& make_client(int node);
+
+private:
+  sim::Engine* engine_;
+  net::Cluster* cluster_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  bool started_ = false;
+};
+
+}  // namespace deisa::dts

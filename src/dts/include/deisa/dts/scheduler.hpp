@@ -1,0 +1,133 @@
+// The centralized scheduler — a C++ analogue of the dask.distributed
+// scheduler, extended with the paper's external task state.
+//
+// Every incoming message consumes service time on a FIFO server (the
+// Python scheduler is single-threaded); queueing on this server under
+// per-timestep metadata load is what degrades DEISA1 in the paper's
+// Figures 2a/3a/5, and what external tasks (DEISA2/3) avoid.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "deisa/dts/messages.hpp"
+#include "deisa/dts/task.hpp"
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/primitives.hpp"
+#include "deisa/util/rng.hpp"
+
+namespace deisa::dts {
+
+struct SchedulerParams {
+  /// Fixed service cost per incoming message. Calibrated to the Python
+  /// dask scheduler (single-threaded, a few hundred ops/s under load).
+  double service_base = 7e-3;
+  /// Extra cost per task in an update_graph batch.
+  double service_per_task = 1.2e-3;
+  /// Extra cost per key touched (deps, scatter registrations, ...).
+  double service_per_key = 0.15e-3;
+  /// Extra cost per distributed-Queue operation (dask Queues are a
+  /// scheduler extension with locking — far dearer than plain messages;
+  /// the DEISA1 prototype drives 2·ranks of them per timestep).
+  double service_queue_extra = 18e-3;
+  /// Lognormal sigma on service time (0 = deterministic; the GC/GIL
+  /// noise of the Python scheduler).
+  double service_jitter_sigma = 0.0;
+  std::uint64_t seed = 0x5c4ed;
+};
+
+class Scheduler {
+public:
+  Scheduler(sim::Engine& engine, net::Cluster& cluster, int node,
+            SchedulerParams params);
+
+  int node() const { return node_; }
+  sim::Channel<SchedMsg>& inbox() { return inbox_; }
+  void attach_workers(std::vector<WorkerRef> workers);
+
+  /// Main actor loop (spawned by the Runtime). Exits on kShutdown.
+  sim::Co<void> run();
+
+  // ---- observability ----
+  std::uint64_t messages_received(SchedMsgKind kind) const;
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t retries_performed() const { return retries_performed_; }
+  double total_service_time() const { return server_.total_busy_time(); }
+  double total_queueing_time() const { return server_.total_waiting_time(); }
+  TaskState state_of(const Key& key) const;
+  bool knows(const Key& key) const { return records_.count(key) != 0; }
+  std::size_t task_count() const { return records_.size(); }
+  std::size_t count_in_state(TaskState s) const;
+
+private:
+  struct TaskRecord {
+    TaskSpec spec;
+    TaskState state = TaskState::kWaiting;
+    int nwaiting = 0;  // unfinished dependencies
+    std::vector<Key> dependents;
+    int worker = -1;
+    std::uint64_t bytes = 0;
+    int attempts = 0;  // executions so far (retry support)
+    std::string error;
+    std::vector<std::shared_ptr<sim::Channel<int>>> waiters;
+    std::vector<int> waiter_nodes;
+  };
+
+  double service_time(const SchedMsg& msg);
+  sim::Co<void> handle(SchedMsg msg);
+  sim::Co<void> handle_update_graph(SchedMsg& msg);
+  sim::Co<void> handle_task_finished(SchedMsg& msg);
+  sim::Co<void> handle_update_data(SchedMsg& msg);
+  void handle_create_external(SchedMsg& msg);
+  sim::Co<void> handle_wait_key(SchedMsg& msg);
+  sim::Co<void> handle_cancel(SchedMsg& msg);
+  sim::Co<void> handle_variable(SchedMsg& msg);
+  sim::Co<void> handle_queue(SchedMsg& msg);
+
+  /// Mark `rec` finished in memory and cascade: notify waiters, decrement
+  /// dependents, assign newly-ready tasks. The external→memory transition
+  /// of §2.2 lands here.
+  sim::Co<void> finish_task(const Key& key, TaskRecord& rec, int worker,
+                            std::uint64_t bytes, bool erred,
+                            const std::string& error);
+  sim::Co<void> assign(const Key& key);
+  int decide_worker(const TaskRecord& rec) const;
+  sim::Co<void> reply_int(std::shared_ptr<sim::Channel<int>> ch, int dst_node,
+                          int value);
+  sim::Co<void> reply_data(std::shared_ptr<sim::Channel<Data>> ch,
+                           int dst_node, Data value);
+
+  sim::Engine* engine_;
+  net::Cluster* cluster_;
+  int node_;
+  SchedulerParams params_;
+  sim::Channel<SchedMsg> inbox_;
+  sim::FifoServer server_;
+  util::Rng rng_;
+
+  std::vector<WorkerRef> workers_;
+  std::unordered_map<Key, TaskRecord> records_;
+  std::size_t rr_next_worker_ = 0;
+
+  struct VariableSlot {
+    bool set = false;
+    Data value;
+    std::vector<std::pair<std::shared_ptr<sim::Channel<Data>>, int>> waiters;
+  };
+  std::map<std::string, VariableSlot> variables_;
+
+  struct QueueSlot {
+    std::deque<Data> items;
+    std::deque<std::pair<std::shared_ptr<sim::Channel<Data>>, int>> waiters;
+  };
+  std::map<std::string, QueueSlot> queues_;
+
+  std::map<SchedMsgKind, std::uint64_t> arrivals_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t retries_performed_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace deisa::dts

@@ -1,0 +1,100 @@
+// Task model of the distributed task system (dts) — a C++ re-creation of
+// the dask.distributed actors the paper extends: keys, task specs, task
+// states (including the new `External` state introduced by the paper),
+// and the Data payload moved between workers.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deisa/sim/co.hpp"
+#include "deisa/util/error.hpp"
+
+namespace deisa::dts {
+
+using Key = std::string;
+
+/// Scheduler-side task lifecycle. `kExternal` is this paper's addition: a
+/// task that is known (keyed, sized) but neither schedulable nor runnable
+/// by the task system — it completes when an external environment pushes
+/// its output to a worker.
+enum class TaskState {
+  kWaiting,     // has unfinished dependencies
+  kReady,       // runnable, not yet assigned
+  kProcessing,  // assigned to a worker
+  kMemory,      // finished, result stored on a worker
+  kExternal,    // waiting on the external environment (the simulation)
+  kErred,       // execution raised
+};
+
+const char* to_string(TaskState s);
+
+/// Value moved between actors. In functional runs `value` holds a real
+/// payload; in synthetic (paper-scale benchmark) runs only `bytes` is
+/// meaningful and `value` stays empty — the same scheduler/worker code
+/// paths run either way.
+struct Data {
+  Data() = default;
+  Data(std::shared_ptr<const std::any> value_, std::uint64_t bytes_)
+      : value(std::move(value_)), bytes(bytes_) {}
+
+  std::shared_ptr<const std::any> value;
+  std::uint64_t bytes = 0;
+
+  bool has_value() const { return value != nullptr && value->has_value(); }
+
+  template <typename T>
+  const T& as() const {
+    DEISA_CHECK(value != nullptr, "Data carries no value (synthetic mode?)");
+    const T* p = std::any_cast<T>(value.get());
+    DEISA_CHECK(p != nullptr, "Data payload type mismatch");
+    return *p;
+  }
+
+  template <typename T>
+  static Data make(T v, std::uint64_t bytes) {
+    return Data(std::make_shared<const std::any>(std::move(v)), bytes);
+  }
+
+  /// Size-only payload for synthetic runs.
+  static Data sized(std::uint64_t bytes) { return Data(nullptr, bytes); }
+};
+
+/// Worker-executed function: inputs are the dependency outputs in the
+/// order listed by TaskSpec::deps.
+using TaskFn = std::function<Data(const std::vector<Data>&)>;
+
+/// Optional asynchronous I/O hook awaited by the worker before running
+/// the task function. Used by post-hoc read tasks to charge simulated
+/// parallel-file-system time (with contention) for their input bytes.
+using AsyncHook = std::function<sim::Co<void>()>;
+
+/// One node of a task graph submitted by a client.
+struct TaskSpec {
+  TaskSpec() = default;  // non-aggregate: see mpix::Message note on GCC 12
+  TaskSpec(Key key_, std::vector<Key> deps_, TaskFn fn_, double cost_ = 0.0,
+           std::uint64_t out_bytes_ = 0, int preferred_worker_ = -1,
+           int retries_ = 0)
+      : key(std::move(key_)),
+        deps(std::move(deps_)),
+        fn(std::move(fn_)),
+        cost(cost_),
+        out_bytes(out_bytes_),
+        preferred_worker(preferred_worker_),
+        retries(retries_) {}
+
+  Key key;
+  std::vector<Key> deps;
+  TaskFn fn;                     // may be empty in synthetic mode
+  AsyncHook io;                  // optional; awaited before fn runs
+  double cost = 0.0;             // simulated compute seconds
+  std::uint64_t out_bytes = 0;   // output size estimate (synthetic mode)
+  int preferred_worker = -1;     // -1: scheduler decides
+  int retries = 0;               // re-run attempts after a failure
+};
+
+}  // namespace deisa::dts

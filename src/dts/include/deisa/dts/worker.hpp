@@ -1,0 +1,82 @@
+// Worker actor: executes tasks, stores results, serves peer fetches, and
+// accepts direct data pushes (the scatter path DEISA bridges use to move
+// simulation blocks into the cluster without staging through the
+// scheduler).
+#pragma once
+
+#include <unordered_map>
+
+#include "deisa/dts/messages.hpp"
+#include "deisa/dts/task.hpp"
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/primitives.hpp"
+
+namespace deisa::dts {
+
+struct WorkerParams {
+  int nthreads = 1;
+  /// Seconds between heartbeats to the scheduler; <= 0 disables.
+  double heartbeat_interval = 1.0;
+};
+
+class Worker {
+public:
+  Worker(sim::Engine& engine, net::Cluster& cluster, int id, int node,
+         WorkerParams params);
+
+  int id() const { return id_; }
+  int node() const { return node_; }
+  sim::Channel<WorkerMsg>& inbox() { return inbox_; }
+
+  /// Wire up peers and the scheduler (done once by the Runtime).
+  void attach(int scheduler_node, sim::Channel<SchedMsg>* scheduler_inbox,
+              std::vector<WorkerRef> peers);
+
+  /// Main actor loop; exits on kShutdown.
+  sim::Co<void> run();
+  /// Heartbeat loop (spawned alongside run()); exits once shutdown.
+  sim::Co<void> run_heartbeats();
+
+  // ---- observability ----
+  std::uint64_t tasks_executed() const { return tasks_executed_; }
+  /// Cumulative bytes ever stored (throughput measure).
+  std::uint64_t bytes_stored() const { return bytes_stored_; }
+  /// Bytes currently resident in the worker's store.
+  std::uint64_t memory_bytes() const { return memory_bytes_; }
+  std::size_t keys_in_memory() const { return store_.size(); }
+  /// Drop a key from local memory (scheduler-directed release).
+  bool release_key(const Key& key);
+  bool has_local(const Key& key) const { return store_.count(key) != 0; }
+  double busy_time() const { return cpu_.total_busy_time(); }
+
+  /// Local blocking lookup: waits until `key` lands in the local store.
+  sim::Co<Data> local_get(const Key& key);
+
+private:
+  sim::Co<void> handle_compute(TaskSpec spec, std::vector<DepLocation> deps);
+  sim::Co<Data> fetch(const DepLocation& dep);
+  sim::Co<void> handle_get_data(WorkerMsg msg);
+  void store_put(const Key& key, Data data);
+  sim::Co<void> notify_scheduler(SchedMsg msg);
+
+  sim::Engine* engine_;
+  net::Cluster* cluster_;
+  int id_;
+  int node_;
+  WorkerParams params_;
+  sim::Channel<WorkerMsg> inbox_;
+  sim::FifoServer cpu_;
+
+  int scheduler_node_ = -1;
+  sim::Channel<SchedMsg>* scheduler_inbox_ = nullptr;
+  std::vector<WorkerRef> peers_;
+
+  std::unordered_map<Key, Data> store_;
+  std::unordered_map<Key, std::unique_ptr<sim::Event>> arrivals_;
+  std::uint64_t tasks_executed_ = 0;
+  std::uint64_t bytes_stored_ = 0;
+  std::uint64_t memory_bytes_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace deisa::dts

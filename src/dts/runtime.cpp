@@ -1,0 +1,56 @@
+#include "deisa/dts/runtime.hpp"
+
+namespace deisa::dts {
+
+Runtime::Runtime(sim::Engine& engine, net::Cluster& cluster,
+                 int scheduler_node, std::vector<int> worker_nodes,
+                 RuntimeParams params)
+    : engine_(&engine), cluster_(&cluster) {
+  scheduler_ = std::make_unique<Scheduler>(engine, cluster, scheduler_node,
+                                           params.scheduler);
+  for (std::size_t i = 0; i < worker_nodes.size(); ++i)
+    workers_.push_back(std::make_unique<Worker>(
+        engine, cluster, static_cast<int>(i), worker_nodes[i], params.worker));
+
+  std::vector<WorkerRef> refs = worker_refs();
+  scheduler_->attach_workers(refs);
+  for (auto& w : workers_)
+    w->attach(scheduler_node, &scheduler_->inbox(), refs);
+}
+
+std::vector<WorkerRef> Runtime::worker_refs() const {
+  std::vector<WorkerRef> refs;
+  refs.reserve(workers_.size());
+  for (const auto& w : workers_)
+    refs.emplace_back(w->id(), w->node(), &w->inbox());
+  return refs;
+}
+
+void Runtime::start() {
+  DEISA_CHECK(!started_, "runtime already started");
+  started_ = true;
+  engine_->spawn(scheduler_->run());
+  for (auto& w : workers_) {
+    engine_->spawn(w->run());
+    engine_->spawn(w->run_heartbeats());
+  }
+}
+
+Client& Runtime::make_client(int node) {
+  clients_.push_back(std::make_unique<Client>(
+      *engine_, *cluster_, static_cast<int>(clients_.size()), node,
+      scheduler_->node(), &scheduler_->inbox(), worker_refs()));
+  return *clients_.back();
+}
+
+sim::Co<void> Runtime::shutdown() {
+  SchedMsg stop(SchedMsgKind::kShutdown);
+  scheduler_->inbox().send(std::move(stop));
+  for (auto& w : workers_) {
+    WorkerMsg wstop(WorkerMsgKind::kShutdown);
+    w->inbox().send(std::move(wstop));
+  }
+  co_return;
+}
+
+}  // namespace deisa::dts

@@ -1,0 +1,418 @@
+#include "deisa/dts/scheduler.hpp"
+
+#include <algorithm>
+
+namespace deisa::dts {
+
+const char* to_string(TaskState s) {
+  switch (s) {
+    case TaskState::kWaiting: return "waiting";
+    case TaskState::kReady: return "ready";
+    case TaskState::kProcessing: return "processing";
+    case TaskState::kMemory: return "memory";
+    case TaskState::kExternal: return "external";
+    case TaskState::kErred: return "erred";
+  }
+  return "?";
+}
+
+const char* to_string(SchedMsgKind k) {
+  switch (k) {
+    case SchedMsgKind::kUpdateGraph: return "update_graph";
+    case SchedMsgKind::kTaskFinished: return "task_finished";
+    case SchedMsgKind::kUpdateData: return "update_data";
+    case SchedMsgKind::kCreateExternal: return "create_external";
+    case SchedMsgKind::kWaitKey: return "wait_key";
+    case SchedMsgKind::kCancelKey: return "cancel_key";
+    case SchedMsgKind::kHeartbeatWorker: return "heartbeat_worker";
+    case SchedMsgKind::kHeartbeatBridge: return "heartbeat_bridge";
+    case SchedMsgKind::kVariableSet: return "variable_set";
+    case SchedMsgKind::kVariableGet: return "variable_get";
+    case SchedMsgKind::kQueuePut: return "queue_put";
+    case SchedMsgKind::kQueueGet: return "queue_get";
+    case SchedMsgKind::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::uint64_t wire_bytes(const SchedMsg& msg) {
+  std::uint64_t b = 512;  // envelope
+  b += msg.tasks.size() * 256;
+  for (const auto& t : msg.tasks) b += t.deps.size() * 48;
+  b += msg.keys.size() * 64;
+  b += msg.wants.size() * 64;
+  b += msg.key.size();
+  b += msg.payload.bytes;  // variables/queues carry their payload inline
+  return b;
+}
+
+Scheduler::Scheduler(sim::Engine& engine, net::Cluster& cluster, int node,
+                     SchedulerParams params)
+    : engine_(&engine),
+      cluster_(&cluster),
+      node_(node),
+      params_(params),
+      inbox_(engine),
+      server_(engine, 1),
+      rng_(params.seed) {}
+
+void Scheduler::attach_workers(std::vector<WorkerRef> workers) {
+  workers_ = std::move(workers);
+}
+
+std::uint64_t Scheduler::messages_received(SchedMsgKind kind) const {
+  const auto it = arrivals_.find(kind);
+  return it == arrivals_.end() ? 0 : it->second;
+}
+
+TaskState Scheduler::state_of(const Key& key) const {
+  const auto it = records_.find(key);
+  DEISA_CHECK(it != records_.end(), "unknown task key: " << key);
+  return it->second.state;
+}
+
+std::size_t Scheduler::count_in_state(TaskState s) const {
+  std::size_t n = 0;
+  for (const auto& [k, r] : records_)
+    if (r.state == s) ++n;
+  return n;
+}
+
+double Scheduler::service_time(const SchedMsg& msg) {
+  double t = params_.service_base;
+  if (msg.kind == SchedMsgKind::kQueuePut ||
+      msg.kind == SchedMsgKind::kQueueGet)
+    t += params_.service_queue_extra;
+  t += params_.service_per_task * static_cast<double>(msg.tasks.size());
+  std::size_t keys = msg.keys.size() + msg.wants.size() + (msg.key.empty() ? 0 : 1);
+  for (const auto& spec : msg.tasks) keys += spec.deps.size();
+  t += params_.service_per_key * static_cast<double>(keys);
+  if (params_.service_jitter_sigma > 0.0)
+    t *= rng_.lognormal_mean(1.0, params_.service_jitter_sigma);
+  return t;
+}
+
+sim::Co<void> Scheduler::run() {
+  while (true) {
+    SchedMsg msg = co_await inbox_.recv();
+    ++total_messages_;
+    ++arrivals_[msg.kind];
+    co_await server_.serve(service_time(msg));
+    if (msg.kind == SchedMsgKind::kShutdown) {
+      stopping_ = true;
+      break;
+    }
+    co_await handle(std::move(msg));
+  }
+}
+
+sim::Co<void> Scheduler::handle(SchedMsg msg) {
+  switch (msg.kind) {
+    case SchedMsgKind::kUpdateGraph: co_await handle_update_graph(msg); break;
+    case SchedMsgKind::kTaskFinished: co_await handle_task_finished(msg); break;
+    case SchedMsgKind::kUpdateData: co_await handle_update_data(msg); break;
+    case SchedMsgKind::kCreateExternal: handle_create_external(msg); break;
+    case SchedMsgKind::kWaitKey: co_await handle_wait_key(msg); break;
+    case SchedMsgKind::kCancelKey: co_await handle_cancel(msg); break;
+    case SchedMsgKind::kHeartbeatWorker:
+    case SchedMsgKind::kHeartbeatBridge:
+      break;  // service time is their whole cost
+    case SchedMsgKind::kVariableSet:
+    case SchedMsgKind::kVariableGet:
+      co_await handle_variable(msg);
+      break;
+    case SchedMsgKind::kQueuePut:
+    case SchedMsgKind::kQueueGet:
+      co_await handle_queue(msg);
+      break;
+    case SchedMsgKind::kShutdown: break;
+  }
+}
+
+sim::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
+  // Pass 1: create records so intra-batch dependencies resolve.
+  for (auto& spec : msg.tasks) {
+    DEISA_CHECK(records_.count(spec.key) == 0,
+                "task key resubmitted: " << spec.key);
+    TaskRecord rec;
+    rec.spec = std::move(spec);
+    records_.emplace(rec.spec.key, std::move(rec));
+  }
+  msg.tasks.clear();
+  // Pass 2: wire dependency edges and count unfinished inputs.
+  std::vector<Key> ready;
+  for (auto& [key, rec] : records_) {
+    if (rec.state != TaskState::kWaiting || rec.nwaiting != 0) continue;
+    // Only freshly-inserted waiting records reach here with nwaiting==0;
+    // recompute from dependencies.
+    bool fresh = true;
+    for (const Key& dep : rec.spec.deps) {
+      auto it = records_.find(dep);
+      DEISA_CHECK(it != records_.end(),
+                  "graph references unknown key '"
+                      << dep << "' — without external tasks, graphs may "
+                      << "only depend on data already in the cluster");
+      TaskRecord& drec = it->second;
+      if (drec.state == TaskState::kErred) {
+        rec.state = TaskState::kErred;
+        rec.error = "dependency erred: " + dep;
+        fresh = false;
+        break;
+      }
+      if (drec.state != TaskState::kMemory) {
+        ++rec.nwaiting;
+        drec.dependents.push_back(key);
+      }
+    }
+    if (fresh && rec.nwaiting == 0) ready.push_back(key);
+  }
+  for (const Key& key : ready) co_await assign(key);
+}
+
+int Scheduler::decide_worker(const TaskRecord& rec) const {
+  DEISA_CHECK(!workers_.empty(), "no workers attached to scheduler");
+  if (rec.spec.preferred_worker >= 0) {
+    DEISA_CHECK(static_cast<std::size_t>(rec.spec.preferred_worker) <
+                    workers_.size(),
+                "preferred worker out of range");
+    return rec.spec.preferred_worker;
+  }
+  // Data locality: pick the worker already holding the most input bytes.
+  std::map<int, std::uint64_t> bytes_on;
+  for (const Key& dep : rec.spec.deps) {
+    const auto it = records_.find(dep);
+    if (it != records_.end() && it->second.worker >= 0)
+      bytes_on[it->second.worker] += it->second.bytes;
+  }
+  int best = -1;
+  std::uint64_t best_bytes = 0;
+  for (const auto& [w, b] : bytes_on) {
+    if (b > best_bytes) {
+      best = w;
+      best_bytes = b;
+    }
+  }
+  if (best >= 0) return best;
+  return static_cast<int>(
+      const_cast<Scheduler*>(this)->rr_next_worker_++ % workers_.size());
+}
+
+sim::Co<void> Scheduler::assign(const Key& key) {
+  TaskRecord& rec = records_.at(key);
+  DEISA_ASSERT(rec.state == TaskState::kWaiting ||
+                   rec.state == TaskState::kReady,
+               "assigning task in state " << to_string(rec.state));
+  const int w = decide_worker(rec);
+  rec.state = TaskState::kProcessing;
+  rec.worker = w;
+  WorkerMsg m(WorkerMsgKind::kCompute);
+  m.spec = rec.spec;
+  for (const Key& dep : rec.spec.deps) {
+    const TaskRecord& drec = records_.at(dep);
+    m.deps.emplace_back(dep, drec.worker, drec.bytes);
+  }
+  const WorkerRef& ref = workers_[static_cast<std::size_t>(w)];
+  co_await cluster_->send_control(node_, ref.node, 512 + m.deps.size() * 48);
+  ref.inbox->send(std::move(m));
+}
+
+sim::Co<void> Scheduler::finish_task(const Key& key, TaskRecord& rec,
+                                     int worker, std::uint64_t bytes,
+                                     bool erred, const std::string& error) {
+  rec.state = erred ? TaskState::kErred : TaskState::kMemory;
+  rec.worker = worker;
+  rec.bytes = bytes;
+  rec.error = error;
+  // Wake clients blocked in wait_key/gather.
+  for (std::size_t i = 0; i < rec.waiters.size(); ++i)
+    co_await reply_int(rec.waiters[i], rec.waiter_nodes[i],
+                       erred ? -2 : worker);
+  rec.waiters.clear();
+  rec.waiter_nodes.clear();
+  if (erred) {
+    // Poison the whole downstream cone, replying to any waiters so
+    // blocked clients observe the failure instead of hanging.
+    std::vector<Key> poison = std::move(rec.dependents);
+    rec.dependents.clear();
+    while (!poison.empty()) {
+      const Key dkey = std::move(poison.back());
+      poison.pop_back();
+      TaskRecord& drec = records_.at(dkey);
+      if (drec.state == TaskState::kErred ||
+          drec.state == TaskState::kMemory)
+        continue;
+      drec.state = TaskState::kErred;
+      drec.error = "dependency erred: " + key;
+      for (std::size_t i = 0; i < drec.waiters.size(); ++i)
+        co_await reply_int(drec.waiters[i], drec.waiter_nodes[i], -2);
+      drec.waiters.clear();
+      drec.waiter_nodes.clear();
+      for (Key& next : drec.dependents) poison.push_back(std::move(next));
+      drec.dependents.clear();
+    }
+    co_return;
+  }
+  // Unblock dependents (standard task-finished stimulus; external tasks
+  // reuse exactly this path — the point of §2.2).
+  std::vector<Key> ready;
+  for (const Key& dkey : rec.dependents) {
+    TaskRecord& drec = records_.at(dkey);
+    if (drec.state == TaskState::kWaiting && --drec.nwaiting == 0)
+      ready.push_back(dkey);
+  }
+  rec.dependents.clear();
+  for (const Key& rkey : ready) co_await assign(rkey);
+}
+
+sim::Co<void> Scheduler::handle_task_finished(SchedMsg& msg) {
+  TaskRecord& rec = records_.at(msg.key);
+  ++rec.attempts;
+  if (msg.erred && rec.attempts <= rec.spec.retries) {
+    // Transient failure: re-run (dask's `retries=` semantics). The task
+    // returns to ready and is re-assigned (possibly elsewhere).
+    ++retries_performed_;
+    rec.state = TaskState::kReady;
+    co_await assign(msg.key);
+    co_return;
+  }
+  co_await finish_task(msg.key, rec, msg.worker, msg.bytes, msg.erred,
+                       msg.error);
+}
+
+sim::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
+  auto it = records_.find(msg.key);
+  if (it == records_.end()) {
+    // Plain scatter of a fresh key: register it directly in memory.
+    TaskRecord rec;
+    rec.spec.key = msg.key;
+    rec.state = TaskState::kMemory;
+    rec.worker = msg.worker;
+    rec.bytes = msg.bytes;
+    records_.emplace(msg.key, std::move(rec));
+  } else {
+    TaskRecord& rec = it->second;
+    if (rec.state == TaskState::kExternal) {
+      DEISA_CHECK(msg.external,
+                  "key " << msg.key
+                         << " is an external task; plain scatter cannot "
+                            "complete it");
+      // external -> memory, then the normal finished-task cascade.
+      co_await finish_task(msg.key, rec, msg.worker, msg.bytes, false, {});
+    } else {
+      DEISA_CHECK(rec.state == TaskState::kMemory,
+                  "update_data on key '" << msg.key << "' in state "
+                                         << to_string(rec.state));
+      // Re-scatter of an existing key: refresh location.
+      rec.worker = msg.worker;
+      rec.bytes = msg.bytes;
+    }
+  }
+  // scatter is a synchronous RPC: the caller blocks until the scheduler
+  // has registered the data. Under DEISA1's per-timestep metadata load
+  // this acknowledgement queues behind everything else — the source of
+  // the communication-time inflation and variability in Figures 2a/3a/5.
+  if (msg.reply_worker != nullptr)
+    co_await reply_int(msg.reply_worker, msg.sender_node, msg.worker);
+}
+
+void Scheduler::handle_create_external(SchedMsg& msg) {
+  DEISA_CHECK(msg.preferred_workers.empty() ||
+                  msg.preferred_workers.size() == msg.keys.size(),
+              "preferred_workers must be empty or match keys");
+  for (std::size_t i = 0; i < msg.keys.size(); ++i) {
+    const Key& key = msg.keys[i];
+    DEISA_CHECK(records_.count(key) == 0,
+                "external task key already exists: " << key);
+    TaskRecord rec;
+    rec.spec.key = key;
+    if (!msg.preferred_workers.empty())
+      rec.spec.preferred_worker = msg.preferred_workers[i];
+    rec.state = TaskState::kExternal;
+    records_.emplace(key, std::move(rec));
+  }
+}
+
+sim::Co<void> Scheduler::handle_wait_key(SchedMsg& msg) {
+  auto it = records_.find(msg.key);
+  DEISA_CHECK(it != records_.end(), "wait on unknown key: " << msg.key);
+  TaskRecord& rec = it->second;
+  if (rec.state == TaskState::kMemory) {
+    co_await reply_int(msg.reply_worker, msg.sender_node, rec.worker);
+  } else if (rec.state == TaskState::kErred) {
+    co_await reply_int(msg.reply_worker, msg.sender_node, -2);
+  } else {
+    rec.waiters.push_back(msg.reply_worker);
+    rec.waiter_nodes.push_back(msg.sender_node);
+  }
+}
+
+sim::Co<void> Scheduler::handle_cancel(SchedMsg& msg) {
+  auto it = records_.find(msg.key);
+  DEISA_CHECK(it != records_.end(), "cancel of unknown key: " << msg.key);
+  TaskRecord& rec = it->second;
+  // Finished work is left in place (dask semantics: cancel is advisory
+  // for completed futures); anything not yet in memory is poisoned.
+  if (rec.state != TaskState::kMemory && rec.state != TaskState::kErred)
+    co_await finish_task(msg.key, rec, -1, 0, /*erred=*/true,
+                         "cancelled by client");
+  if (msg.reply_worker != nullptr)
+    co_await reply_int(msg.reply_worker, msg.sender_node, 0);
+}
+
+sim::Co<void> Scheduler::handle_variable(SchedMsg& msg) {
+  VariableSlot& slot = variables_[msg.name];
+  if (msg.kind == SchedMsgKind::kVariableSet) {
+    slot.set = true;
+    slot.value = std::move(msg.payload);
+    for (auto& [ch, node] : slot.waiters)
+      co_await reply_data(ch, node, slot.value);
+    slot.waiters.clear();
+    co_return;
+  }
+  if (slot.set) {
+    co_await reply_data(msg.reply_data, msg.sender_node, slot.value);
+  } else {
+    slot.waiters.emplace_back(msg.reply_data, msg.sender_node);
+  }
+}
+
+sim::Co<void> Scheduler::handle_queue(SchedMsg& msg) {
+  QueueSlot& slot = queues_[msg.name];
+  if (msg.kind == SchedMsgKind::kQueuePut) {
+    if (!slot.waiters.empty()) {
+      auto [ch, node] = slot.waiters.front();
+      slot.waiters.pop_front();
+      co_await reply_data(ch, node, std::move(msg.payload));
+    } else {
+      slot.items.push_back(std::move(msg.payload));
+    }
+    // Queue.put is a synchronous RPC in dask: acknowledge the producer.
+    if (msg.reply_worker != nullptr)
+      co_await reply_int(msg.reply_worker, msg.sender_node, 0);
+    co_return;
+  }
+  if (!slot.items.empty()) {
+    Data d = std::move(slot.items.front());
+    slot.items.pop_front();
+    co_await reply_data(msg.reply_data, msg.sender_node, std::move(d));
+  } else {
+    slot.waiters.emplace_back(msg.reply_data, msg.sender_node);
+  }
+}
+
+sim::Co<void> Scheduler::reply_int(std::shared_ptr<sim::Channel<int>> ch,
+                                   int dst_node, int value) {
+  DEISA_ASSERT(ch != nullptr, "missing reply channel");
+  co_await cluster_->send_control(node_, dst_node, 128);
+  ch->send(value);
+}
+
+sim::Co<void> Scheduler::reply_data(std::shared_ptr<sim::Channel<Data>> ch,
+                                    int dst_node, Data value) {
+  DEISA_ASSERT(ch != nullptr, "missing reply channel");
+  const std::uint64_t b = 128 + value.bytes;
+  co_await cluster_->send_control(node_, dst_node, b);
+  ch->send(std::move(value));
+}
+
+}  // namespace deisa::dts

@@ -1,0 +1,158 @@
+#include "deisa/dts/worker.hpp"
+
+namespace deisa::dts {
+
+Worker::Worker(sim::Engine& engine, net::Cluster& cluster, int id, int node,
+               WorkerParams params)
+    : engine_(&engine),
+      cluster_(&cluster),
+      id_(id),
+      node_(node),
+      params_(params),
+      inbox_(engine),
+      cpu_(engine, static_cast<std::size_t>(std::max(1, params.nthreads))) {}
+
+void Worker::attach(int scheduler_node,
+                    sim::Channel<SchedMsg>* scheduler_inbox,
+                    std::vector<WorkerRef> peers) {
+  scheduler_node_ = scheduler_node;
+  scheduler_inbox_ = scheduler_inbox;
+  peers_ = std::move(peers);
+}
+
+sim::Co<void> Worker::run() {
+  while (true) {
+    WorkerMsg msg = co_await inbox_.recv();
+    switch (msg.kind) {
+      case WorkerMsgKind::kCompute:
+        engine_->spawn(handle_compute(std::move(msg.spec), std::move(msg.deps)));
+        break;
+      case WorkerMsgKind::kReceiveData:
+        store_put(msg.key, std::move(msg.payload));
+        break;
+      case WorkerMsgKind::kGetData:
+        engine_->spawn(handle_get_data(std::move(msg)));
+        break;
+      case WorkerMsgKind::kShutdown:
+        stopping_ = true;
+        co_return;
+    }
+  }
+}
+
+sim::Co<void> Worker::run_heartbeats() {
+  if (params_.heartbeat_interval <= 0.0) co_return;
+  while (!stopping_) {
+    co_await engine_->delay(params_.heartbeat_interval);
+    if (stopping_) co_return;
+    SchedMsg hb(SchedMsgKind::kHeartbeatWorker);
+    hb.worker = id_;
+    hb.sender_node = node_;
+    co_await notify_scheduler(std::move(hb));
+  }
+}
+
+bool Worker::release_key(const Key& key) {
+  const auto it = store_.find(key);
+  if (it == store_.end()) return false;
+  memory_bytes_ -= it->second.bytes;
+  store_.erase(it);
+  return true;
+}
+
+void Worker::store_put(const Key& key, Data data) {
+  bytes_stored_ += data.bytes;
+  const auto old = store_.find(key);
+  if (old != store_.end()) memory_bytes_ -= old->second.bytes;
+  memory_bytes_ += data.bytes;
+  store_[key] = std::move(data);
+  const auto it = arrivals_.find(key);
+  if (it != arrivals_.end()) {
+    it->second->set();
+    arrivals_.erase(it);
+  }
+}
+
+sim::Co<Data> Worker::local_get(const Key& key) {
+  while (true) {
+    const auto it = store_.find(key);
+    if (it != store_.end()) co_return it->second;
+    auto ev = arrivals_.find(key);
+    if (ev == arrivals_.end())
+      ev = arrivals_.emplace(key, std::make_unique<sim::Event>(*engine_)).first;
+    // The Event object may be erased (and the map rehashed) once set;
+    // capture the pointer before awaiting.
+    sim::Event* event = ev->second.get();
+    co_await event->wait();
+  }
+}
+
+sim::Co<Data> Worker::fetch(const DepLocation& dep) {
+  if (dep.owner == id_ || dep.owner < 0) {
+    // Local (or still in flight to this worker, e.g. an external-task
+    // block the bridge pushes here): wait for the store.
+    co_return co_await local_get(dep.key);
+  }
+  // Peer fetch: request + bulk transfer back.
+  DEISA_CHECK(static_cast<std::size_t>(dep.owner) < peers_.size(),
+              "dep owner " << dep.owner << " unknown");
+  const WorkerRef& peer = peers_[static_cast<std::size_t>(dep.owner)];
+  auto reply = std::make_shared<sim::Channel<Data>>(*engine_);
+  co_await cluster_->send_control(node_, peer.node, 128 + dep.key.size());
+  WorkerMsg req(WorkerMsgKind::kGetData);
+  req.key = dep.key;
+  req.requester_node = node_;
+  req.reply_data = reply;
+  peer.inbox->send(std::move(req));
+  Data d = co_await reply->recv();
+  // Cache locally, as dask workers do.
+  store_put(dep.key, d);
+  co_return d;
+}
+
+sim::Co<void> Worker::handle_get_data(WorkerMsg msg) {
+  Data d = co_await local_get(msg.key);
+  const std::uint64_t b = std::max<std::uint64_t>(d.bytes, 64);
+  co_await cluster_->transfer(node_, msg.requester_node, b);
+  msg.reply_data->send(std::move(d));
+}
+
+sim::Co<void> Worker::handle_compute(TaskSpec spec,
+                                     std::vector<DepLocation> deps) {
+  std::vector<Data> inputs;
+  inputs.reserve(deps.size());
+  // Fetch dependencies sequentially; worker-side fetch concurrency is
+  // bounded by the NIC anyway and sequential fetches keep ordering
+  // deterministic.
+  for (const auto& dep : deps) inputs.push_back(co_await fetch(dep));
+
+  SchedMsg done(SchedMsgKind::kTaskFinished);
+  done.key = spec.key;
+  done.worker = id_;
+  done.sender_node = node_;
+  try {
+    if (spec.io) co_await spec.io();
+    co_await cpu_.serve(spec.cost);
+    Data out;
+    if (spec.fn) {
+      out = spec.fn(inputs);
+    } else {
+      out = Data::sized(spec.out_bytes);
+    }
+    done.bytes = out.bytes;
+    store_put(spec.key, std::move(out));
+    ++tasks_executed_;
+  } catch (const std::exception& e) {
+    done.erred = true;
+    done.error = e.what();
+  }
+  co_await notify_scheduler(std::move(done));
+}
+
+sim::Co<void> Worker::notify_scheduler(SchedMsg msg) {
+  DEISA_ASSERT(scheduler_inbox_ != nullptr, "worker not attached");
+  co_await cluster_->send_control(node_, scheduler_node_, wire_bytes(msg));
+  scheduler_inbox_->send(std::move(msg));
+}
+
+}  // namespace deisa::dts

@@ -1,0 +1,122 @@
+// Experiment harness: one entry point per workflow pipeline of the
+// paper's evaluation (post hoc with old/new IPCA, DEISA1/2/3), shared by
+// every figure bench. A scenario is fully described by ScenarioParams;
+// run_scenario() builds the simulated cluster, places the actors exactly
+// as §3.3.2 describes (scheduler on the first allocation node, client on
+// the second, workers next, simulation ranks last, two ranks per node),
+// drives the workflow to completion, and returns per-rank per-iteration
+// timings plus scheduler counters.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "deisa/core/contract.hpp"
+#include "deisa/dts/runtime.hpp"
+#include "deisa/io/pfs.hpp"
+#include "deisa/ml/insitu.hpp"
+#include "deisa/net/cluster.hpp"
+#include "deisa/util/stats.hpp"
+
+namespace deisa::harness {
+
+enum class Pipeline {
+  kPosthocOldIpca,  // DASK: write to PFS, read back, per-batch IPCA
+  kPosthocNewIpca,  // DASK: write to PFS, read back, single-graph IPCA
+  kDeisa1,          // HiPC'21 prototype: per-step scatter + queues + 5 s hb
+  kDeisa2,          // this paper, 60 s heartbeats
+  kDeisa3,          // this paper, heartbeats off
+};
+
+const char* to_string(Pipeline p);
+bool is_posthoc(Pipeline p);
+
+struct ScenarioParams {
+  // ---- workload geometry ----
+  int ranks = 4;
+  int ranks_per_node = 2;  // fixed to two in the paper's experiments
+  int workers = 2;
+  int workers_per_node = 1;
+  std::uint64_t block_bytes = 128ull * 1024 * 1024;  // per process
+  int timesteps = 10;
+  std::size_t n_components = 2;
+  /// Fraction of the Y dimension selected by the contract (1.0 = all).
+  double contract_fraction = 1.0;
+
+  // ---- machine calibration (defaults ≈ Irene skylake + its Lustre) ----
+  net::ClusterParams cluster = irene_cluster();
+  io::PfsParams pfs;
+  dts::SchedulerParams sched = paper_scheduler();
+  ml::AnalyticsCostModel analytics;
+  /// Effective stencil update rate of the solver (cells/s); chosen so a
+  /// 128 MiB block costs ≈ 2.4 s per iteration as in Figure 2a.
+  double sim_cell_rate = 7.0e6;
+  double worker_heartbeat_interval = 1.0;
+
+  /// Allocation seed: different submissions get different node placements
+  /// (the run-to-run variability axis of Figure 5).
+  std::uint64_t alloc_seed = 1;
+
+  /// Functional mode: move real Heat2D data through the whole pipeline
+  /// and run the real IPCA math (small problems only).
+  bool real_data = false;
+
+  /// Ablation: force per-step graph submission in DEISA2/3 (isolates the
+  /// ahead-of-time-graph contribution from the external-task transport).
+  bool force_per_step_analytics = false;
+
+  static net::ClusterParams irene_cluster();
+  static dts::SchedulerParams paper_scheduler();
+  /// Per-rank local block edge (square blocks of doubles).
+  std::int64_t local_edge() const;
+  /// Process grid (x fastest), roughly square.
+  std::pair<int, int> proc_grid() const;
+  /// The virtual array describing the produced temperature field.
+  core::VirtualArray virtual_array() const;
+  int nodes_needed() const;
+};
+
+struct RunResult {
+  Pipeline pipeline{};
+  /// Per-rank, per-iteration solver compute seconds.
+  std::vector<std::vector<double>> sim_compute;
+  /// Per-rank, per-iteration data-movement seconds (deisa send or PFS
+  /// write, depending on the pipeline).
+  std::vector<std::vector<double>> sim_io;
+  /// Analytics wall time (contract signed → final result in memory for
+  /// deisa; read start → final result for post hoc).
+  double analytics_seconds = 0.0;
+  /// End of the simulation phase (all ranks done).
+  double sim_end = 0.0;
+  double total_seconds = 0.0;
+
+  std::uint64_t scheduler_messages = 0;
+  std::map<std::string, std::uint64_t> scheduler_messages_by_kind;
+  std::uint64_t bridge_blocks_sent = 0;
+  std::uint64_t bridge_blocks_filtered = 0;
+  std::uint64_t network_bytes = 0;
+  /// Per-worker CPU busy seconds (observability/calibration).
+  std::vector<double> worker_busy_seconds;
+  std::vector<std::uint64_t> worker_tasks;
+  double scheduler_busy_seconds = 0.0;
+  std::uint64_t pfs_bytes_written = 0;
+  std::uint64_t pfs_bytes_read = 0;
+
+  // Functional-mode outputs (real_data only).
+  std::vector<double> singular_values;
+  std::vector<double> explained_variance;
+
+  /// Mean/stddev of per-iteration values over ranks and iterations,
+  /// skipping `skip_first` iterations (the paper drops the first post-hoc
+  /// iteration, dominated by file creation).
+  util::Summary iteration_summary(
+      const std::vector<std::vector<double>>& series, int skip_first = 0) const;
+  /// Per-rank mean and stddev over iterations (Figure 5 panels).
+  std::vector<std::pair<double, double>> per_rank_io() const;
+};
+
+/// Run one workflow end to end. Throws on any internal inconsistency.
+RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params);
+
+}  // namespace deisa::harness

@@ -1,0 +1,41 @@
+#include "deisa/io/pfs.hpp"
+
+namespace deisa::io {
+
+Pfs::Pfs(sim::Engine& engine, PfsParams params)
+    : engine_(&engine),
+      params_(params),
+      streams_(engine, static_cast<std::size_t>(std::max(1, params.streams))),
+      rng_(params.seed) {
+  DEISA_CHECK(params_.per_stream_bandwidth > 0, "PFS bandwidth must be > 0");
+}
+
+double Pfs::jitter() {
+  if (params_.jitter_sigma <= 0.0) return 1.0;
+  return rng_.lognormal_mean(1.0, params_.jitter_sigma);
+}
+
+sim::Co<void> Pfs::io_op(std::uint64_t bytes, double extra_latency) {
+  ++ops_;
+  co_await streams_.acquire();
+  const double duration =
+      (params_.metadata_latency + extra_latency +
+       static_cast<double>(bytes) / params_.per_stream_bandwidth) *
+      jitter();
+  co_await engine_->delay(duration);
+  streams_.release();
+}
+
+sim::Co<void> Pfs::write(const std::string& path, std::uint64_t bytes) {
+  double extra = 0.0;
+  if (created_.insert(path).second) extra = params_.file_create_cost;
+  bytes_written_ += bytes;
+  co_await io_op(bytes, extra);
+}
+
+sim::Co<void> Pfs::read(const std::string& /*path*/, std::uint64_t bytes) {
+  bytes_read_ += bytes;
+  co_await io_op(bytes, 0.0);
+}
+
+}  // namespace deisa::io

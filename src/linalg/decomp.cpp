@@ -1,0 +1,189 @@
+#include "deisa/linalg/decomp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "deisa/util/error.hpp"
+#include "deisa/util/rng.hpp"
+
+namespace deisa::linalg {
+
+QrResult qr_thin(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  DEISA_CHECK(m >= n, "qr_thin requires rows >= cols, got " << m << "x" << n);
+  Matrix r = a;  // reduced in place
+  // Householder vectors, stored per step.
+  std::vector<std::vector<double>> vs(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the reflector for column k below the diagonal.
+    std::vector<double> v(m - k);
+    for (std::size_t i = k; i < m; ++i) v[i - k] = r(i, k);
+    const double alpha = norm2(v);
+    if (alpha == 0.0) {
+      vs[k] = std::move(v);  // zero column: identity reflector
+      for (double& x : vs[k]) x = 0.0;
+      continue;
+    }
+    const double sign = v[0] >= 0.0 ? 1.0 : -1.0;
+    v[0] += sign * alpha;
+    const double vnorm = norm2(v);
+    if (vnorm > 0.0)
+      for (double& x : v) x /= vnorm;
+    // Apply H = I - 2 v v^T to the trailing block of R.
+    for (std::size_t j = k; j < n; ++j) {
+      double proj = 0.0;
+      for (std::size_t i = k; i < m; ++i) proj += v[i - k] * r(i, j);
+      proj *= 2.0;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= proj * v[i - k];
+    }
+    vs[k] = std::move(v);
+  }
+
+  // Q = H_0 H_1 ... H_{n-1} * [I_n; 0]  (thin).
+  Matrix q(m, n);
+  for (std::size_t j = 0; j < n; ++j) q(j, j) = 1.0;
+  for (std::size_t k = n; k-- > 0;) {
+    const auto& v = vs[k];
+    for (std::size_t j = 0; j < n; ++j) {
+      double proj = 0.0;
+      for (std::size_t i = k; i < m; ++i) proj += v[i - k] * q(i, j);
+      proj *= 2.0;
+      for (std::size_t i = k; i < m; ++i) q(i, j) -= proj * v[i - k];
+    }
+  }
+
+  // Zero the sub-diagonal noise of R and truncate to n x n.
+  Matrix r_out(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i <= j; ++i) r_out(i, j) = r(i, j);
+  return {std::move(q), std::move(r_out)};
+}
+
+namespace {
+
+/// One-sided Jacobi on an m x n matrix with m >= n: rotates column pairs
+/// until all are pairwise orthogonal. Returns U (m x n), s (n), V (n x n).
+SvdResult jacobi_tall(Matrix a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  DEISA_ASSERT(m >= n, "jacobi_tall requires m >= n");
+  Matrix v = Matrix::identity(n);
+
+  constexpr int kMaxSweeps = 64;
+  constexpr double kTol = 1e-14;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        auto ap = a.col(p);
+        auto aq = a.col(q);
+        const double alpha = dot(ap, ap);
+        const double beta = dot(aq, aq);
+        const double gamma = dot(ap, aq);
+        if (std::abs(gamma) <= kTol * std::sqrt(alpha * beta)) continue;
+        rotated = true;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double x = ap[i];
+          const double y = aq[i];
+          ap[i] = c * x - s * y;
+          aq[i] = s * x + c * y;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double x = v(i, p);
+          const double y = v(i, q);
+          v(i, p) = c * x - s * y;
+          v(i, q) = s * x + c * y;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Singular values are the column norms; normalize to get U.
+  std::vector<double> s(n);
+  Matrix u(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double nj = norm2(a.col(j));
+    s[j] = nj;
+    if (nj > 0.0)
+      for (std::size_t i = 0; i < m; ++i) u(i, j) = a(i, j) / nj;
+  }
+
+  // Sort by descending singular value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return s[x] > s[y]; });
+  SvdResult out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  out.s.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    out.s[j] = s[src];
+    for (std::size_t i = 0; i < m; ++i) out.u(i, j) = u(i, src);
+    for (std::size_t i = 0; i < n; ++i) out.v(i, j) = v(i, src);
+  }
+  return out;
+}
+
+}  // namespace
+
+SvdResult svd(const Matrix& a) {
+  DEISA_CHECK(!a.empty(), "svd of empty matrix");
+  if (a.rows() >= a.cols()) return jacobi_tall(a);
+  // A = U S V^T  <=>  A^T = V S U^T.
+  SvdResult t = jacobi_tall(a.transposed());
+  SvdResult out;
+  out.u = std::move(t.v);
+  out.v = std::move(t.u);
+  out.s = std::move(t.s);
+  return out;
+}
+
+SvdResult randomized_svd(const Matrix& a, std::size_t k, std::size_t oversample,
+                         std::size_t power_iters, std::uint64_t seed) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  DEISA_CHECK(k >= 1, "randomized_svd needs k >= 1");
+  const std::size_t rank_cap = std::min(m, n);
+  k = std::min(k, rank_cap);
+  const std::size_t p = std::min(k + oversample, rank_cap);
+
+  util::Rng rng(seed);
+  Matrix omega(n, p);
+  for (double& x : omega.data()) x = rng.normal();
+
+  Matrix q = qr_thin(matmul(a, omega)).q;  // m x p
+  for (std::size_t it = 0; it < power_iters; ++it) {
+    const Matrix z = qr_thin(matmul_tn(a, q)).q;  // n x p
+    q = qr_thin(matmul(a, z)).q;
+  }
+  const Matrix b = matmul_tn(q, a);  // p x n
+  SvdResult small = svd(b);
+  SvdResult out;
+  out.u = matmul(q, small.u.block(0, 0, p, std::min(k, small.u.cols())));
+  const std::size_t kk = std::min(k, small.s.size());
+  out.s.assign(small.s.begin(), small.s.begin() + static_cast<long>(kk));
+  out.v = small.v.block(0, 0, n, kk);
+  return out;
+}
+
+Matrix svd_reconstruct(const SvdResult& r) {
+  Matrix us = r.u;
+  for (std::size_t j = 0; j < us.cols(); ++j) {
+    auto cj = us.col(j);
+    for (double& x : cj) x *= r.s[j];
+  }
+  return matmul(us, r.v.transposed());
+}
+
+}  // namespace deisa::linalg

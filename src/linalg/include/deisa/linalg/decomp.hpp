@@ -1,0 +1,42 @@
+// Matrix decompositions: Householder QR, one-sided Jacobi SVD, and the
+// randomized truncated SVD of Halko et al. — the `svd_solver='randomized'`
+// path the paper's Listing 2 selects for the in situ incremental PCA.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "deisa/linalg/matrix.hpp"
+
+namespace deisa::linalg {
+
+struct QrResult {
+  Matrix q;  // m x n, orthonormal columns (thin)
+  Matrix r;  // n x n, upper triangular
+};
+
+/// Thin Householder QR of an m x n matrix with m >= n.
+QrResult qr_thin(const Matrix& a);
+
+struct SvdResult {
+  Matrix u;               // m x k, orthonormal columns
+  std::vector<double> s;  // k singular values, descending
+  Matrix v;               // n x k, orthonormal columns (A = U diag(s) V^T)
+};
+
+/// Full thin SVD by one-sided Jacobi (robust, O(mn^2) per sweep).
+/// Works for any m, n (internally transposes when m < n).
+SvdResult svd(const Matrix& a);
+
+/// Randomized truncated SVD: rank-k approximation with `oversample` extra
+/// probe vectors and `power_iters` subspace iterations (Halko, Martinsson,
+/// Tropp 2011). Deterministic for a fixed seed.
+SvdResult randomized_svd(const Matrix& a, std::size_t k,
+                         std::size_t oversample = 10,
+                         std::size_t power_iters = 2,
+                         std::uint64_t seed = 0x5eed);
+
+/// Reconstruct U * diag(s) * V^T (tests and error measures).
+Matrix svd_reconstruct(const SvdResult& r);
+
+}  // namespace deisa::linalg

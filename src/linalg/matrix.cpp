@@ -1,0 +1,158 @@
+#include "deisa/linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "deisa/util/error.hpp"
+
+namespace deisa::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  const std::size_t nr = rows.size();
+  DEISA_CHECK(nr > 0, "from_rows needs at least one row");
+  const std::size_t nc = rows.begin()->size();
+  Matrix m(nr, nc);
+  std::size_t i = 0;
+  for (const auto& r : rows) {
+    DEISA_CHECK(r.size() == nc, "ragged rows in from_rows");
+    std::size_t j = 0;
+    for (double v : r) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t j = 0; j < cols_; ++j)
+    for (std::size_t i = 0; i < rows_; ++i) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Matrix Matrix::vstack(const Matrix& below) const {
+  if (empty()) return below;
+  if (below.empty()) return *this;
+  DEISA_CHECK(cols_ == below.cols_, "vstack column mismatch: "
+                                        << cols_ << " vs " << below.cols_);
+  Matrix out(rows_ + below.rows_, cols_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    for (std::size_t i = 0; i < rows_; ++i) out(i, j) = (*this)(i, j);
+    for (std::size_t i = 0; i < below.rows_; ++i)
+      out(rows_ + i, j) = below(i, j);
+  }
+  return out;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  DEISA_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_,
+              "block out of range: (" << r0 << "," << c0 << ")+(" << nr << ","
+                                      << nc << ") in " << rows_ << "x"
+                                      << cols_);
+  Matrix out(nr, nc);
+  for (std::size_t j = 0; j < nc; ++j)
+    for (std::size_t i = 0; i < nr; ++i) out(i, j) = (*this)(r0 + i, c0 + j);
+  return out;
+}
+
+std::vector<double> Matrix::row(std::size_t i) const {
+  std::vector<double> out(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) out[j] = (*this)(i, j);
+  return out;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  DEISA_CHECK(a.cols() == b.rows(), "matmul shape mismatch: "
+                                        << a.rows() << "x" << a.cols() << " * "
+                                        << b.rows() << "x" << b.cols());
+  Matrix c(a.rows(), b.cols());
+  // j-k-i loop order: streams through columns of A (column-major friendly).
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    auto cj = c.col(j);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double bkj = b(k, j);
+      if (bkj == 0.0) continue;
+      const auto ak = a.col(k);
+      for (std::size_t i = 0; i < a.rows(); ++i) cj[i] += ak[i] * bkj;
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  DEISA_CHECK(a.rows() == b.rows(), "matmul_tn shape mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    const auto bj = b.col(j);
+    for (std::size_t i = 0; i < a.cols(); ++i)
+      c(i, j) = dot(a.col(i), bj);
+  }
+  return c;
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  DEISA_CHECK(a.cols() == x.size(), "matvec shape mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    const auto aj = a.col(j);
+    const double xj = x[j];
+    for (std::size_t i = 0; i < a.rows(); ++i) y[i] += aj[i] * xj;
+  }
+  return y;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  DEISA_CHECK(a.same_shape(b), "matrix addition shape mismatch");
+  Matrix c = a;
+  auto cd = c.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] += bd[i];
+  return c;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  DEISA_CHECK(a.same_shape(b), "matrix subtraction shape mismatch");
+  Matrix c = a;
+  auto cd = c.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] -= bd[i];
+  return c;
+}
+
+Matrix operator*(double s, const Matrix& a) {
+  Matrix c = a;
+  for (double& v : c.data()) v *= s;
+  return c;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  DEISA_CHECK(a.size() == b.size(), "dot length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+double frobenius(const Matrix& a) { return norm2(a.data()); }
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  DEISA_CHECK(a.same_shape(b), "max_abs_diff shape mismatch");
+  double m = 0.0;
+  auto ad = a.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < ad.size(); ++i)
+    m = std::max(m, std::abs(ad[i] - bd[i]));
+  return m;
+}
+
+}  // namespace deisa::linalg

@@ -1,0 +1,164 @@
+#include "deisa/ml/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "deisa/util/error.hpp"
+
+namespace deisa::ml {
+
+namespace arr = array;
+
+double FieldStats::stddev() const { return std::sqrt(variance()); }
+
+FieldStats FieldStats::of(std::span<const double> samples, std::size_t bins,
+                          double lo, double hi) {
+  DEISA_CHECK(bins >= 1, "histogram needs at least one bin");
+  DEISA_CHECK(hi > lo, "histogram range must be non-empty");
+  FieldStats s;
+  s.histogram.assign(bins, 0);
+  s.hist_lo = lo;
+  s.hist_hi = hi;
+  if (samples.empty()) return s;
+  s.min = s.max = samples[0];
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : samples) {
+    ++s.count;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    const double delta = x - s.mean;
+    s.mean += delta / static_cast<double>(s.count);
+    s.m2 += delta * (x - s.mean);
+    auto bin = static_cast<std::int64_t>((x - lo) / width);
+    bin = std::clamp<std::int64_t>(bin, 0,
+                                   static_cast<std::int64_t>(bins) - 1);
+    ++s.histogram[static_cast<std::size_t>(bin)];
+  }
+  return s;
+}
+
+FieldStats FieldStats::merged(const FieldStats& a, const FieldStats& b) {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  DEISA_CHECK(a.histogram.size() == b.histogram.size() &&
+                  a.hist_lo == b.hist_lo && a.hist_hi == b.hist_hi,
+              "cannot merge statistics with different histogram layouts");
+  FieldStats out;
+  out.count = a.count + b.count;
+  out.min = std::min(a.min, b.min);
+  out.max = std::max(a.max, b.max);
+  const double na = static_cast<double>(a.count);
+  const double nb = static_cast<double>(b.count);
+  const double delta = b.mean - a.mean;
+  out.mean = a.mean + delta * nb / (na + nb);
+  out.m2 = a.m2 + b.m2 + delta * delta * na * nb / (na + nb);
+  out.hist_lo = a.hist_lo;
+  out.hist_hi = a.hist_hi;
+  out.histogram.resize(a.histogram.size());
+  for (std::size_t i = 0; i < out.histogram.size(); ++i)
+    out.histogram[i] = a.histogram[i] + b.histogram[i];
+  return out;
+}
+
+InSituFieldMonitor::InSituFieldMonitor(dts::Client& client,
+                                       MonitorOptions opts)
+    : client_(&client), opts_(std::move(opts)) {}
+
+namespace {
+
+dts::TaskFn make_chunk_stats_fn(MonitorOptions opts,
+                                std::uint64_t out_bytes_hint) {
+  return [opts, out_bytes_hint](const std::vector<dts::Data>& in) {
+    if (!in[0].has_value()) return dts::Data::sized(out_bytes_hint);
+    const auto& chunk = in[0].as<arr::NDArray>();
+    FieldStats s =
+        FieldStats::of(chunk.flat(), opts.bins, opts.hist_lo, opts.hist_hi);
+    const std::uint64_t b = s.bytes();
+    return dts::Data::make<FieldStats>(std::move(s), b);
+  };
+}
+
+dts::TaskFn make_merge_fn(std::uint64_t out_bytes_hint) {
+  return [out_bytes_hint](const std::vector<dts::Data>& in) {
+    if (!in[0].has_value()) return dts::Data::sized(out_bytes_hint);
+    FieldStats acc = in[0].as<FieldStats>();
+    for (std::size_t i = 1; i < in.size(); ++i)
+      acc = FieldStats::merged(acc, in[i].as<FieldStats>());
+    const std::uint64_t b = acc.bytes();
+    return dts::Data::make<FieldStats>(std::move(acc), b);
+  };
+}
+
+}  // namespace
+
+sim::Co<MonitorFit> InSituFieldMonitor::submit(ChunkProvider& provider) {
+  const arr::ChunkGrid& grid = provider.grid();
+  DEISA_CHECK(grid.chunk_shape()[0] == 1,
+              "time dimension must be chunked per timestep");
+  const std::int64_t steps = grid.chunks_in(0);
+  const std::uint64_t stats_bytes =
+      sizeof(FieldStats) + opts_.bins * sizeof(std::uint64_t);
+
+  MonitorFit fit;
+  std::vector<dts::TaskSpec> tasks;
+  for (std::int64_t t = 0; t < steps; ++t) {
+    std::vector<dts::Key> chunk_keys = provider.chunks(0, t, tasks);
+    arr::Box slab;
+    slab.lo.assign(grid.ndim(), 0);
+    slab.hi = grid.shape();
+    slab.lo[0] = t;
+    slab.hi[0] = t + 1;
+    const auto coords = grid.chunks_overlapping(slab);
+
+    // Leaf level: one data-local stats task per chunk.
+    std::vector<dts::Key> level;
+    for (std::size_t i = 0; i < chunk_keys.size(); ++i) {
+      const std::uint64_t elems =
+          static_cast<std::uint64_t>(grid.box_of(coords[i]).volume());
+      dts::Key key = opts_.name + "/leaf/t" + std::to_string(t) + "/c" +
+                     std::to_string(i);
+      tasks.emplace_back(key, std::vector<dts::Key>{chunk_keys[i]},
+                         make_chunk_stats_fn(opts_, stats_bytes),
+                         static_cast<double>(elems * sizeof(double)) /
+                             opts_.scan_bytes_rate,
+                         stats_bytes);
+      level.push_back(std::move(key));
+    }
+    // Pairwise merge tree (log depth).
+    int round = 0;
+    while (level.size() > 1) {
+      std::vector<dts::Key> next;
+      for (std::size_t i = 0; i < level.size(); i += 2) {
+        if (i + 1 == level.size()) {
+          next.push_back(level[i]);
+          break;
+        }
+        dts::Key key = opts_.name + "/merge/t" + std::to_string(t) + "/r" +
+                       std::to_string(round) + "/" + std::to_string(i / 2);
+        std::vector<dts::Key> deps;
+        deps.push_back(level[i]);
+        deps.push_back(level[i + 1]);
+        tasks.emplace_back(key, std::move(deps), make_merge_fn(stats_bytes),
+                           1e-6, stats_bytes);
+        next.push_back(std::move(key));
+      }
+      level = std::move(next);
+      ++round;
+    }
+    fit.step_keys.push_back(level.front());
+  }
+  co_await client_->submit(std::move(tasks), fit.step_keys);
+  co_return fit;
+}
+
+sim::Co<std::vector<FieldStats>> InSituFieldMonitor::collect(
+    const MonitorFit& fit) {
+  std::vector<FieldStats> out;
+  for (const dts::Key& key : fit.step_keys) {
+    const dts::Data d = co_await client_->gather(key);
+    out.push_back(d.as<FieldStats>());
+  }
+  co_return out;
+}
+
+}  // namespace deisa::ml

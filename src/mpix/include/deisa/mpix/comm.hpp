@@ -1,0 +1,139 @@
+// Mini-MPI over the discrete-event cluster: ranks are coroutines, point-
+// to-point messages match on (source, tag) with wildcards, and the
+// collectives used by the Heat2D miniapp and the DEISA bridges (barrier,
+// bcast, reduce, allreduce, gather) are built from point-to-point
+// messages over binomial trees — so their cost scales with log2(P) and
+// with the switch distance of the allocation, as on a real machine.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
+#include "deisa/sim/primitives.hpp"
+
+namespace deisa::mpix {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+// NOTE: Message is deliberately NOT an aggregate. GCC 12 miscompiles
+// by-value aggregate prvalue arguments to co_awaited coroutines (the
+// materialized temporary and the coroutine-frame parameter copy end up
+// sharing non-trivial members, causing use-after-free). A user-provided
+// constructor forces the correct copy/move path. Do not remove it.
+struct Message {
+  Message() = default;
+  Message(int source_, int tag_, std::uint64_t bytes_, std::any payload_ = {})
+      : source(source_),
+        tag(tag_),
+        bytes(bytes_),
+        payload(std::move(payload_)) {}
+
+  int source = 0;
+  int tag = 0;
+  std::uint64_t bytes = 0;
+  std::any payload;  // empty in synthetic (size-only) mode
+
+  template <typename T>
+  const T& as() const {
+    const T* p = std::any_cast<T>(&payload);
+    DEISA_CHECK(p != nullptr, "message payload type mismatch (tag=" << tag
+                                                                    << ")");
+    return *p;
+  }
+};
+
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// Communicator over a set of ranks placed on cluster nodes.
+class Comm {
+public:
+  /// `rank_to_node[r]` is the physical cluster node hosting rank r.
+  Comm(net::Cluster& cluster, std::vector<int> rank_to_node);
+
+  int size() const { return static_cast<int>(rank_to_node_.size()); }
+  int node_of(int rank) const;
+  sim::Engine& engine() { return cluster_->engine(); }
+  net::Cluster& cluster() { return *cluster_; }
+
+  /// Blocking (rendezvous-free, eager) send: completes when the payload
+  /// has fully landed in the destination mailbox.
+  sim::Co<void> send(int from, int to, int tag, Message msg);
+
+  template <typename T>
+  sim::Co<void> send_value(int from, int to, int tag, T value,
+                           std::uint64_t bytes = 0) {
+    Message m;
+    m.tag = tag;
+    m.bytes = bytes != 0 ? bytes : sizeof(T);
+    m.payload = std::move(value);
+    return send(from, to, tag, std::move(m));
+  }
+
+  /// Blocking receive matching (source, tag); wildcards allowed.
+  sim::Co<Message> recv(int rank, int source = kAnySource, int tag = kAnyTag);
+
+  // ---- collectives (every rank of the comm must call, in order) ----
+  sim::Co<void> barrier(int rank);
+  /// Broadcast `bytes` of payload from root over a binomial tree; the
+  /// returned message carries root's payload on every rank.
+  sim::Co<Message> bcast(int rank, int root, Message msg);
+  /// Element-wise reduce of a vector<double> to root (binomial tree).
+  sim::Co<std::vector<double>> reduce(int rank, int root,
+                                      std::vector<double> local, ReduceOp op);
+  sim::Co<std::vector<double>> allreduce(int rank, std::vector<double> local,
+                                         ReduceOp op);
+  /// Gather per-rank payloads to root; result (root only) is indexed by
+  /// rank, other ranks receive an empty vector.
+  sim::Co<std::vector<Message>> gather(int rank, int root, Message msg);
+  /// Every rank receives every rank's contribution, indexed by rank.
+  sim::Co<std::vector<std::vector<double>>> allgather(
+      int rank, std::vector<double> local);
+  /// Root distributes one payload per rank; returns this rank's share.
+  sim::Co<Message> scatter_from(int rank, int root,
+                                std::vector<Message> parts);
+  /// Personalized all-to-all exchange of vector<double> payloads:
+  /// `outgoing[r]` goes to rank r; the result holds what each rank sent
+  /// to this one, indexed by source rank.
+  sim::Co<std::vector<std::vector<double>>> alltoall(
+      int rank, std::vector<std::vector<double>> outgoing);
+
+private:
+  struct Waiter {
+    int source;
+    int tag;
+    std::coroutine_handle<> handle;
+    Message result;
+    bool delivered = false;
+  };
+
+  struct Mailbox {
+    std::deque<Message> pending;
+    std::list<Waiter*> waiters;
+  };
+
+  static bool matches(const Waiter& w, const Message& m) {
+    return (w.source == kAnySource || w.source == m.source) &&
+           (w.tag == kAnyTag || w.tag == m.tag);
+  }
+
+  void deliver(int to, Message msg);
+  int next_collective_tag(int rank, int op_id);
+
+
+  net::Cluster* cluster_;
+  std::vector<int> rank_to_node_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<std::uint32_t> collective_seq_;
+
+  friend struct RecvAwaiter;
+};
+
+}  // namespace deisa::mpix

@@ -1,0 +1,128 @@
+// Deterministic single-threaded discrete-event engine.
+//
+// Events are (time, sequence) ordered, so two events at the same simulated
+// time fire in scheduling order — the whole system is a pure function of
+// its seeds, which is what makes the paper's Figure 5 variability study
+// reproducible (same node allocation ⇒ same per-rank pattern).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "deisa/sim/co.hpp"
+
+namespace deisa::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+class Engine;
+
+namespace detail {
+
+/// Fire-and-forget root coroutine: self-registers with the engine so
+/// that frames suspended at teardown are destroyed deterministically.
+struct Detached {
+  struct promise_type {
+    Engine* engine = nullptr;
+
+    Detached get_return_object() {
+      return Detached{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    struct Final {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) const noexcept;
+      void await_resume() const noexcept {}
+    };
+    Final final_suspend() const noexcept { return {}; }
+    void return_void() const noexcept {}
+    void unhandled_exception();
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+}  // namespace detail
+
+class Engine {
+public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  Time now() const { return now_; }
+
+  /// Schedule `h` to resume at absolute time `t` (>= now).
+  void schedule(std::coroutine_handle<> h, Time t);
+  /// Schedule a plain callback at absolute time `t`.
+  void schedule_callback(std::function<void()> fn, Time t);
+
+  /// Launch a root actor. It starts at the current simulated time.
+  void spawn(Co<void> co);
+
+  /// Awaitable: resume after `dt` simulated seconds (dt >= 0).
+  auto delay(Time dt) {
+    struct Awaiter {
+      Engine& engine;
+      Time dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        engine.schedule(h, engine.now() + dt);
+      }
+      void await_resume() const noexcept {}
+    };
+    DEISA_CHECK(dt >= 0.0, "cannot delay a negative duration: " << dt);
+    return Awaiter{*this, dt};
+  }
+
+  /// Run until the event queue drains (or stop() is called).
+  /// Rethrows the first exception escaping any root actor.
+  void run();
+  /// Run until simulated time reaches `t_end` (events at exactly t_end
+  /// are processed). Returns true if the queue drained before t_end.
+  bool run_until(Time t_end);
+  /// Request the run loop to return after the current event.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t live_roots() const { return roots_.size(); }
+
+private:
+  friend struct detail::Detached::promise_type;
+
+  struct Scheduled {
+    Time time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    std::function<void()> callback;  // used when handle is null
+    bool operator>(const Scheduled& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void dispatch(Scheduled& ev);
+  void register_root(std::coroutine_handle<> h) { roots_.insert(h.address()); }
+  void unregister_root(std::coroutine_handle<> h) { roots_.erase(h.address()); }
+  void report_error(std::exception_ptr e);
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
+      queue_;
+  std::unordered_set<void*> roots_;
+  std::exception_ptr first_error_;
+};
+
+/// Await the completion of several Co<void> tasks running concurrently.
+Co<void> when_all(Engine& engine, std::vector<Co<void>> tasks);
+
+}  // namespace deisa::sim

@@ -1,0 +1,16 @@
+#include "deisa/util/error.hpp"
+
+namespace deisa::util::detail {
+
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const std::string& msg,
+                                      std::source_location loc) {
+  std::ostringstream oss;
+  oss << loc.file_name() << ':' << loc.line() << ": " << kind << " failed: `"
+      << expr << "`";
+  if (!msg.empty()) oss << " — " << msg;
+  if (std::string_view(kind) == "assert") throw LogicError(oss.str());
+  throw Error(oss.str());
+}
+
+}  // namespace deisa::util::detail

@@ -1,0 +1,66 @@
+// Error handling primitives shared by every deisa-cpp module.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace deisa::util {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when user-supplied configuration is invalid.
+class ConfigError : public Error {
+public:
+  using Error::Error;
+};
+
+/// Thrown when an internal invariant is violated (a library bug).
+class LogicError : public Error {
+public:
+  using Error::Error;
+};
+
+/// Thrown when a contract between simulation and analytics is violated
+/// (selection out of bounds, array not offered by the simulation, ...).
+class ContractError : public Error {
+public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const std::string& msg,
+                                      std::source_location loc);
+}  // namespace detail
+
+}  // namespace deisa::util
+
+/// Validate an externally-caused condition; throws deisa::util::Error.
+#define DEISA_CHECK(expr, msg)                                               \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream deisa_check_oss_;                                   \
+      deisa_check_oss_ << msg; /* NOLINT */                                  \
+      ::deisa::util::detail::throw_check_failure(                            \
+          "check", #expr, deisa_check_oss_.str(),                            \
+          std::source_location::current());                                  \
+    }                                                                        \
+  } while (false)
+
+/// Validate an internal invariant; throws deisa::util::LogicError.
+#define DEISA_ASSERT(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream deisa_check_oss_;                                   \
+      deisa_check_oss_ << msg; /* NOLINT */                                  \
+      ::deisa::util::detail::throw_check_failure(                            \
+          "assert", #expr, deisa_check_oss_.str(),                           \
+          std::source_location::current());                                  \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,55 @@
+// Minimal leveled logger. Single-threaded by design: all deisa-cpp actors
+// run on one deterministic event loop, so no locking is needed.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace deisa::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global logger configuration and sink.
+class Log {
+public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel lvl) { level_ = lvl; }
+
+  /// Redirect output (used by tests to capture messages). The sink
+  /// receives fully-formatted lines without a trailing newline.
+  static void set_sink(std::function<void(LogLevel, const std::string&)> sink);
+  static void reset_sink();
+
+  static bool enabled(LogLevel lvl) { return lvl >= level_; }
+  static void write(LogLevel lvl, const std::string& component,
+                    const std::string& message);
+
+private:
+  static LogLevel level_;
+  static std::function<void(LogLevel, const std::string&)> sink_;
+};
+
+const char* to_string(LogLevel lvl);
+
+}  // namespace deisa::util
+
+#define DEISA_LOG(lvl, component, msg)                                  \
+  do {                                                                  \
+    if (::deisa::util::Log::enabled(lvl)) {                             \
+      std::ostringstream deisa_log_oss_;                                \
+      deisa_log_oss_ << msg; /* NOLINT */                               \
+      ::deisa::util::Log::write(lvl, component, deisa_log_oss_.str());  \
+    }                                                                   \
+  } while (false)
+
+#define DEISA_TRACE(component, msg) \
+  DEISA_LOG(::deisa::util::LogLevel::kTrace, component, msg)
+#define DEISA_DEBUG(component, msg) \
+  DEISA_LOG(::deisa::util::LogLevel::kDebug, component, msg)
+#define DEISA_INFO(component, msg) \
+  DEISA_LOG(::deisa::util::LogLevel::kInfo, component, msg)
+#define DEISA_WARN(component, msg) \
+  DEISA_LOG(::deisa::util::LogLevel::kWarn, component, msg)
+#define DEISA_ERROR(component, msg) \
+  DEISA_LOG(::deisa::util::LogLevel::kError, component, msg)

@@ -1,0 +1,51 @@
+// Streaming and batch statistics used by the experiment harness to report
+// per-iteration means and standard deviations exactly as the paper's
+// figures do (mean line + stddev error band).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace deisa::util {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary over a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+};
+
+Summary summarize(const std::vector<double>& samples);
+
+/// Linear-interpolation percentile, q in [0, 1]. Sorts a copy.
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace deisa::util

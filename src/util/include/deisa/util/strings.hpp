@@ -1,0 +1,15 @@
+// Small string helpers shared by the config parser and key naming scheme.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deisa::util {
+
+std::vector<std::string> split(std::string_view s, char sep);
+std::string_view trim(std::string_view s);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace deisa::util

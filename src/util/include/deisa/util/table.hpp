@@ -1,0 +1,30 @@
+// ASCII table printing for the benchmark harness — every figure bench
+// prints its series as aligned rows so paper-vs-measured comparison is
+// readable straight from the terminal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deisa::util {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deisa::util

@@ -1,0 +1,39 @@
+#include "deisa/util/log.hpp"
+
+#include <iostream>
+
+namespace deisa::util {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+std::function<void(LogLevel, const std::string&)> Log::sink_;
+
+const char* to_string(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Log::set_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  sink_ = std::move(sink);
+}
+
+void Log::reset_sink() { sink_ = nullptr; }
+
+void Log::write(LogLevel lvl, const std::string& component,
+                const std::string& message) {
+  std::string line = std::string("[") + to_string(lvl) + "] " + component +
+                     ": " + message;
+  if (sink_) {
+    sink_(lvl, line);
+  } else {
+    std::cerr << line << '\n';
+  }
+}
+
+}  // namespace deisa::util

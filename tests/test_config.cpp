@@ -1,0 +1,254 @@
+// Tests for the mini-YAML parser and the $-expression evaluator,
+// including a full parse of the paper's Listing 1 configuration.
+#include <gtest/gtest.h>
+
+#include "deisa/config/expr.hpp"
+#include "deisa/config/node.hpp"
+#include "deisa/config/yaml.hpp"
+#include "deisa/util/error.hpp"
+
+namespace cfg = deisa::config;
+using deisa::util::ConfigError;
+
+namespace {
+
+TEST(Yaml, ScalarKinds) {
+  const auto n = cfg::parse_yaml(R"(
+int_v: 42
+float_v: 3.5
+bool_t: true
+bool_f: false
+null_v: ~
+str_v: hello world
+quoted: 'a: b # not comment'
+)");
+  EXPECT_EQ(n.at("int_v").as_int(), 42);
+  EXPECT_DOUBLE_EQ(n.at("float_v").as_double(), 3.5);
+  EXPECT_TRUE(n.at("bool_t").as_bool());
+  EXPECT_FALSE(n.at("bool_f").as_bool());
+  EXPECT_TRUE(n.at("null_v").is_null());
+  EXPECT_EQ(n.at("str_v").as_string(), "hello world");
+  EXPECT_EQ(n.at("quoted").as_string(), "a: b # not comment");
+}
+
+TEST(Yaml, NestedMaps) {
+  const auto n = cfg::parse_yaml(R"(
+a:
+  b:
+    c: 1
+  d: 2
+e: 3
+)");
+  EXPECT_EQ(n.at("a").at("b").at("c").as_int(), 1);
+  EXPECT_EQ(n.at("a").at("d").as_int(), 2);
+  EXPECT_EQ(n.at("e").as_int(), 3);
+}
+
+TEST(Yaml, BlockSequences) {
+  const auto n = cfg::parse_yaml(R"(
+sizes:
+  - 1
+  - '$x'
+  - 3.5
+)");
+  const auto& s = n.at("sizes").as_seq();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].as_int(), 1);
+  EXPECT_EQ(s[1].as_string(), "$x");
+  EXPECT_DOUBLE_EQ(s[2].as_double(), 3.5);
+}
+
+TEST(Yaml, FlowCollections) {
+  const auto n = cfg::parse_yaml(
+      "metadata: { step: int, cfg: config_t, rank: int }\n"
+      "dims: [2, 4, 8]\n");
+  EXPECT_EQ(n.at("metadata").at("step").as_string(), "int");
+  EXPECT_EQ(n.at("metadata").at("rank").as_string(), "int");
+  const auto& dims = n.at("dims").as_seq();
+  ASSERT_EQ(dims.size(), 3u);
+  EXPECT_EQ(dims[2].as_int(), 8);
+}
+
+TEST(Yaml, CommentsStripped) {
+  const auto n = cfg::parse_yaml(R"(
+a: 1  # trailing comment
+# full line comment
+b: 2
+)");
+  EXPECT_EQ(n.at("a").as_int(), 1);
+  EXPECT_EQ(n.at("b").as_int(), 2);
+}
+
+TEST(Yaml, SequenceOfMaps) {
+  const auto n = cfg::parse_yaml(R"(
+items:
+  - name: x
+    size: 1
+  - name: y
+    size: 2
+)");
+  const auto& items = n.at("items").as_seq();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].at("name").as_string(), "x");
+  EXPECT_EQ(items[1].at("size").as_int(), 2);
+}
+
+TEST(Yaml, Listing1FromPaperParses) {
+  // Faithful transcription of the paper's Listing 1.
+  const auto n = cfg::parse_yaml(R"(
+metadata: { step: int, cfg: config_t, rank: int }
+data:
+  temp: # the main temperature field
+    type: array
+    subtype: double
+    size: [ '$cfg.loc[0]', '$cfg.loc[1]' ]
+plugins:
+  mpi: # get MPI rank and size
+  PdiPluginDeisa:
+    scheduler_info: scheduler.json
+    init_on: init
+    time_step: $step
+    deisa_arrays: # Deisa Virtual arrays
+      G_temp: # Field name
+        type: array
+        subtype: double
+        size:
+          - '$cfg.maxTimeStep'
+          - '$cfg.loc[0] * $cfg.proc[0]'
+          - '$cfg.loc[1] * $cfg.proc[1]'
+        subsize: # Chunk size
+          - 1
+          - '$cfg.loc[0]'
+          - '$cfg.loc[1]'
+        start: # Chunk start
+          - $step
+          - '$cfg.loc[0] * ($rank % $cfg.proc[0])'
+          - '$cfg.loc[1] * ($rank / $cfg.proc[0])'
+        timedim: 0 # A tag for the time dimension
+    map_in: # Deisa array mapping
+      temp: G_temp
+)");
+  const auto& plugin = n.at("plugins").at("PdiPluginDeisa");
+  EXPECT_EQ(plugin.at("scheduler_info").as_string(), "scheduler.json");
+  EXPECT_EQ(plugin.at("time_step").as_string(), "$step");
+  const auto& gtemp = plugin.at("deisa_arrays").at("G_temp");
+  EXPECT_EQ(gtemp.at("subtype").as_string(), "double");
+  EXPECT_EQ(gtemp.at("timedim").as_int(), 0);
+  EXPECT_EQ(gtemp.at("size").size(), 3u);
+  EXPECT_EQ(plugin.at("map_in").at("temp").as_string(), "G_temp");
+  EXPECT_TRUE(n.at("plugins").at("mpi").is_null());
+}
+
+TEST(Yaml, TabIndentRejected) {
+  EXPECT_THROW(cfg::parse_yaml("a:\n\tb: 1\n"), ConfigError);
+}
+
+TEST(Yaml, MissingKeyThrowsWithName) {
+  const auto n = cfg::parse_yaml("a: 1\n");
+  try {
+    (void)n.at("missing");
+    FAIL();
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos);
+  }
+}
+
+TEST(Yaml, DefaultsHelpers) {
+  const auto n = cfg::parse_yaml("a: 1\nname: x\n");
+  EXPECT_EQ(n.get_int("a", 9), 1);
+  EXPECT_EQ(n.get_int("zzz", 9), 9);
+  EXPECT_EQ(n.get_string("name", "d"), "x");
+  EXPECT_EQ(n.get_string("zzz", "d"), "d");
+  EXPECT_TRUE(n.get_bool("zzz", true));
+}
+
+cfg::Env listing1_env(std::int64_t rank) {
+  cfg::Env env;
+  std::map<std::string, cfg::Value> c;
+  c.emplace("loc", cfg::Value{std::vector<cfg::Value>{
+                       cfg::Value{std::int64_t{100}},
+                       cfg::Value{std::int64_t{200}}}});
+  c.emplace("proc", cfg::Value{std::vector<cfg::Value>{
+                        cfg::Value{std::int64_t{4}},
+                        cfg::Value{std::int64_t{2}}}});
+  c.emplace("maxTimeStep", cfg::Value{std::int64_t{10}});
+  env.set("cfg", cfg::Value{std::move(c)});
+  env.set("rank", cfg::Value{rank});
+  env.set("step", cfg::Value{std::int64_t{3}});
+  return env;
+}
+
+TEST(Expr, ArithmeticAndPrecedence) {
+  cfg::Env env;
+  EXPECT_EQ(cfg::eval_int("1 + 2 * 3", env), 7);
+  EXPECT_EQ(cfg::eval_int("(1 + 2) * 3", env), 9);
+  EXPECT_EQ(cfg::eval_int("7 % 4", env), 3);
+  EXPECT_EQ(cfg::eval_int("8 / 2 - 1", env), 3);
+  EXPECT_EQ(cfg::eval_int("-4 + 10", env), 6);
+}
+
+TEST(Expr, Listing1Expressions) {
+  const auto env = listing1_env(/*rank=*/6);
+  // rank 6 in a 4x2 grid -> position (6 % 4, 6 / 4) = (2, 1)
+  EXPECT_EQ(cfg::eval_int("$cfg.loc[0] * ($rank % $cfg.proc[0])", env), 200);
+  EXPECT_EQ(cfg::eval_int("$cfg.loc[1] * ($rank / $cfg.proc[0])", env), 200);
+  EXPECT_EQ(cfg::eval_int("$cfg.maxTimeStep", env), 10);
+  EXPECT_EQ(cfg::eval_int("$step", env), 3);
+  EXPECT_EQ(cfg::eval_int("$cfg.loc[0] * $cfg.proc[0]", env), 400);
+}
+
+TEST(Expr, BracedReference) {
+  auto env = listing1_env(0);
+  EXPECT_EQ(cfg::eval_int("${step} + 1", env), 4);
+}
+
+TEST(Expr, PlainStringsPassThrough) {
+  cfg::Env env;
+  const auto v = cfg::eval_expr("hello", env);
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "hello");
+}
+
+TEST(Expr, UndefinedVariableThrows) {
+  cfg::Env env;
+  EXPECT_THROW(cfg::eval_int("$nope", env), ConfigError);
+}
+
+TEST(Expr, IndexOutOfRangeThrows) {
+  const auto env = listing1_env(0);
+  EXPECT_THROW(cfg::eval_int("$cfg.loc[5]", env), ConfigError);
+}
+
+TEST(Expr, DivisionByZeroThrows) {
+  cfg::Env env;
+  EXPECT_THROW(cfg::eval_int("1 / 0", env), ConfigError);
+  EXPECT_THROW(cfg::eval_int("1 % 0", env), ConfigError);
+}
+
+TEST(Expr, FloatArithmetic) {
+  cfg::Env env;
+  const auto v = cfg::eval_expr("1.5 * 4", env);
+  EXPECT_TRUE(v.is_float());
+  EXPECT_DOUBLE_EQ(v.as_double(), 6.0);
+}
+
+TEST(Expr, ToValueRoundTripsNodeTree) {
+  const auto n = cfg::parse_yaml(R"(
+loc: [100, 200]
+proc: [4, 2]
+maxTimeStep: 10
+)");
+  const auto v = cfg::to_value(n);
+  cfg::Env env;
+  env.set("cfg", v);
+  EXPECT_EQ(cfg::eval_int("$cfg.loc[1] + $cfg.proc[0]", env), 204);
+}
+
+TEST(Expr, EvalIntOnNodes) {
+  const auto env = listing1_env(1);
+  EXPECT_EQ(cfg::eval_node_int(cfg::Node{std::int64_t{5}}, env), 5);
+  EXPECT_EQ(cfg::eval_node_int(cfg::Node{"$rank + 1"}, env), 2);
+  EXPECT_THROW(cfg::eval_node_int(cfg::Node{cfg::Seq{}}, env), ConfigError);
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+// Tests for the paper's core contribution layer: virtual arrays (incl.
+// Listing-1 config parsing), contracts, bridge/adaptor protocol in all
+// three DEISA modes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "deisa/config/yaml.hpp"
+#include "deisa/core/adaptor.hpp"
+#include "deisa/core/bridge.hpp"
+#include "deisa/dts/runtime.hpp"
+
+namespace arr = deisa::array;
+namespace cfg = deisa::config;
+namespace core = deisa::core;
+namespace dts = deisa::dts;
+namespace net = deisa::net;
+namespace sim = deisa::sim;
+using deisa::util::ContractError;
+
+namespace {
+
+template <typename... T>
+arr::Index ix(T... v) {
+  arr::Index i;
+  (i.push_back(static_cast<std::int64_t>(v)), ...);
+  return i;
+}
+
+core::VirtualArray temp_array(std::int64_t steps = 4) {
+  return core::VirtualArray("G_temp", ix(steps, 8, 16), ix(1, 4, 4));
+}
+
+TEST(VirtualArray, GridAndSizes) {
+  const auto va = temp_array();
+  EXPECT_EQ(va.grid().num_chunks(), 4 * 2 * 4);
+  EXPECT_EQ(va.block_bytes(), 4u * 4u * 8u);
+  EXPECT_EQ(va.step_bytes(), 8u * 16u * 8u);
+}
+
+TEST(VirtualArray, ValidationRejectsBadShapes) {
+  EXPECT_THROW(core::VirtualArray("a", ix(4, 8), ix(1, 3)),
+               deisa::util::Error);  // 8 % 3 != 0
+  EXPECT_THROW(core::VirtualArray("a", ix(4, 8), ix(2, 4)),
+               deisa::util::Error);  // time block must be 1
+  EXPECT_THROW(core::VirtualArray("", ix(4, 8), ix(1, 4)),
+               deisa::util::Error);  // unnamed
+}
+
+TEST(VirtualArray, FromConfigEvaluatesExpressions) {
+  const auto node = cfg::parse_yaml(R"(
+size: ['$cfg.maxTimeStep', '$cfg.loc[0] * $cfg.proc[0]', '$cfg.loc[1] * $cfg.proc[1]']
+subsize: [1, '$cfg.loc[0]', '$cfg.loc[1]']
+timedim: 0
+)");
+  cfg::Env env;
+  std::map<std::string, cfg::Value> c;
+  c.emplace("loc", cfg::Value{std::vector<cfg::Value>{
+                       cfg::Value{std::int64_t{4}},
+                       cfg::Value{std::int64_t{4}}}});
+  c.emplace("proc", cfg::Value{std::vector<cfg::Value>{
+                        cfg::Value{std::int64_t{2}},
+                        cfg::Value{std::int64_t{4}}}});
+  c.emplace("maxTimeStep", cfg::Value{std::int64_t{4}});
+  env.set("cfg", cfg::Value{std::move(c)});
+  const auto va = core::VirtualArray::from_config("G_temp", node, env);
+  EXPECT_EQ(va, temp_array());
+}
+
+TEST(BlockCoord, Listing1RankDecomposition) {
+  const auto va = temp_array();
+  // 2x4 process grid, x fastest: rank 5 -> (x=1, y=2).
+  const auto c = core::block_coord(va, {2, 4}, 5, 3);
+  EXPECT_EQ(c, ix(3, 1, 2));
+  EXPECT_THROW(core::block_coord(va, {2, 4}, 8, 0), deisa::util::Error);
+  EXPECT_THROW(core::block_coord(va, {2, 2}, 0, 0), deisa::util::Error);
+}
+
+TEST(Contract, IncludesChecksOverlap) {
+  const auto va = temp_array();
+  core::Contract c;
+  c.selections["G_temp"] = arr::Box(ix(0, 0, 0), ix(4, 8, 8));  // half Y
+  EXPECT_TRUE(c.includes(va, ix(0, 0, 0)));
+  EXPECT_TRUE(c.includes(va, ix(3, 1, 1)));
+  EXPECT_FALSE(c.includes(va, ix(0, 0, 2)));
+  EXPECT_FALSE(c.includes(va, ix(0, 0, 3)));
+  // Unknown array name: nothing matches.
+  EXPECT_FALSE(c.includes(core::VirtualArray("other", ix(4, 8, 16),
+                                             ix(1, 4, 4)),
+                          ix(0, 0, 0)));
+}
+
+TEST(Contract, ValidateAgainstOfferings) {
+  std::vector<core::VirtualArray> offered;
+  offered.push_back(temp_array());
+  core::Contract good;
+  good.selections["G_temp"] = arr::Box(ix(0, 0, 0), ix(4, 8, 16));
+  EXPECT_NO_THROW(good.validate_against(offered));
+
+  core::Contract unknown;
+  unknown.selections["nope"] = arr::Box(ix(0, 0, 0), ix(1, 1, 1));
+  EXPECT_THROW(unknown.validate_against(offered), ContractError);
+
+  core::Contract oob;
+  oob.selections["G_temp"] = arr::Box(ix(0, 0, 0), ix(4, 8, 32));
+  EXPECT_THROW(oob.validate_against(offered), ContractError);
+
+  core::Contract inverted;
+  inverted.selections["G_temp"] = arr::Box(ix(0, 4, 0), ix(4, 2, 16));
+  EXPECT_THROW(inverted.validate_against(offered), ContractError);
+}
+
+TEST(Mode, HeartbeatIntervals) {
+  EXPECT_DOUBLE_EQ(core::bridge_heartbeat_interval(core::Mode::kDeisa1), 5.0);
+  EXPECT_DOUBLE_EQ(core::bridge_heartbeat_interval(core::Mode::kDeisa2), 60.0);
+  EXPECT_DOUBLE_EQ(core::bridge_heartbeat_interval(core::Mode::kDeisa3), 0.0);
+  EXPECT_FALSE(core::uses_external_tasks(core::Mode::kDeisa1));
+  EXPECT_TRUE(core::uses_external_tasks(core::Mode::kDeisa3));
+}
+
+// ---- end-to-end bridge/adaptor protocol ----
+
+struct World {
+  sim::Engine eng;
+  std::unique_ptr<net::Cluster> cluster;
+  std::unique_ptr<dts::Runtime> rt;
+
+  World() {
+    net::ClusterParams p;
+    p.physical_nodes = 16;
+    cluster = std::make_unique<net::Cluster>(eng, p);
+    rt = std::make_unique<dts::Runtime>(eng, *cluster, 0,
+                                        std::vector<int>{2, 3});
+    rt->start();
+  }
+};
+
+sim::Co<void> protocol_bridge(core::Bridge& bridge, int rank, int steps,
+                              double& contract_at, int& remaining,
+                              sim::Event& all_done) {
+  const auto va = temp_array(steps);
+  if (rank == 0) {
+    std::vector<core::VirtualArray> arrays;
+    arrays.push_back(va);
+    co_await bridge.publish_arrays(std::move(arrays));
+  }
+  co_await bridge.wait_contract();
+  contract_at = bridge.client().num_workers();  // reached after signing
+  for (int t = 0; t < steps; ++t) {
+    const auto coord = core::block_coord(va, {2, 4}, rank, t);
+    (void)co_await bridge.send_block(va, coord,
+                                     dts::Data::sized(va.block_bytes()));
+  }
+  if (--remaining == 0) all_done.set();
+}
+
+sim::Co<void> protocol_adaptor(World& w, core::Adaptor& adaptor,
+                               std::uint64_t& selected_chunks,
+                               sim::Event& bridges_done) {
+  const auto arrays = co_await adaptor.get_deisa_arrays();
+  EXPECT_EQ(arrays.size(), 1u);
+  adaptor.select(arrays[0].name,
+                 arr::Selection(arr::Box(ix(0, 0, 0), ix(4, 8, 8))));
+  const auto darrays = co_await adaptor.validate_contract();
+  // Wait for all bridges before inspecting state and tearing down.
+  co_await bridges_done.wait();
+  (void)co_await adaptor.client().wait_key(
+      darrays.at("G_temp").key_of(ix(3, 1, 1)));  // last selected block
+  selected_chunks = 0;
+  for (std::int64_t i = 0;
+       i < darrays.at("G_temp").grid().num_chunks(); ++i) {
+    const auto& key = darrays.at("G_temp").keys()[static_cast<std::size_t>(i)];
+    if (w.rt->scheduler().knows(key)) ++selected_chunks;
+  }
+  co_await w.rt->shutdown();
+}
+
+TEST(Protocol, Deisa3ContractRoundTrip) {
+  World w;
+  std::vector<std::unique_ptr<core::Bridge>> bridges;
+  std::vector<double> contract_at(8, -1);
+  for (int r = 0; r < 8; ++r)
+    bridges.push_back(std::make_unique<core::Bridge>(
+        w.rt->make_client(4 + r / 2), core::Mode::kDeisa3, r, 8));
+  core::Adaptor adaptor(w.rt->make_client(1), core::Mode::kDeisa3);
+  std::uint64_t selected_chunks = 0;
+  sim::Event bridges_done(w.eng);
+  int remaining = 8;
+  w.eng.spawn(protocol_adaptor(w, adaptor, selected_chunks, bridges_done));
+  for (int r = 0; r < 8; ++r)
+    w.eng.spawn(protocol_bridge(*bridges[r], r, 4, contract_at[r], remaining,
+                                bridges_done));
+  w.eng.run();
+  // Selection = half the Y blocks: externals exist only for those.
+  EXPECT_EQ(selected_chunks, 4u * 2u * 2u);
+  // Only the selected half of the blocks crossed the network.
+  std::uint64_t sent = 0;
+  std::uint64_t filtered = 0;
+  for (const auto& b : bridges) {
+    sent += b->blocks_sent();
+    filtered += b->blocks_filtered();
+  }
+  EXPECT_EQ(sent, 4u * 4u);      // 4 ranks in selection x 4 steps
+  EXPECT_EQ(filtered, 4u * 4u);  // the other 4 ranks x 4 steps
+  for (int r = 0; r < 8; ++r) EXPECT_GE(contract_at[r], 0.0) << r;
+}
+
+sim::Co<void> bad_selection_adaptor(World& w, core::Adaptor& adaptor,
+                                    std::string& error) {
+  (void)co_await adaptor.get_deisa_arrays();
+  adaptor.select("G_temp",
+                 arr::Selection(arr::Box(ix(0, 0, 0), ix(4, 8, 999))));
+  try {
+    (void)co_await adaptor.validate_contract();
+  } catch (const ContractError& e) {
+    error = e.what();
+  }
+  co_await w.rt->shutdown();
+}
+
+sim::Co<void> publish_only(core::Bridge& bridge) {
+  std::vector<core::VirtualArray> arrays;
+  arrays.push_back(temp_array());
+  co_await bridge.publish_arrays(std::move(arrays));
+}
+
+TEST(Protocol, InvalidSelectionRejectedAtSigning) {
+  World w;
+  core::Bridge bridge(w.rt->make_client(4), core::Mode::kDeisa3, 0, 1);
+  core::Adaptor adaptor(w.rt->make_client(1), core::Mode::kDeisa3);
+  std::string error;
+  w.eng.spawn(publish_only(bridge));
+  w.eng.spawn(bad_selection_adaptor(w, adaptor, error));
+  w.eng.run();
+  EXPECT_NE(error.find("invalid selection"), std::string::npos);
+}
+
+TEST(Bridge, SendBeforeContractThrows) {
+  World w;
+  core::Bridge bridge(w.rt->make_client(4), core::Mode::kDeisa3, 0, 1);
+  EXPECT_THROW((void)bridge.contract(), deisa::util::Error);
+}
+
+}  // namespace

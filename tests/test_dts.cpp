@@ -1,0 +1,379 @@
+// Tests for the distributed task system, focusing on the paper's external
+// task semantics: ahead-of-time graph submission over not-yet-existing
+// data, external→memory transitions unblocking dependents, and the
+// scatter(keys, external) extension.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "deisa/dts/runtime.hpp"
+
+namespace dts = deisa::dts;
+namespace net = deisa::net;
+namespace sim = deisa::sim;
+
+namespace {
+
+struct TestCluster {
+  sim::Engine eng;
+  std::unique_ptr<net::Cluster> cluster;
+  std::unique_ptr<dts::Runtime> rt;
+  dts::Client* client = nullptr;
+
+  explicit TestCluster(int workers = 2, dts::RuntimeParams params = {}) {
+    net::ClusterParams p;
+    p.physical_nodes = workers + 4;
+    p.leaf_radix = 8;
+    p.uplinks_per_leaf = 4;
+    p.jitter_sigma = 0.0;
+    cluster = std::make_unique<net::Cluster>(eng, p);
+    std::vector<int> worker_nodes;
+    for (int i = 0; i < workers; ++i) worker_nodes.push_back(2 + i);
+    rt = std::make_unique<dts::Runtime>(eng, *cluster, /*scheduler_node=*/0,
+                                        worker_nodes, params);
+    rt->start();
+    client = &rt->make_client(/*node=*/1);
+  }
+
+  /// Run a client workload to completion, then shut the cluster down.
+  void run(sim::Co<void> workload) {
+    eng.spawn(std::move(workload));
+    eng.run();
+  }
+};
+
+dts::Data int_data(int v) { return dts::Data::make<int>(v, sizeof(int)); }
+
+// GCC 12 miscompiles initializer_list temporaries inside coroutine bodies
+// ("array used as initializer"); build vectors through these non-coroutine
+// helpers instead of braced lists.
+template <typename... K>
+std::vector<dts::Key> keys(K... k) {
+  return std::vector<dts::Key>{dts::Key(k)...};
+}
+template <typename... I>
+std::vector<int> ints(I... i) {
+  return std::vector<int>{i...};
+}
+std::vector<dts::Key> no_keys() { return {}; }
+
+dts::TaskSpec add_task(dts::Key key, std::vector<dts::Key> deps) {
+  return dts::TaskSpec(
+      std::move(key), std::move(deps),
+      [](const std::vector<dts::Data>& in) {
+        int s = 0;
+        for (const auto& d : in) s += d.as<int>();
+        return int_data(s);
+      });
+}
+
+sim::Co<void> simple_chain(TestCluster& tc, int& result) {
+  std::vector<dts::TaskSpec> tasks;
+  tasks.push_back(dts::TaskSpec("one", no_keys(), [](const auto&) {
+    return int_data(1);
+  }));
+  tasks.push_back(dts::TaskSpec("two", no_keys(), [](const auto&) {
+    return int_data(2);
+  }));
+  tasks.push_back(add_task("sum", keys("one", "two")));
+  tasks.push_back(add_task("double", keys("sum", "sum")));
+  co_await tc.client->submit(std::move(tasks), keys("double"));
+  const dts::Data d = co_await tc.client->gather("double");
+  result = d.as<int>();
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, ExecutesDependencyGraph) {
+  TestCluster tc(2);
+  int result = 0;
+  tc.run(simple_chain(tc, result));
+  EXPECT_EQ(result, 6);
+  EXPECT_EQ(tc.rt->scheduler().state_of("double"), dts::TaskState::kMemory);
+}
+
+sim::Co<void> scatter_then_compute(TestCluster& tc, int& result) {
+  co_await tc.client->scatter("input", int_data(20), /*worker=*/0);
+  std::vector<dts::TaskSpec> tasks;
+  tasks.push_back(add_task("out", keys("input", "input")));
+  co_await tc.client->submit(std::move(tasks), keys("out"));
+  result = (co_await tc.client->gather("out")).as<int>();
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, ScatterThenDependentGraph) {
+  TestCluster tc(2);
+  int result = 0;
+  tc.run(scatter_then_compute(tc, result));
+  EXPECT_EQ(result, 40);
+}
+
+sim::Co<void> graph_on_unknown_key(TestCluster& tc, bool& threw) {
+  std::vector<dts::TaskSpec> tasks;
+  tasks.push_back(add_task("out", keys("never-scattered")));
+  co_await tc.client->submit(std::move(tasks), keys("out"));
+  try {
+    (void)co_await tc.client->gather("out");
+  } catch (const deisa::util::Error&) {
+    threw = true;
+  }
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, GraphOnUnknownKeyFailsWithoutExternalTasks) {
+  // This is exactly the DEISA1 limitation the paper lifts: without the
+  // external state, graphs can only reference data already in the cluster.
+  TestCluster tc(1);
+  bool threw = false;
+  tc.eng.spawn(graph_on_unknown_key(tc, threw));
+  EXPECT_THROW(tc.eng.run(), deisa::util::Error);
+}
+
+sim::Co<void> external_ahead_of_time(TestCluster& tc, int& result,
+                                     double& graph_submitted_at,
+                                     double& data_arrived_at) {
+  // 1) Create external tasks for data that DOES NOT EXIST yet.
+  co_await tc.client->external_futures(keys("ext-0", "ext-1"), ints(0, 1));
+  // 2) Submit the analytics graph ahead of the data.
+  std::vector<dts::TaskSpec> tasks;
+  tasks.push_back(add_task("total", keys("ext-0", "ext-1")));
+  co_await tc.client->submit(std::move(tasks), keys("total"));
+  graph_submitted_at = tc.eng.now();
+  // 3) The "simulation" produces data later.
+  co_await tc.eng.delay(5.0);
+  co_await tc.client->scatter("ext-0", int_data(30), 0, /*external=*/true);
+  co_await tc.client->scatter("ext-1", int_data(12), 1, /*external=*/true);
+  data_arrived_at = tc.eng.now();
+  result = (co_await tc.client->gather("total")).as<int>();
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, ExternalTasksAllowGraphSubmissionBeforeData) {
+  TestCluster tc(2);
+  int result = 0;
+  double submitted = 0, arrived = 0;
+  tc.run(external_ahead_of_time(tc, result, submitted, arrived));
+  EXPECT_EQ(result, 42);
+  EXPECT_LT(submitted, 1.0);
+  EXPECT_GE(arrived, 5.0);
+}
+
+sim::Co<void> external_state_probe(TestCluster& tc,
+                                   dts::TaskState& before,
+                                   dts::TaskState& after) {
+  co_await tc.client->external_futures(keys("ext"), ints(0));
+  co_await tc.eng.delay(0.1);
+  before = tc.rt->scheduler().state_of("ext");
+  co_await tc.client->scatter("ext", int_data(1), 0, /*external=*/true);
+  co_await tc.client->wait_key("ext");
+  after = tc.rt->scheduler().state_of("ext");
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, ExternalTransitionsToMemoryOnPush) {
+  TestCluster tc(1);
+  auto before = dts::TaskState::kErred, after = dts::TaskState::kErred;
+  tc.run(external_state_probe(tc, before, after));
+  EXPECT_EQ(before, dts::TaskState::kExternal);
+  EXPECT_EQ(after, dts::TaskState::kMemory);
+}
+
+sim::Co<void> plain_scatter_cannot_complete_external(TestCluster& tc) {
+  co_await tc.client->external_futures(keys("ext"), ints(0));
+  co_await tc.client->scatter("ext", int_data(1), 0, /*external=*/false);
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, PlainScatterOntoExternalKeyRejected) {
+  TestCluster tc(1);
+  tc.eng.spawn(plain_scatter_cannot_complete_external(tc));
+  EXPECT_THROW(tc.eng.run(), deisa::util::Error);
+}
+
+sim::Co<void> external_preferred_worker(TestCluster& tc, int& holder) {
+  co_await tc.client->external_futures(keys("blk"), ints(1));
+  std::vector<dts::TaskSpec> tasks;
+  tasks.push_back(add_task("use", keys("blk")));
+  co_await tc.client->submit(std::move(tasks), keys("use"));
+  co_await tc.client->scatter("blk", int_data(9), 1, /*external=*/true);
+  (void)co_await tc.client->gather("use");
+  // Locality: "use" should run on worker 1 where "blk" lives.
+  holder = tc.rt->worker(1).has_local("use") ? 1 : 0;
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, DependentScheduledWithDataLocality) {
+  TestCluster tc(2);
+  int holder = -1;
+  tc.run(external_preferred_worker(tc, holder));
+  EXPECT_EQ(holder, 1);
+}
+
+sim::Co<void> erring_task(TestCluster& tc, std::string& error_text) {
+  std::vector<dts::TaskSpec> tasks;
+  tasks.push_back(dts::TaskSpec("bad", no_keys(), [](const auto&) -> dts::Data {
+    throw std::runtime_error("kaboom");
+  }));
+  tasks.push_back(add_task("downstream", keys("bad")));
+  co_await tc.client->submit(std::move(tasks), keys("downstream"));
+  try {
+    (void)co_await tc.client->gather("downstream");
+  } catch (const deisa::util::Error& e) {
+    error_text = e.what();
+  }
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, TaskErrorsPropagateToDependents) {
+  TestCluster tc(2);
+  std::string err;
+  tc.run(erring_task(tc, err));
+  EXPECT_NE(err.find("downstream"), std::string::npos);
+  EXPECT_EQ(tc.rt->scheduler().state_of("bad"), dts::TaskState::kErred);
+  EXPECT_EQ(tc.rt->scheduler().state_of("downstream"),
+            dts::TaskState::kErred);
+}
+
+sim::Co<void> variables_flow(TestCluster& tc, int& got) {
+  // Reader blocks until the writer sets the variable.
+  co_await tc.eng.delay(1.0);
+  co_await tc.client->variable_set("contract", int_data(123));
+  co_await tc.rt->shutdown();
+  (void)got;
+}
+
+sim::Co<void> variable_reader(TestCluster& tc, int& got, double& at) {
+  const dts::Data d = co_await tc.client->variable_get("contract");
+  got = d.as<int>();
+  at = tc.eng.now();
+}
+
+TEST(Dts, VariableGetBlocksUntilSet) {
+  TestCluster tc(1);
+  int got = 0;
+  double at = 0;
+  tc.eng.spawn(variable_reader(tc, got, at));
+  tc.eng.spawn(variables_flow(tc, got));
+  tc.eng.run();
+  EXPECT_EQ(got, 123);
+  EXPECT_GE(at, 1.0);
+}
+
+sim::Co<void> queue_writer(TestCluster& tc) {
+  for (int i = 0; i < 3; ++i) {
+    co_await tc.eng.delay(0.5);
+    co_await tc.client->queue_put("q", int_data(i));
+  }
+}
+
+sim::Co<void> queue_reader(TestCluster& tc, std::vector<int>& got) {
+  for (int i = 0; i < 3; ++i) {
+    const dts::Data d = co_await tc.client->queue_get("q");
+    got.push_back(d.as<int>());
+  }
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, QueuesDeliverInOrder) {
+  TestCluster tc(1);
+  std::vector<int> got;
+  tc.eng.spawn(queue_writer(tc));
+  tc.eng.spawn(queue_reader(tc, got));
+  tc.eng.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+}
+
+sim::Co<void> heartbeat_workload(TestCluster& tc, sim::Event& stop) {
+  co_await tc.eng.delay(10.0);
+  stop.set();
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, BridgeHeartbeatsCounted) {
+  dts::RuntimeParams params;
+  params.worker.heartbeat_interval = 0.0;  // isolate bridge heartbeats
+  TestCluster tc(1, params);
+  sim::Event stop(tc.eng);
+  tc.eng.spawn(tc.client->run_heartbeats(1.0, stop));
+  tc.eng.spawn(heartbeat_workload(tc, stop));
+  tc.eng.run();
+  const auto hb = tc.rt->scheduler().messages_received(
+      dts::SchedMsgKind::kHeartbeatBridge);
+  EXPECT_GE(hb, 9u);
+  EXPECT_LE(hb, 11u);
+}
+
+TEST(Dts, InfiniteHeartbeatIntervalSendsNothing) {
+  dts::RuntimeParams params;
+  params.worker.heartbeat_interval = 0.0;
+  TestCluster tc(1, params);
+  sim::Event stop(tc.eng);
+  tc.eng.spawn(tc.client->run_heartbeats(0.0, stop));  // DEISA3: infinity
+  tc.eng.spawn(heartbeat_workload(tc, stop));
+  tc.eng.run();
+  EXPECT_EQ(tc.rt->scheduler().messages_received(
+                dts::SchedMsgKind::kHeartbeatBridge),
+            0u);
+}
+
+sim::Co<void> synthetic_graph(TestCluster& tc, double& finished_at) {
+  // Synthetic tasks: no fn, explicit cost and output size.
+  std::vector<dts::TaskSpec> tasks;
+  tasks.push_back(dts::TaskSpec("a", no_keys(), nullptr, /*cost=*/2.0,
+                                /*out_bytes=*/1000));
+  tasks.push_back(dts::TaskSpec("b", no_keys(), nullptr, 2.0, 1000));
+  tasks.push_back(dts::TaskSpec("c", keys("a", "b"), nullptr, 1.0, 500));
+  co_await tc.client->submit(std::move(tasks), keys("c"));
+  co_await tc.client->wait_key("c");
+  finished_at = tc.eng.now();
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, SyntheticModeChargesSimulatedCost) {
+  TestCluster tc(2);
+  double finished_at = 0;
+  tc.run(synthetic_graph(tc, finished_at));
+  // a and b run concurrently on 2 workers (2 s), then c (1 s) + comms.
+  EXPECT_GE(finished_at, 3.0);
+  EXPECT_LT(finished_at, 3.2);
+}
+
+sim::Co<void> many_tasks(TestCluster& tc, int n, int& done) {
+  std::vector<dts::TaskSpec> tasks;
+  std::vector<dts::Key> wants;
+  for (int i = 0; i < n; ++i) {
+    const dts::Key k = "t" + std::to_string(i);
+    tasks.push_back(dts::TaskSpec(k, no_keys(), [i](const auto&) {
+      return int_data(i);
+    }));
+    wants.push_back(k);
+  }
+  co_await tc.client->submit(std::move(tasks), wants);
+  for (const auto& k : wants) {
+    (void)co_await tc.client->wait_key(k);
+    ++done;
+  }
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, ManyIndependentTasksSpreadOverWorkers) {
+  TestCluster tc(4);
+  int done = 0;
+  tc.run(many_tasks(tc, 40, done));
+  EXPECT_EQ(done, 40);
+  for (int w = 0; w < 4; ++w)
+    EXPECT_GT(tc.rt->worker(w).tasks_executed(), 0u)
+        << "worker " << w << " idle";
+}
+
+TEST(Dts, SchedulerCountsMessageKinds) {
+  TestCluster tc(2);
+  int result = 0;
+  tc.run(scatter_then_compute(tc, result));
+  const auto& s = tc.rt->scheduler();
+  EXPECT_EQ(s.messages_received(dts::SchedMsgKind::kUpdateData), 1u);
+  EXPECT_EQ(s.messages_received(dts::SchedMsgKind::kUpdateGraph), 1u);
+  EXPECT_GE(s.messages_received(dts::SchedMsgKind::kTaskFinished), 1u);
+  EXPECT_GT(s.total_service_time(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Fault-handling tests for the task system: retries of transient
+// failures, cancellation semantics, and worker memory accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "deisa/dts/runtime.hpp"
+
+namespace dts = deisa::dts;
+namespace net = deisa::net;
+namespace sim = deisa::sim;
+
+namespace {
+
+struct TestCluster {
+  sim::Engine eng;
+  std::unique_ptr<net::Cluster> cluster;
+  std::unique_ptr<dts::Runtime> rt;
+  dts::Client* client = nullptr;
+
+  explicit TestCluster(int workers = 2) {
+    net::ClusterParams p;
+    p.physical_nodes = workers + 4;
+    cluster = std::make_unique<net::Cluster>(eng, p);
+    std::vector<int> wn;
+    for (int i = 0; i < workers; ++i) wn.push_back(2 + i);
+    dts::RuntimeParams rp;
+    rp.scheduler.service_base = 1e-4;  // fast tests
+    rp.scheduler.service_per_task = 0;
+    rp.scheduler.service_per_key = 0;
+    rt = std::make_unique<dts::Runtime>(eng, *cluster, 0, wn, rp);
+    rt->start();
+    client = &rt->make_client(1);
+  }
+};
+
+dts::Data int_data(int v) { return dts::Data::make<int>(v, sizeof(int)); }
+
+std::vector<dts::Key> no_keys() { return {}; }
+template <typename... K>
+std::vector<dts::Key> keys(K... k) {
+  return std::vector<dts::Key>{dts::Key(k)...};
+}
+
+sim::Co<void> flaky_flow(TestCluster& tc, int fails, int retries, int& result,
+                         bool& threw) {
+  auto attempts = std::make_shared<int>(0);
+  std::vector<dts::TaskSpec> tasks;
+  dts::TaskSpec flaky(
+      "flaky", no_keys(),
+      [attempts, fails](const std::vector<dts::Data>&) -> dts::Data {
+        if ((*attempts)++ < fails) throw std::runtime_error("transient");
+        return int_data(7);
+      });
+  flaky.retries = retries;
+  tasks.push_back(std::move(flaky));
+  co_await tc.client->submit(std::move(tasks), keys("flaky"));
+  try {
+    result = (co_await tc.client->gather("flaky")).as<int>();
+  } catch (const deisa::util::Error&) {
+    threw = true;
+  }
+  co_await tc.rt->shutdown();
+}
+
+TEST(Fault, RetriesRecoverTransientFailures) {
+  TestCluster tc(2);
+  int result = 0;
+  bool threw = false;
+  tc.eng.spawn(flaky_flow(tc, /*fails=*/2, /*retries=*/3, result, threw));
+  tc.eng.run();
+  EXPECT_FALSE(threw);
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(tc.rt->scheduler().retries_performed(), 2u);
+  EXPECT_EQ(tc.rt->scheduler().state_of("flaky"), dts::TaskState::kMemory);
+}
+
+TEST(Fault, RetriesExhaustedStillErrs) {
+  TestCluster tc(2);
+  int result = 0;
+  bool threw = false;
+  tc.eng.spawn(flaky_flow(tc, /*fails=*/5, /*retries=*/2, result, threw));
+  tc.eng.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(tc.rt->scheduler().retries_performed(), 2u);
+  EXPECT_EQ(tc.rt->scheduler().state_of("flaky"), dts::TaskState::kErred);
+}
+
+TEST(Fault, ZeroRetriesFailImmediately) {
+  TestCluster tc(1);
+  int result = 0;
+  bool threw = false;
+  tc.eng.spawn(flaky_flow(tc, /*fails=*/1, /*retries=*/0, result, threw));
+  tc.eng.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(tc.rt->scheduler().retries_performed(), 0u);
+}
+
+sim::Co<void> cancel_external_flow(TestCluster& tc, std::string& error) {
+  std::vector<int> pw;
+  pw.push_back(0);
+  co_await tc.client->external_futures(keys("never-arrives"), std::move(pw));
+  std::vector<dts::TaskSpec> tasks;
+  tasks.emplace_back("dependent", keys("never-arrives"),
+                     [](const std::vector<dts::Data>&) {
+                       return int_data(0);
+                     });
+  co_await tc.client->submit(std::move(tasks), keys("dependent"));
+  co_await tc.eng.delay(1.0);
+  // The simulation died; cancel the external task to release the graph.
+  co_await tc.client->cancel("never-arrives");
+  try {
+    (void)co_await tc.client->gather("dependent");
+  } catch (const deisa::util::Error& e) {
+    error = e.what();
+  }
+  co_await tc.rt->shutdown();
+}
+
+TEST(Fault, CancellingExternalTaskPoisonsDependents) {
+  // Without cancel, a dead simulation would leave the analytics graph
+  // waiting forever; cancel unblocks every waiter with an error.
+  TestCluster tc(1);
+  std::string error;
+  tc.eng.spawn(cancel_external_flow(tc, error));
+  tc.eng.run();
+  EXPECT_NE(error.find("dependent"), std::string::npos);
+  EXPECT_EQ(tc.rt->scheduler().state_of("never-arrives"),
+            dts::TaskState::kErred);
+  EXPECT_EQ(tc.rt->scheduler().state_of("dependent"),
+            dts::TaskState::kErred);
+}
+
+sim::Co<void> cancel_finished_flow(TestCluster& tc, int& result) {
+  std::vector<dts::TaskSpec> tasks;
+  tasks.emplace_back("done", no_keys(), [](const std::vector<dts::Data>&) {
+    return int_data(5);
+  });
+  co_await tc.client->submit(std::move(tasks), keys("done"));
+  (void)co_await tc.client->wait_key("done");
+  co_await tc.client->cancel("done");  // advisory on finished tasks
+  result = (co_await tc.client->gather("done")).as<int>();
+  co_await tc.rt->shutdown();
+}
+
+TEST(Fault, CancelOnFinishedTaskIsAdvisory) {
+  TestCluster tc(1);
+  int result = 0;
+  tc.eng.spawn(cancel_finished_flow(tc, result));
+  tc.eng.run();
+  EXPECT_EQ(result, 5);
+  EXPECT_EQ(tc.rt->scheduler().state_of("done"), dts::TaskState::kMemory);
+}
+
+sim::Co<void> memory_flow(TestCluster& tc) {
+  co_await tc.client->scatter("a", dts::Data::sized(1000), 0);
+  co_await tc.client->scatter("b", dts::Data::sized(500), 0);
+  co_await tc.client->scatter("b", dts::Data::sized(700), 0);  // replace
+  co_await tc.rt->shutdown();
+}
+
+TEST(Fault, WorkerMemoryAccounting) {
+  TestCluster tc(1);
+  tc.eng.spawn(memory_flow(tc));
+  tc.eng.run();
+  auto& w = tc.rt->worker(0);
+  EXPECT_EQ(w.keys_in_memory(), 2u);
+  EXPECT_EQ(w.memory_bytes(), 1700u);       // replacement, not addition
+  EXPECT_EQ(w.bytes_stored(), 2200u);       // cumulative throughput
+  EXPECT_TRUE(w.release_key("a"));
+  EXPECT_EQ(w.memory_bytes(), 700u);
+  EXPECT_FALSE(w.release_key("a"));
+}
+
+}  // namespace

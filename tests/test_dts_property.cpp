@@ -1,0 +1,155 @@
+// Property test: the distributed scheduler must compute, for ANY random
+// DAG, exactly the values a sequential topological evaluation computes —
+// regardless of worker count, placement, or how many of the graph's
+// leaves arrive later as external tasks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "deisa/dts/runtime.hpp"
+#include "deisa/util/rng.hpp"
+
+namespace dts = deisa::dts;
+namespace net = deisa::net;
+namespace sim = deisa::sim;
+using deisa::util::Rng;
+
+namespace {
+
+struct RandomDag {
+  struct Node {
+    dts::Key key;
+    std::vector<std::size_t> deps;  // indices of earlier nodes
+    bool external = false;          // leaf completed by "the simulation"
+    std::int64_t leaf_value = 0;
+  };
+  std::vector<Node> nodes;
+};
+
+/// Value of node i = leaf_value + sum of dependency values + index.
+RandomDag make_dag(std::size_t n, double edge_prob, double external_frac,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  RandomDag dag;
+  for (std::size_t i = 0; i < n; ++i) {
+    RandomDag::Node node;
+    node.key = "n" + std::to_string(i);
+    if (i > 0) {
+      for (std::size_t j = i > 8 ? i - 8 : 0; j < i; ++j)
+        if (rng.uniform() < edge_prob) node.deps.push_back(j);
+    }
+    if (node.deps.empty()) {
+      node.external = rng.uniform() < external_frac;
+      node.leaf_value = static_cast<std::int64_t>(rng.uniform_index(100));
+    }
+    dag.nodes.push_back(std::move(node));
+  }
+  return dag;
+}
+
+std::vector<std::int64_t> evaluate_sequentially(const RandomDag& dag) {
+  std::vector<std::int64_t> value(dag.nodes.size(), 0);
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+    std::int64_t v = dag.nodes[i].leaf_value + static_cast<std::int64_t>(i);
+    for (std::size_t d : dag.nodes[i].deps) v += value[d];
+    value[i] = v;
+  }
+  return value;
+}
+
+sim::Co<void> run_dag(dts::Runtime& rt, dts::Client& client,
+                      const RandomDag& dag,
+                      std::vector<std::int64_t>& results) {
+  // External leaves first (futures created before the graph).
+  std::vector<dts::Key> ext_keys;
+  std::vector<int> ext_workers;
+  for (const auto& node : dag.nodes)
+    if (node.external) {
+      ext_keys.push_back(node.key);
+      ext_workers.push_back(static_cast<int>(ext_keys.size()) %
+                            client.num_workers());
+    }
+  if (!ext_keys.empty())
+    co_await client.external_futures(ext_keys, ext_workers);
+
+  std::vector<dts::TaskSpec> tasks;
+  std::vector<dts::Key> wants;
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+    const auto& node = dag.nodes[i];
+    if (node.external) continue;
+    std::vector<dts::Key> deps;
+    for (std::size_t d : node.deps) deps.push_back(dag.nodes[d].key);
+    const std::int64_t base = node.leaf_value + static_cast<std::int64_t>(i);
+    tasks.emplace_back(node.key, std::move(deps),
+                       [base](const std::vector<dts::Data>& in) {
+                         std::int64_t v = base;
+                         for (const auto& d : in) v += d.as<std::int64_t>();
+                         return dts::Data::make<std::int64_t>(v, 8);
+                       });
+    wants.push_back(node.key);
+  }
+  co_await client.submit(std::move(tasks), std::move(wants));
+
+  // The "simulation" pushes external leaves with a delay, in a scrambled
+  // order, AFTER the graph is in place.
+  std::size_t idx = 0;
+  for (std::size_t i = ext_keys.size(); i-- > 0;) {
+    const auto& node_key = ext_keys[i];
+    std::size_t node_i = 0;
+    for (std::size_t k = 0; k < dag.nodes.size(); ++k)
+      if (dag.nodes[k].key == node_key) node_i = k;
+    const std::int64_t v =
+        dag.nodes[node_i].leaf_value + static_cast<std::int64_t>(node_i);
+    co_await client.scatter(node_key, dts::Data::make<std::int64_t>(v, 8),
+                            ext_workers[i], /*external=*/true);
+    ++idx;
+  }
+  (void)idx;
+
+  results.resize(dag.nodes.size());
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i)
+    results[i] = (co_await client.gather(dag.nodes[i].key)).as<std::int64_t>();
+  co_await rt.shutdown();
+}
+
+class DagProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(DagProperty, DistributedMatchesSequentialEvaluation) {
+  const auto [n, workers, seed] = GetParam();
+  const RandomDag dag =
+      make_dag(static_cast<std::size_t>(n), 0.35, 0.5, seed);
+  const auto expected = evaluate_sequentially(dag);
+
+  sim::Engine eng;
+  net::ClusterParams cp;
+  cp.physical_nodes = workers + 4;
+  net::Cluster cluster(eng, cp);
+  std::vector<int> wn;
+  for (int i = 0; i < workers; ++i) wn.push_back(2 + i);
+  dts::RuntimeParams rp;
+  rp.scheduler.service_base = 1e-4;
+  rp.scheduler.service_per_task = 0;
+  rp.scheduler.service_per_key = 0;
+  dts::Runtime rt(eng, cluster, 0, wn, rp);
+  rt.start();
+  dts::Client& client = rt.make_client(1);
+
+  std::vector<std::int64_t> results;
+  eng.spawn(run_dag(rt, client, dag, results));
+  eng.run();
+
+  ASSERT_EQ(results.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(results[i], expected[i]) << "node " << i << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDags, DagProperty,
+    ::testing::Values(std::tuple{10, 1, 11ull}, std::tuple{30, 2, 22ull},
+                      std::tuple{60, 3, 33ull}, std::tuple{60, 5, 44ull},
+                      std::tuple{120, 4, 55ull}, std::tuple{120, 8, 66ull},
+                      std::tuple{200, 6, 77ull}));
+
+}  // namespace

@@ -1,0 +1,100 @@
+// deisa_scenario — run any of the paper's five workflow pipelines from a
+// YAML description and print the measured timings.
+//
+//   $ deisa_scenario my_run.yaml
+//
+//   # my_run.yaml
+//   pipeline: DEISA3         # DEISA1|DEISA2|DEISA3|posthoc-old|posthoc-new
+//   ranks: 64
+//   workers: 32
+//   block_mib: 128
+//   timesteps: 10
+//   runs: 3
+//   seed: 1000
+//   contract_fraction: 1.0   # optional: fraction of Y kept by the contract
+//   real_data: false         # optional: move real Heat2D data (small runs)
+#include <iostream>
+
+#include "deisa/config/yaml.hpp"
+#include "deisa/harness/scenario.hpp"
+#include "deisa/util/table.hpp"
+#include "deisa/util/units.hpp"
+
+namespace cfg = deisa::config;
+namespace harness = deisa::harness;
+namespace util = deisa::util;
+
+namespace {
+
+harness::Pipeline pipeline_of(const std::string& name) {
+  if (name == "DEISA1") return harness::Pipeline::kDeisa1;
+  if (name == "DEISA2") return harness::Pipeline::kDeisa2;
+  if (name == "DEISA3") return harness::Pipeline::kDeisa3;
+  if (name == "posthoc-old") return harness::Pipeline::kPosthocOldIpca;
+  if (name == "posthoc-new") return harness::Pipeline::kPosthocNewIpca;
+  throw util::ConfigError(
+      "unknown pipeline '" + name +
+      "' (expected DEISA1|DEISA2|DEISA3|posthoc-old|posthoc-new)");
+}
+
+int run(const std::string& path) {
+  const cfg::Node doc = cfg::parse_yaml_file(path);
+  const auto pipeline = pipeline_of(doc.get_string("pipeline", "DEISA3"));
+
+  harness::ScenarioParams p;
+  p.ranks = static_cast<int>(doc.get_int("ranks", 4));
+  p.workers = static_cast<int>(doc.get_int("workers", 2));
+  p.block_bytes =
+      static_cast<std::uint64_t>(doc.get_int("block_mib", 128)) * util::kMiB;
+  p.timesteps = static_cast<int>(doc.get_int("timesteps", 10));
+  p.contract_fraction = doc.get_double("contract_fraction", 1.0);
+  p.real_data = doc.get_bool("real_data", false);
+  p.n_components =
+      static_cast<std::size_t>(doc.get_int("n_components", 2));
+  const int runs = static_cast<int>(doc.get_int("runs", 1));
+  const auto seed = static_cast<std::uint64_t>(doc.get_int("seed", 1000));
+
+  std::cout << "pipeline " << harness::to_string(pipeline) << ": " << p.ranks
+            << " ranks x " << util::format_bytes(p.block_bytes) << " x "
+            << p.timesteps << " steps, " << p.workers << " workers, " << runs
+            << " run(s)\n";
+
+  util::Table t({"run", "sim compute (s/iter)", "sim io (s/iter)",
+                 "analytics (s)", "total (s)", "scheduler msgs"});
+  for (int i = 0; i < runs; ++i) {
+    p.alloc_seed = seed + static_cast<std::uint64_t>(i) * 77;
+    const auto r = harness::run_scenario(pipeline, p);
+    const auto sim = r.iteration_summary(r.sim_compute);
+    const auto io = r.iteration_summary(r.sim_io);
+    t.add_row({std::to_string(i + 1),
+               util::Table::num(sim.mean, 2) + " ± " +
+                   util::Table::num(sim.stddev, 2),
+               util::Table::num(io.mean, 2) + " ± " +
+                   util::Table::num(io.stddev, 2),
+               util::Table::num(r.analytics_seconds, 2),
+               util::Table::num(r.total_seconds, 2),
+               std::to_string(r.scheduler_messages)});
+    if (p.real_data && !r.singular_values.empty()) {
+      std::cout << "  fitted singular values:";
+      for (double s : r.singular_values) std::cout << " " << s;
+      std::cout << "\n";
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: deisa_scenario <config.yaml>\n";
+    return 2;
+  }
+  try {
+    return run(argv[1]);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
