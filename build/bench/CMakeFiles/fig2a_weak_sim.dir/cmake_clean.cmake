@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_weak_sim.dir/fig2a_weak_sim.cpp.o"
+  "CMakeFiles/fig2a_weak_sim.dir/fig2a_weak_sim.cpp.o.d"
+  "fig2a_weak_sim"
+  "fig2a_weak_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_weak_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_weak_analytics.dir/fig2b_weak_analytics.cpp.o"
+  "CMakeFiles/fig2b_weak_analytics.dir/fig2b_weak_analytics.cpp.o.d"
+  "fig2b_weak_analytics"
+  "fig2b_weak_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_weak_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_bw_sim.dir/fig3a_bw_sim.cpp.o"
+  "CMakeFiles/fig3a_bw_sim.dir/fig3a_bw_sim.cpp.o.d"
+  "fig3a_bw_sim"
+  "fig3a_bw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_bw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_bw_analytics.dir/fig3b_bw_analytics.cpp.o"
+  "CMakeFiles/fig3b_bw_analytics.dir/fig3b_bw_analytics.cpp.o.d"
+  "fig3b_bw_analytics"
+  "fig3b_bw_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_bw_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_strong_sim.dir/fig4a_strong_sim.cpp.o"
+  "CMakeFiles/fig4a_strong_sim.dir/fig4a_strong_sim.cpp.o.d"
+  "fig4a_strong_sim"
+  "fig4a_strong_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_strong_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_strong_analytics.dir/fig4b_strong_analytics.cpp.o"
+  "CMakeFiles/fig4b_strong_analytics.dir/fig4b_strong_analytics.cpp.o.d"
+  "fig4b_strong_analytics"
+  "fig4b_strong_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_strong_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

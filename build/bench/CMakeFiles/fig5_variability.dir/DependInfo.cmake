@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_variability.cpp" "bench/CMakeFiles/fig5_variability.dir/fig5_variability.cpp.o" "gcc" "bench/CMakeFiles/fig5_variability.dir/fig5_variability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/deisa_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/deisa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/deisa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/deisa_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/deisa_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/deisa_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/deisa_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/deisa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpix/CMakeFiles/deisa_mpix.dir/DependInfo.cmake"
+  "/root/repo/build/src/dts/CMakeFiles/deisa_dts.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deisa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deisa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deisa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_msgcount.dir/fig_msgcount.cpp.o"
+  "CMakeFiles/fig_msgcount.dir/fig_msgcount.cpp.o.d"
+  "fig_msgcount"
+  "fig_msgcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_msgcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

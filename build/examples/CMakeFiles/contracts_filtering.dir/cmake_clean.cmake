@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contracts_filtering.dir/contracts_filtering.cpp.o"
+  "CMakeFiles/contracts_filtering.dir/contracts_filtering.cpp.o.d"
+  "contracts_filtering"
+  "contracts_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contracts_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat2d_insitu.dir/heat2d_insitu.cpp.o"
+  "CMakeFiles/heat2d_insitu.dir/heat2d_insitu.cpp.o.d"
+  "heat2d_insitu"
+  "heat2d_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat2d_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

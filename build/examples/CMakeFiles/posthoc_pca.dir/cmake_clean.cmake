@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posthoc_pca.dir/posthoc_pca.cpp.o"
+  "CMakeFiles/posthoc_pca.dir/posthoc_pca.cpp.o.d"
+  "posthoc_pca"
+  "posthoc_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posthoc_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("config")
+subdirs("sim")
+subdirs("net")
+subdirs("mpix")
+subdirs("linalg")
+subdirs("dts")
+subdirs("array")
+subdirs("ml")
+subdirs("pdi")
+subdirs("core")
+subdirs("io")
+subdirs("apps")
+subdirs("harness")

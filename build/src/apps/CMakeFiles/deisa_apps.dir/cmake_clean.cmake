@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_apps.dir/heat2d.cpp.o"
+  "CMakeFiles/deisa_apps.dir/heat2d.cpp.o.d"
+  "libdeisa_apps.a"
+  "libdeisa_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/chunks.cpp" "src/array/CMakeFiles/deisa_array.dir/chunks.cpp.o" "gcc" "src/array/CMakeFiles/deisa_array.dir/chunks.cpp.o.d"
+  "/root/repo/src/array/darray.cpp" "src/array/CMakeFiles/deisa_array.dir/darray.cpp.o" "gcc" "src/array/CMakeFiles/deisa_array.dir/darray.cpp.o.d"
+  "/root/repo/src/array/ndarray.cpp" "src/array/CMakeFiles/deisa_array.dir/ndarray.cpp.o" "gcc" "src/array/CMakeFiles/deisa_array.dir/ndarray.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dts/CMakeFiles/deisa_dts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deisa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deisa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deisa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_array.dir/chunks.cpp.o"
+  "CMakeFiles/deisa_array.dir/chunks.cpp.o.d"
+  "CMakeFiles/deisa_array.dir/darray.cpp.o"
+  "CMakeFiles/deisa_array.dir/darray.cpp.o.d"
+  "CMakeFiles/deisa_array.dir/ndarray.cpp.o"
+  "CMakeFiles/deisa_array.dir/ndarray.cpp.o.d"
+  "libdeisa_array.a"
+  "libdeisa_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/expr.cpp" "src/config/CMakeFiles/deisa_config.dir/expr.cpp.o" "gcc" "src/config/CMakeFiles/deisa_config.dir/expr.cpp.o.d"
+  "/root/repo/src/config/node.cpp" "src/config/CMakeFiles/deisa_config.dir/node.cpp.o" "gcc" "src/config/CMakeFiles/deisa_config.dir/node.cpp.o.d"
+  "/root/repo/src/config/yaml.cpp" "src/config/CMakeFiles/deisa_config.dir/yaml.cpp.o" "gcc" "src/config/CMakeFiles/deisa_config.dir/yaml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/deisa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

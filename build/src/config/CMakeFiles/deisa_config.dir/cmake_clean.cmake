@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_config.dir/expr.cpp.o"
+  "CMakeFiles/deisa_config.dir/expr.cpp.o.d"
+  "CMakeFiles/deisa_config.dir/node.cpp.o"
+  "CMakeFiles/deisa_config.dir/node.cpp.o.d"
+  "CMakeFiles/deisa_config.dir/yaml.cpp.o"
+  "CMakeFiles/deisa_config.dir/yaml.cpp.o.d"
+  "libdeisa_config.a"
+  "libdeisa_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_core.dir/adaptor.cpp.o"
+  "CMakeFiles/deisa_core.dir/adaptor.cpp.o.d"
+  "CMakeFiles/deisa_core.dir/bridge.cpp.o"
+  "CMakeFiles/deisa_core.dir/bridge.cpp.o.d"
+  "CMakeFiles/deisa_core.dir/contract.cpp.o"
+  "CMakeFiles/deisa_core.dir/contract.cpp.o.d"
+  "CMakeFiles/deisa_core.dir/virtual_array.cpp.o"
+  "CMakeFiles/deisa_core.dir/virtual_array.cpp.o.d"
+  "libdeisa_core.a"
+  "libdeisa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_dts.dir/client.cpp.o"
+  "CMakeFiles/deisa_dts.dir/client.cpp.o.d"
+  "CMakeFiles/deisa_dts.dir/runtime.cpp.o"
+  "CMakeFiles/deisa_dts.dir/runtime.cpp.o.d"
+  "CMakeFiles/deisa_dts.dir/scheduler.cpp.o"
+  "CMakeFiles/deisa_dts.dir/scheduler.cpp.o.d"
+  "CMakeFiles/deisa_dts.dir/worker.cpp.o"
+  "CMakeFiles/deisa_dts.dir/worker.cpp.o.d"
+  "libdeisa_dts.a"
+  "libdeisa_dts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_dts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

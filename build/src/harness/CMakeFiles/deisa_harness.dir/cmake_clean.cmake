@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_harness.dir/scenario.cpp.o"
+  "CMakeFiles/deisa_harness.dir/scenario.cpp.o.d"
+  "libdeisa_harness.a"
+  "libdeisa_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/h5mini.cpp" "src/io/CMakeFiles/deisa_io.dir/h5mini.cpp.o" "gcc" "src/io/CMakeFiles/deisa_io.dir/h5mini.cpp.o.d"
+  "/root/repo/src/io/pfs.cpp" "src/io/CMakeFiles/deisa_io.dir/pfs.cpp.o" "gcc" "src/io/CMakeFiles/deisa_io.dir/pfs.cpp.o.d"
+  "/root/repo/src/io/posthoc.cpp" "src/io/CMakeFiles/deisa_io.dir/posthoc.cpp.o" "gcc" "src/io/CMakeFiles/deisa_io.dir/posthoc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/deisa_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/deisa_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/deisa_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deisa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deisa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dts/CMakeFiles/deisa_dts.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deisa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/deisa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_io.dir/h5mini.cpp.o"
+  "CMakeFiles/deisa_io.dir/h5mini.cpp.o.d"
+  "CMakeFiles/deisa_io.dir/pfs.cpp.o"
+  "CMakeFiles/deisa_io.dir/pfs.cpp.o.d"
+  "CMakeFiles/deisa_io.dir/posthoc.cpp.o"
+  "CMakeFiles/deisa_io.dir/posthoc.cpp.o.d"
+  "libdeisa_io.a"
+  "libdeisa_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_linalg.dir/decomp.cpp.o"
+  "CMakeFiles/deisa_linalg.dir/decomp.cpp.o.d"
+  "CMakeFiles/deisa_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/deisa_linalg.dir/matrix.cpp.o.d"
+  "libdeisa_linalg.a"
+  "libdeisa_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_ml.dir/insitu.cpp.o"
+  "CMakeFiles/deisa_ml.dir/insitu.cpp.o.d"
+  "CMakeFiles/deisa_ml.dir/pca.cpp.o"
+  "CMakeFiles/deisa_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/deisa_ml.dir/streaming.cpp.o"
+  "CMakeFiles/deisa_ml.dir/streaming.cpp.o.d"
+  "libdeisa_ml.a"
+  "libdeisa_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_mpix.dir/comm.cpp.o"
+  "CMakeFiles/deisa_mpix.dir/comm.cpp.o.d"
+  "libdeisa_mpix.a"
+  "libdeisa_mpix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_mpix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

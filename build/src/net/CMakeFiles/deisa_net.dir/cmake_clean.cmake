@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_net.dir/cluster.cpp.o"
+  "CMakeFiles/deisa_net.dir/cluster.cpp.o.d"
+  "libdeisa_net.a"
+  "libdeisa_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

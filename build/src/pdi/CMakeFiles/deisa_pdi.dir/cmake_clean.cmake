@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_pdi.dir/datastore.cpp.o"
+  "CMakeFiles/deisa_pdi.dir/datastore.cpp.o.d"
+  "CMakeFiles/deisa_pdi.dir/deisa_plugin.cpp.o"
+  "CMakeFiles/deisa_pdi.dir/deisa_plugin.cpp.o.d"
+  "libdeisa_pdi.a"
+  "libdeisa_pdi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_pdi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

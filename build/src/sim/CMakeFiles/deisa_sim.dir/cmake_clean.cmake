@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_sim.dir/engine.cpp.o"
+  "CMakeFiles/deisa_sim.dir/engine.cpp.o.d"
+  "libdeisa_sim.a"
+  "libdeisa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

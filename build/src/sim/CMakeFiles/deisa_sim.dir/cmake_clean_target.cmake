@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeisa_sim.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_util.dir/error.cpp.o"
+  "CMakeFiles/deisa_util.dir/error.cpp.o.d"
+  "CMakeFiles/deisa_util.dir/log.cpp.o"
+  "CMakeFiles/deisa_util.dir/log.cpp.o.d"
+  "CMakeFiles/deisa_util.dir/rng.cpp.o"
+  "CMakeFiles/deisa_util.dir/rng.cpp.o.d"
+  "CMakeFiles/deisa_util.dir/stats.cpp.o"
+  "CMakeFiles/deisa_util.dir/stats.cpp.o.d"
+  "CMakeFiles/deisa_util.dir/strings.cpp.o"
+  "CMakeFiles/deisa_util.dir/strings.cpp.o.d"
+  "CMakeFiles/deisa_util.dir/table.cpp.o"
+  "CMakeFiles/deisa_util.dir/table.cpp.o.d"
+  "CMakeFiles/deisa_util.dir/units.cpp.o"
+  "CMakeFiles/deisa_util.dir/units.cpp.o.d"
+  "libdeisa_util.a"
+  "libdeisa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

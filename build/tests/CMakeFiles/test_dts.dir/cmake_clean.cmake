@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dts.dir/test_dts.cpp.o"
+  "CMakeFiles/test_dts.dir/test_dts.cpp.o.d"
+  "test_dts"
+  "test_dts.pdb"
+  "test_dts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dts_fault.dir/test_dts_fault.cpp.o"
+  "CMakeFiles/test_dts_fault.dir/test_dts_fault.cpp.o.d"
+  "test_dts_fault"
+  "test_dts_fault.pdb"
+  "test_dts_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dts_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dts_property.dir/test_dts_property.cpp.o"
+  "CMakeFiles/test_dts_property.dir/test_dts_property.cpp.o.d"
+  "test_dts_property"
+  "test_dts_property.pdb"
+  "test_dts_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dts_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

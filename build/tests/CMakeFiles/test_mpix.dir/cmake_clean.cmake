@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpix.dir/test_mpix.cpp.o"
+  "CMakeFiles/test_mpix.dir/test_mpix.cpp.o.d"
+  "test_mpix"
+  "test_mpix.pdb"
+  "test_mpix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mpix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdi.dir/test_pdi.cpp.o"
+  "CMakeFiles/test_pdi.dir/test_pdi.cpp.o.d"
+  "test_pdi"
+  "test_pdi.pdb"
+  "test_pdi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_mpix[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_dts[1]_include.cmake")
+include("/root/repo/build/tests/test_array[1]_include.cmake")
+include("/root/repo/build/tests/test_ml[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_pdi[1]_include.cmake")
+include("/root/repo/build/tests/test_dts_fault[1]_include.cmake")
+include("/root/repo/build/tests/test_streaming[1]_include.cmake")
+include("/root/repo/build/tests/test_dts_property[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_scenario.dir/deisa_scenario.cpp.o"
+  "CMakeFiles/deisa_scenario.dir/deisa_scenario.cpp.o.d"
+  "deisa_scenario"
+  "deisa_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
