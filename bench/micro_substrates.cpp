@@ -7,6 +7,7 @@
 #include "deisa/dts/runtime.hpp"
 #include "deisa/linalg/decomp.hpp"
 #include "deisa/ml/pca.hpp"
+#include "deisa/obs/observation.hpp"
 #include "deisa/sim/engine.hpp"
 #include "deisa/sim/primitives.hpp"
 #include "deisa/util/rng.hpp"
@@ -190,6 +191,37 @@ void BM_SchedulerTaskChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SchedulerTaskChain)->Arg(500);
+
+// Same pipeline with the full observability layer attached (trace
+// recorder + metrics registry + sim clock). The delta against
+// BM_SchedulerTaskChain is the cost of tracing; BM_SchedulerTaskChain
+// itself measures the disabled path (null-pointer checks only).
+void BM_SchedulerTaskChainTraced(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    deisa::obs::Recorder recorder;
+    deisa::obs::MetricsRegistry registry;
+    deisa::obs::ObservationScope scope(&recorder, &registry,
+                                       [&eng] { return eng.now(); });
+    net::ClusterParams cp;
+    cp.physical_nodes = 8;
+    net::Cluster cluster(eng, cp);
+    dts::RuntimeParams rp;
+    rp.scheduler.service_base = 0;
+    rp.scheduler.service_per_task = 0;
+    rp.scheduler.service_per_key = 0;
+    rp.worker.heartbeat_interval = 0;
+    dts::Runtime rt(eng, cluster, 0, {1, 2}, rp);
+    rt.start();
+    dts::Client& client = rt.make_client(3);
+    eng.spawn(scheduler_pipeline(client, rt, n));
+    eng.run();
+    benchmark::DoNotOptimize(recorder.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerTaskChainTraced)->Arg(500);
 
 }  // namespace
 

@@ -1,11 +1,15 @@
 #include "deisa/core/adaptor.hpp"
 
+#include "deisa/obs/metrics.hpp"
+#include "deisa/obs/trace.hpp"
+
 namespace deisa::core {
 
 Adaptor::Adaptor(dts::Client& client, Mode mode)
     : client_(&client), mode_(mode) {}
 
 sim::Co<std::vector<VirtualArray>> Adaptor::get_deisa_arrays() {
+  obs::Span span = obs::trace_span("adaptor", "contract", "get_deisa_arrays");
   const dts::Data d = co_await client_->variable_get(kArraysVariable);
   offered_ = d.as<std::vector<VirtualArray>>();
   got_arrays_ = true;
@@ -46,6 +50,7 @@ std::pair<std::vector<dts::Key>, std::vector<int>> selected_chunks(
 }  // namespace
 
 sim::Co<std::map<std::string, array::DArray>> Adaptor::validate_contract() {
+  obs::Span span = obs::trace_span("adaptor", "contract", "validate_contract");
   DEISA_CHECK(got_arrays_, "no arrays received yet");
   DEISA_CHECK(!contract_.selections.empty(), "no selection recorded");
   DEISA_CHECK(uses_external_tasks(mode_),
@@ -65,6 +70,7 @@ sim::Co<std::map<std::string, array::DArray>> Adaptor::validate_contract() {
     // blocks outside the contract are never sent, so they must not leave
     // tasks pending in the scheduler.
     auto [keys, workers] = selected_chunks(da, box);
+    obs::count("adaptor.external_futures", keys.size());
     co_await client_->external_futures(std::move(keys), std::move(workers));
     out.emplace(name, std::move(da));
   }
@@ -81,6 +87,8 @@ sim::Co<std::map<std::string, array::DArray>> Adaptor::validate_contract() {
 
 sim::Co<std::map<std::string, array::DArray>> Adaptor::deisa1_publish_selection(
     int nranks) {
+  obs::Span span =
+      obs::trace_span("adaptor", "contract", "deisa1_publish_selection");
   DEISA_CHECK(mode_ == Mode::kDeisa1, "deisa1_publish_selection needs DEISA1");
   DEISA_CHECK(got_arrays_, "no arrays received yet");
   contract_.validate_against(offered_);

@@ -1,6 +1,15 @@
 #include "deisa/core/bridge.hpp"
 
+#include "deisa/obs/metrics.hpp"
+#include "deisa/obs/trace.hpp"
+
 namespace deisa::core {
+
+namespace {
+
+std::string bridge_lane(int rank) { return "rank-" + std::to_string(rank); }
+
+}  // namespace
 
 Bridge::Bridge(dts::Client& client, Mode mode, int rank, int nranks)
     : client_(&client), mode_(mode), rank_(rank), nranks_(nranks) {
@@ -17,6 +26,8 @@ sim::Co<void> Bridge::publish_arrays(std::vector<VirtualArray> arrays) {
 }
 
 sim::Co<void> Bridge::wait_contract() {
+  obs::Span span = obs::trace_span("bridge", bridge_lane(rank_),
+                                   "wait_contract");
   const dts::Data d = co_await client_->variable_get(kContractVariable);
   contract_ = d.as<Contract>();
   has_contract_ = true;
@@ -44,12 +55,21 @@ sim::Co<bool> Bridge::send_block(const VirtualArray& va,
               "deisa1_send_block");
   if (!contract_.includes(va, coord)) {
     ++blocks_filtered_;
+    obs::count("bridge.blocks_filtered");
+    obs::trace_instant("bridge", bridge_lane(rank_), "filtered:" + va.name);
     co_return false;
   }
   const dts::Key key = array::chunk_key(array::kDeisaPrefix, va.name, coord);
+  const std::uint64_t bytes = data.bytes;
+  obs::Span span = obs::trace_span("bridge", bridge_lane(rank_), key);
+  if (span.active()) span.add_arg(obs::arg("bytes", bytes));
   co_await client_->scatter(key, std::move(data), preselect_worker(va, coord),
                             /*external=*/true);
   ++blocks_sent_;
+  if (auto* m = obs::metrics()) {
+    m->counter("bridge.blocks_sent").add();
+    m->counter("bridge.bytes_sent").add(bytes);
+  }
   co_return true;
 }
 
@@ -58,6 +78,8 @@ sim::Co<void> Bridge::run_heartbeats(sim::Event& stop) {
 }
 
 sim::Co<void> Bridge::deisa1_fetch_selection() {
+  obs::Span span = obs::trace_span("bridge", bridge_lane(rank_),
+                                   "deisa1_fetch_selection");
   const dts::Data d = co_await client_->queue_get(deisa1_selection_queue(rank_));
   contract_ = d.as<Contract>();
   has_contract_ = true;
@@ -71,13 +93,23 @@ sim::Co<bool> Bridge::deisa1_send_block(const VirtualArray& va,
   bool sent = false;
   if (contract_.includes(va, coord)) {
     const dts::Key key = array::chunk_key(array::kDeisaPrefix, va.name, coord);
+    const std::uint64_t bytes = data.bytes;
+    obs::Span span = obs::trace_span("bridge", bridge_lane(rank_), key);
+    if (span.active()) span.add_arg(obs::arg("bytes", bytes));
     co_await client_->scatter(key, std::move(data),
                               preselect_worker(va, coord),
                               /*external=*/false);
+    span.finish();
     ++blocks_sent_;
+    if (auto* m = obs::metrics()) {
+      m->counter("bridge.blocks_sent").add();
+      m->counter("bridge.bytes_sent").add(bytes);
+    }
     sent = true;
   } else {
     ++blocks_filtered_;
+    obs::count("bridge.blocks_filtered");
+    obs::trace_instant("bridge", bridge_lane(rank_), "filtered:" + va.name);
   }
   // Notify the adaptor that this rank finished the step (whether or not
   // the block passed the filter) so it can submit the step's graph.

@@ -65,6 +65,7 @@ private:
   struct TaskRecord {
     TaskSpec spec;
     TaskState state = TaskState::kWaiting;
+    double state_since = 0.0;  // sim time of the last transition (tracing)
     int nwaiting = 0;  // unfinished dependencies
     std::vector<Key> dependents;
     int worker = -1;
@@ -76,6 +77,11 @@ private:
   };
 
   double service_time(const SchedMsg& msg);
+  /// Record a task entering the state machine (tracing/metrics).
+  void record_created(const Key& key, TaskRecord& rec);
+  /// Move `rec` to state `to`, emitting the lifecycle event (a span for
+  /// the time spent in the previous state) and transition counters.
+  void transition(const Key& key, TaskRecord& rec, TaskState to);
   sim::Co<void> handle(SchedMsg msg);
   sim::Co<void> handle_update_graph(SchedMsg& msg);
   sim::Co<void> handle_task_finished(SchedMsg& msg);

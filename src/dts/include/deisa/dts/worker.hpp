@@ -59,10 +59,14 @@ private:
   void store_put(const Key& key, Data data);
   sim::Co<void> notify_scheduler(SchedMsg msg);
 
+  /// Update the memory gauge + counter track after a store change.
+  void record_memory() const;
+
   sim::Engine* engine_;
   net::Cluster* cluster_;
   int id_;
   int node_;
+  std::string actor_;  // trace actor name, "worker-<id>"
   WorkerParams params_;
   sim::Channel<WorkerMsg> inbox_;
   sim::FifoServer cpu_;

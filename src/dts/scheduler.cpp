@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "deisa/obs/metrics.hpp"
+#include "deisa/obs/trace.hpp"
+#include "deisa/util/log.hpp"
+
 namespace deisa::dts {
 
 const char* to_string(TaskState s) {
@@ -92,11 +96,56 @@ double Scheduler::service_time(const SchedMsg& msg) {
   return t;
 }
 
+void Scheduler::record_created(const Key& key, TaskRecord& rec) {
+  rec.state_since = engine_->now();
+  if (auto* m = obs::metrics()) {
+    m->counter("scheduler.tasks.created").add();
+    m->counter(std::string("scheduler.created.") + to_string(rec.state))
+        .add();
+  }
+  if (auto* r = obs::tracer())
+    r->instant(r->track("scheduler", "lifecycle"), "create:" + key,
+               {obs::arg("state", to_string(rec.state))});
+}
+
+void Scheduler::transition(const Key& key, TaskRecord& rec, TaskState to) {
+  const TaskState from = rec.state;
+  DEISA_ASSERT(from != to, "self-transition on task " << key);
+  DEISA_TRACE("scheduler",
+              key << ": " << to_string(from) << " -> " << to_string(to));
+  if (auto* m = obs::metrics())
+    m->counter(std::string("scheduler.transitions.") + to_string(from) +
+               "->" + to_string(to))
+        .add();
+  if (auto* r = obs::tracer()) {
+    // Time spent in the state being left, as a span on that state's lane;
+    // terminal states (memory/erred) show up as lifecycle instants.
+    const double now = engine_->now();
+    r->complete(r->track("scheduler", to_string(from)), key, rec.state_since,
+                now - rec.state_since, {obs::arg("to", to_string(to))});
+    r->instant(r->track("scheduler", "lifecycle"), key,
+               {obs::arg("from", to_string(from)),
+                obs::arg("to", to_string(to))});
+  }
+  rec.state = to;
+  rec.state_since = engine_->now();
+}
+
 sim::Co<void> Scheduler::run() {
   while (true) {
     SchedMsg msg = co_await inbox_.recv();
     ++total_messages_;
     ++arrivals_[msg.kind];
+    if (auto* m = obs::metrics()) {
+      m->counter("scheduler.messages.total").add();
+      m->counter(std::string("scheduler.messages.") + to_string(msg.kind))
+          .add();
+    }
+    // Guarded so the disabled path never builds the name string: this
+    // loop is the scheduler-throughput hot path.
+    obs::Span span;
+    if (obs::tracer() != nullptr)
+      span = obs::trace_span("scheduler", "inbox", to_string(msg.kind));
     co_await server_.serve(service_time(msg));
     if (msg.kind == SchedMsgKind::kShutdown) {
       stopping_ = true;
@@ -134,9 +183,11 @@ sim::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
   for (auto& spec : msg.tasks) {
     DEISA_CHECK(records_.count(spec.key) == 0,
                 "task key resubmitted: " << spec.key);
+    Key key = spec.key;
     TaskRecord rec;
     rec.spec = std::move(spec);
-    records_.emplace(rec.spec.key, std::move(rec));
+    const auto it = records_.emplace(std::move(key), std::move(rec)).first;
+    record_created(it->first, it->second);
   }
   msg.tasks.clear();
   // Pass 2: wire dependency edges and count unfinished inputs.
@@ -154,7 +205,7 @@ sim::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
                       << "only depend on data already in the cluster");
       TaskRecord& drec = it->second;
       if (drec.state == TaskState::kErred) {
-        rec.state = TaskState::kErred;
+        transition(key, rec, TaskState::kErred);
         rec.error = "dependency erred: " + dep;
         fresh = false;
         break;
@@ -203,7 +254,7 @@ sim::Co<void> Scheduler::assign(const Key& key) {
                    rec.state == TaskState::kReady,
                "assigning task in state " << to_string(rec.state));
   const int w = decide_worker(rec);
-  rec.state = TaskState::kProcessing;
+  transition(key, rec, TaskState::kProcessing);
   rec.worker = w;
   WorkerMsg m(WorkerMsgKind::kCompute);
   m.spec = rec.spec;
@@ -219,7 +270,7 @@ sim::Co<void> Scheduler::assign(const Key& key) {
 sim::Co<void> Scheduler::finish_task(const Key& key, TaskRecord& rec,
                                      int worker, std::uint64_t bytes,
                                      bool erred, const std::string& error) {
-  rec.state = erred ? TaskState::kErred : TaskState::kMemory;
+  transition(key, rec, erred ? TaskState::kErred : TaskState::kMemory);
   rec.worker = worker;
   rec.bytes = bytes;
   rec.error = error;
@@ -241,7 +292,7 @@ sim::Co<void> Scheduler::finish_task(const Key& key, TaskRecord& rec,
       if (drec.state == TaskState::kErred ||
           drec.state == TaskState::kMemory)
         continue;
-      drec.state = TaskState::kErred;
+      transition(dkey, drec, TaskState::kErred);
       drec.error = "dependency erred: " + key;
       for (std::size_t i = 0; i < drec.waiters.size(); ++i)
         co_await reply_int(drec.waiters[i], drec.waiter_nodes[i], -2);
@@ -271,7 +322,8 @@ sim::Co<void> Scheduler::handle_task_finished(SchedMsg& msg) {
     // Transient failure: re-run (dask's `retries=` semantics). The task
     // returns to ready and is re-assigned (possibly elsewhere).
     ++retries_performed_;
-    rec.state = TaskState::kReady;
+    obs::count("scheduler.retries");
+    transition(msg.key, rec, TaskState::kReady);
     co_await assign(msg.key);
     co_return;
   }
@@ -288,7 +340,8 @@ sim::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
     rec.state = TaskState::kMemory;
     rec.worker = msg.worker;
     rec.bytes = msg.bytes;
-    records_.emplace(msg.key, std::move(rec));
+    const auto fresh = records_.emplace(msg.key, std::move(rec)).first;
+    record_created(fresh->first, fresh->second);
   } else {
     TaskRecord& rec = it->second;
     if (rec.state == TaskState::kExternal) {
@@ -328,7 +381,8 @@ void Scheduler::handle_create_external(SchedMsg& msg) {
     if (!msg.preferred_workers.empty())
       rec.spec.preferred_worker = msg.preferred_workers[i];
     rec.state = TaskState::kExternal;
-    records_.emplace(key, std::move(rec));
+    const auto it = records_.emplace(key, std::move(rec)).first;
+    record_created(it->first, it->second);
   }
 }
 

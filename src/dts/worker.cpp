@@ -1,5 +1,8 @@
 #include "deisa/dts/worker.hpp"
 
+#include "deisa/obs/metrics.hpp"
+#include "deisa/obs/trace.hpp"
+
 namespace deisa::dts {
 
 Worker::Worker(sim::Engine& engine, net::Cluster& cluster, int id, int node,
@@ -8,9 +11,19 @@ Worker::Worker(sim::Engine& engine, net::Cluster& cluster, int id, int node,
       cluster_(&cluster),
       id_(id),
       node_(node),
+      actor_("worker-" + std::to_string(id)),
       params_(params),
       inbox_(engine),
       cpu_(engine, static_cast<std::size_t>(std::max(1, params.nthreads))) {}
+
+void Worker::record_memory() const {
+  if (auto* m = obs::metrics())
+    m->gauge(actor_ + ".memory_bytes")
+        .set(static_cast<double>(memory_bytes_));
+  if (auto* r = obs::tracer())
+    r->counter(r->track(actor_, "memory"), "memory_bytes",
+               static_cast<double>(memory_bytes_));
+}
 
 void Worker::attach(int scheduler_node,
                     sim::Channel<SchedMsg>* scheduler_inbox,
@@ -57,6 +70,7 @@ bool Worker::release_key(const Key& key) {
   if (it == store_.end()) return false;
   memory_bytes_ -= it->second.bytes;
   store_.erase(it);
+  record_memory();
   return true;
 }
 
@@ -66,6 +80,7 @@ void Worker::store_put(const Key& key, Data data) {
   if (old != store_.end()) memory_bytes_ -= old->second.bytes;
   memory_bytes_ += data.bytes;
   store_[key] = std::move(data);
+  record_memory();
   const auto it = arrivals_.find(key);
   if (it != arrivals_.end()) {
     it->second->set();
@@ -97,6 +112,9 @@ sim::Co<Data> Worker::fetch(const DepLocation& dep) {
   DEISA_CHECK(static_cast<std::size_t>(dep.owner) < peers_.size(),
               "dep owner " << dep.owner << " unknown");
   const WorkerRef& peer = peers_[static_cast<std::size_t>(dep.owner)];
+  obs::Span span = obs::trace_span(actor_, "transfer", dep.key);
+  if (span.active())
+    span.add_arg(obs::arg("from_worker", static_cast<std::uint64_t>(dep.owner)));
   auto reply = std::make_shared<sim::Channel<Data>>(*engine_);
   co_await cluster_->send_control(node_, peer.node, 128 + dep.key.size());
   WorkerMsg req(WorkerMsgKind::kGetData);
@@ -105,6 +123,12 @@ sim::Co<Data> Worker::fetch(const DepLocation& dep) {
   req.reply_data = reply;
   peer.inbox->send(std::move(req));
   Data d = co_await reply->recv();
+  if (span.active()) span.add_arg(obs::arg("bytes", d.bytes));
+  span.finish();
+  if (auto* m = obs::metrics()) {
+    m->counter("worker.peer_fetches").add();
+    m->counter("worker.peer_fetch_bytes").add(d.bytes);
+  }
   // Cache locally, as dask workers do.
   store_put(dep.key, d);
   co_return d;
@@ -130,6 +154,8 @@ sim::Co<void> Worker::handle_compute(TaskSpec spec,
   done.key = spec.key;
   done.worker = id_;
   done.sender_node = node_;
+  const double exec_start = engine_->now();
+  obs::Span span = obs::trace_span(actor_, "execute", spec.key);
   try {
     if (spec.io) co_await spec.io();
     co_await cpu_.serve(spec.cost);
@@ -140,11 +166,19 @@ sim::Co<void> Worker::handle_compute(TaskSpec spec,
       out = Data::sized(spec.out_bytes);
     }
     done.bytes = out.bytes;
+    if (span.active()) span.add_arg(obs::arg("bytes", out.bytes));
     store_put(spec.key, std::move(out));
     ++tasks_executed_;
   } catch (const std::exception& e) {
     done.erred = true;
     done.error = e.what();
+    if (span.active()) span.add_arg(obs::arg("error", done.error));
+  }
+  span.finish();
+  if (auto* m = obs::metrics()) {
+    m->counter("worker.tasks_executed").add();
+    m->histogram("worker.execute_seconds").observe(engine_->now() - exec_start);
+    if (done.erred) m->counter("worker.tasks_erred").add();
   }
   co_await notify_scheduler(std::move(done));
 }

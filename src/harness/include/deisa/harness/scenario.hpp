@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "deisa/io/pfs.hpp"
 #include "deisa/ml/insitu.hpp"
 #include "deisa/net/cluster.hpp"
+#include "deisa/obs/metrics.hpp"
+#include "deisa/obs/trace.hpp"
 #include "deisa/util/stats.hpp"
 
 namespace deisa::harness {
@@ -66,6 +69,14 @@ struct ScenarioParams {
   /// ahead-of-time-graph contribution from the external-task transport).
   bool force_per_step_analytics = false;
 
+  /// Record a full event trace of the run (spans/instants in sim time,
+  /// exportable as Chrome trace JSON). Metrics are always collected; the
+  /// trace recorder is only attached when this is set.
+  bool trace = false;
+  /// Ring-buffer capacity of the trace recorder (bounded memory; oldest
+  /// events are evicted beyond this).
+  std::size_t trace_capacity = obs::Recorder::kDefaultCapacity;
+
   static net::ClusterParams irene_cluster();
   static dts::SchedulerParams paper_scheduler();
   /// Per-rank local block edge (square blocks of doubles).
@@ -102,6 +113,11 @@ struct RunResult {
   double scheduler_busy_seconds = 0.0;
   std::uint64_t pfs_bytes_written = 0;
   std::uint64_t pfs_bytes_read = 0;
+
+  /// Snapshot of every counter/gauge/histogram the run produced.
+  obs::MetricsSnapshot metrics;
+  /// Event trace of the run (only set when ScenarioParams::trace).
+  std::shared_ptr<obs::Recorder> trace;
 
   // Functional-mode outputs (real_data only).
   std::vector<double> singular_values;

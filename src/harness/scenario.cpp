@@ -7,6 +7,7 @@
 #include "deisa/core/bridge.hpp"
 #include "deisa/io/posthoc.hpp"
 #include "deisa/mpix/comm.hpp"
+#include "deisa/obs/observation.hpp"
 
 namespace deisa::harness {
 
@@ -489,6 +490,16 @@ sim::Co<void> orchestrator(World& w, SharedState& st, RunResult& res) {
 
 RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
   World w(params);
+  // Attach the observability layer for the duration of the run: a metrics
+  // registry always, a trace recorder only when asked for, both stamped
+  // with the engine's simulated time. Previous installations (e.g. an
+  // outer test harness) are restored on return.
+  std::shared_ptr<obs::Recorder> recorder;
+  if (params.trace)
+    recorder = std::make_shared<obs::Recorder>(params.trace_capacity);
+  obs::MetricsRegistry registry;
+  obs::ObservationScope scope(recorder.get(), &registry,
+                              [&engine = w.engine] { return engine.now(); });
   SharedState st(w.engine);
   RunResult res;
   res.pipeline = pipeline;
@@ -569,6 +580,8 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
   }
   res.pfs_bytes_written = w.pfs.bytes_written();
   res.pfs_bytes_read = w.pfs.bytes_read();
+  res.metrics = registry.snapshot();
+  res.trace = std::move(recorder);
   return res;
 }
 

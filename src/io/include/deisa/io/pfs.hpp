@@ -49,7 +49,8 @@ public:
   std::uint64_t ops() const { return ops_; }
 
 private:
-  sim::Co<void> io_op(std::uint64_t bytes, double extra_latency);
+  sim::Co<void> io_op(const char* op, std::uint64_t bytes,
+                      double extra_latency);
   double jitter();
 
   sim::Engine* engine_;

@@ -1,5 +1,8 @@
 #include "deisa/io/pfs.hpp"
 
+#include "deisa/obs/metrics.hpp"
+#include "deisa/obs/trace.hpp"
+
 namespace deisa::io {
 
 Pfs::Pfs(sim::Engine& engine, PfsParams params)
@@ -15,8 +18,12 @@ double Pfs::jitter() {
   return rng_.lognormal_mean(1.0, params_.jitter_sigma);
 }
 
-sim::Co<void> Pfs::io_op(std::uint64_t bytes, double extra_latency) {
+sim::Co<void> Pfs::io_op(const char* op, std::uint64_t bytes,
+                         double extra_latency) {
   ++ops_;
+  const double start = engine_->now();
+  obs::Span span = obs::trace_span("pfs", "streams", op);
+  if (span.active()) span.add_arg(obs::arg("bytes", bytes));
   co_await streams_.acquire();
   const double duration =
       (params_.metadata_latency + extra_latency +
@@ -24,18 +31,25 @@ sim::Co<void> Pfs::io_op(std::uint64_t bytes, double extra_latency) {
       jitter();
   co_await engine_->delay(duration);
   streams_.release();
+  span.finish();
+  if (auto* m = obs::metrics()) {
+    m->counter("pfs.ops").add();
+    m->histogram("pfs.op_seconds").observe(engine_->now() - start);
+  }
 }
 
 sim::Co<void> Pfs::write(const std::string& path, std::uint64_t bytes) {
   double extra = 0.0;
   if (created_.insert(path).second) extra = params_.file_create_cost;
   bytes_written_ += bytes;
-  co_await io_op(bytes, extra);
+  obs::count("pfs.bytes_written", bytes);
+  co_await io_op("write", bytes, extra);
 }
 
 sim::Co<void> Pfs::read(const std::string& /*path*/, std::uint64_t bytes) {
   bytes_read_ += bytes;
-  co_await io_op(bytes, 0.0);
+  obs::count("pfs.bytes_read", bytes);
+  co_await io_op("read", bytes, 0.0);
 }
 
 }  // namespace deisa::io

@@ -5,6 +5,9 @@
 #include <memory>
 #include <numeric>
 
+#include "deisa/obs/metrics.hpp"
+#include "deisa/obs/trace.hpp"
+
 namespace deisa::net {
 
 Cluster::Cluster(sim::Engine& engine, ClusterParams params)
@@ -68,6 +71,26 @@ sim::Co<void> Cluster::transfer(int src, int dst, std::uint64_t bytes) {
               "dst node " << dst << " out of range");
   ++stats_.count;
   stats_.bytes += bytes;
+  const double start = engine_->now();
+  obs::Span span;
+  if (obs::tracer() != nullptr) {
+    span = obs::trace_span(
+        "net", "transfer",
+        "n" + std::to_string(src) + "->n" + std::to_string(dst));
+    span.add_arg(obs::arg("bytes", bytes));
+  }
+  if (auto* m = obs::metrics()) {
+    m->counter("net.transfers").add();
+    m->counter("net.bytes").add(bytes);
+  }
+  struct TransferDone {
+    sim::Engine* engine;
+    double start;
+    ~TransferDone() {
+      if (auto* m = obs::metrics())
+        m->histogram("net.transfer_seconds").observe(engine->now() - start);
+    }
+  } done_guard{engine_, start};
   const double lat = base_latency(src, dst);
   if (src == dst) {
     // Intra-node copy through shared memory; two memcpy engines per node.
@@ -103,6 +126,10 @@ sim::Co<void> Cluster::transfer(int src, int dst, std::uint64_t bytes) {
 sim::Co<void> Cluster::send_control(int src, int dst, std::uint64_t bytes) {
   ++stats_.count;
   stats_.bytes += bytes;
+  if (auto* m = obs::metrics()) {
+    m->counter("net.control_messages").add();
+    m->counter("net.bytes").add(bytes);
+  }
   const double duration =
       (base_latency(src, dst) +
        static_cast<double>(bytes) / params_.link_bandwidth) *

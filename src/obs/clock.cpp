@@ -1,0 +1,35 @@
+#include "deisa/obs/clock.hpp"
+
+#include <chrono>
+
+#include "deisa/util/log.hpp"
+
+namespace deisa::obs {
+
+SimClock::Source SimClock::source_;
+
+namespace {
+
+double wall_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
+
+void SimClock::set_source(Source source) {
+  source_ = std::move(source);
+  util::Log::set_time_source([] { return SimClock::now(); });
+}
+
+void SimClock::clear_source() {
+  source_ = nullptr;
+  util::Log::reset_time_source();
+}
+
+bool SimClock::active() { return static_cast<bool>(source_); }
+
+double SimClock::now() { return source_ ? source_() : wall_seconds(); }
+
+}  // namespace deisa::obs

@@ -1,0 +1,44 @@
+// SimClock — the process-wide time source every observability event is
+// stamped with. While a scenario runs, the harness binds it to the
+// discrete-event engine so traces, metrics and log lines all read
+// *simulated* seconds; outside a simulation it falls back to wall-clock
+// seconds since process start, so the same instrumentation works in
+// ordinary tools and tests.
+#pragma once
+
+#include <functional>
+
+namespace deisa::obs {
+
+class SimClock {
+public:
+  using Source = std::function<double()>;
+
+  /// Bind a time source (seconds). Also installs a log time source so
+  /// DEISA_LOG lines are prefixed with the simulated time.
+  static void set_source(Source source);
+  /// Unbind: now() reverts to wall time and log lines lose the prefix.
+  static void clear_source();
+  static bool active();
+
+  /// Current time in seconds: the bound source when active, otherwise
+  /// wall-clock seconds since the first call in this process.
+  static double now();
+
+private:
+  static Source source_;
+};
+
+/// RAII binding of the SimClock for the duration of one scope (one
+/// scenario run, one test body).
+class ScopedSimClock {
+public:
+  explicit ScopedSimClock(SimClock::Source source) {
+    SimClock::set_source(std::move(source));
+  }
+  ScopedSimClock(const ScopedSimClock&) = delete;
+  ScopedSimClock& operator=(const ScopedSimClock&) = delete;
+  ~ScopedSimClock() { SimClock::clear_source(); }
+};
+
+}  // namespace deisa::obs

@@ -1,0 +1,40 @@
+// Exporters for the observability layer:
+//   * Chrome trace-event JSON — load the file in ui.perfetto.dev or
+//     chrome://tracing. One pid per actor (scheduler, worker-N, bridge,
+//     pfs, net), one tid per lane within the actor; spans are "X"
+//     complete events, instants "i", counter samples "C". Timestamps are
+//     simulated microseconds.
+//   * Flat CSV — one row per event, for spreadsheets / pandas.
+//   * Metrics JSON and a human-readable metrics table.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "deisa/obs/metrics.hpp"
+#include "deisa/obs/trace.hpp"
+
+namespace deisa::obs {
+
+/// Escape a string for inclusion inside a JSON string literal (no quotes
+/// added).
+std::string json_escape(std::string_view s);
+
+/// Write the recorder's retained events as a Chrome trace-event JSON
+/// object: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+void write_chrome_trace(const Recorder& recorder, std::ostream& out);
+
+/// Write the recorder's retained events as CSV:
+/// type,actor,lane,name,ts_s,dur_s,value,args
+void write_trace_csv(const Recorder& recorder, std::ostream& out);
+
+/// Write a metrics snapshot as one JSON object with "counters", "gauges"
+/// and "histograms" sections.
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out);
+
+/// Render a metrics snapshot as aligned tables (counters then gauges then
+/// histograms) for terminal output.
+void write_metrics_table(const MetricsSnapshot& snapshot, std::ostream& out);
+
+}  // namespace deisa::obs

@@ -1,0 +1,169 @@
+// Structured trace recorder: spans, instants and counter samples keyed by
+// actor (scheduler / worker-N / bridge / pfs / net) and lane within the
+// actor, stamped with SimClock time. Events live in a fixed-capacity ring
+// buffer (bounded memory: old events are evicted, never reallocated past
+// the cap) and are exported post-run as Chrome trace-event JSON (one pid
+// per actor, one tid per lane — loadable in ui.perfetto.dev or
+// chrome://tracing) or flat CSV (export.hpp).
+//
+// Zero cost when disabled: instrumentation sites go through the
+// trace_span()/trace_instant()/trace_counter() helpers, which reduce to a
+// single null-pointer check when no recorder is installed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "deisa/obs/clock.hpp"
+
+namespace deisa::obs {
+
+/// Index into the recorder's track table.
+using TrackId = std::uint32_t;
+inline constexpr TrackId kNoTrack = 0xffffffffu;
+
+enum class EventType : std::uint8_t { kSpan, kInstant, kCounter };
+
+const char* to_string(EventType t);
+
+/// One key/value annotation. Numeric values are exported unquoted.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+TraceArg arg(std::string key, std::string value);
+TraceArg arg(std::string key, const char* value);
+TraceArg arg(std::string key, double value);
+TraceArg arg(std::string key, std::uint64_t value);
+
+struct TraceEvent {
+  EventType type = EventType::kInstant;
+  double ts = 0.0;   // seconds (SimClock domain)
+  double dur = 0.0;  // seconds; spans only
+  double value = 0.0;  // counters only
+  TrackId track = kNoTrack;
+  std::string name;
+  std::vector<TraceArg> args;
+};
+
+/// Actor/lane pair a track id resolves to.
+struct Track {
+  std::string actor;
+  std::string lane;
+};
+
+class Recorder;
+
+/// RAII span: records its start time on construction and emits one
+/// complete span event on finish()/destruction. Default-constructed (or
+/// recorder-less) spans are inert.
+class Span {
+public:
+  Span() = default;
+  Span(Recorder* recorder, TrackId track, std::string name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  ~Span() { finish(); }
+
+  bool active() const { return recorder_ != nullptr; }
+  void add_arg(TraceArg a);
+  /// Emit the span now (idempotent; also called by the destructor).
+  void finish();
+
+private:
+  Recorder* recorder_ = nullptr;
+  TrackId track_ = kNoTrack;
+  double t0_ = 0.0;
+  std::string name_;
+  std::vector<TraceArg> args_;
+};
+
+class Recorder {
+public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;
+
+  explicit Recorder(std::size_t capacity = kDefaultCapacity);
+
+  /// The process-wide recorder instrumentation writes to; nullptr (the
+  /// default) disables tracing everywhere.
+  static Recorder* current() { return current_; }
+  static void install(Recorder* recorder) { current_ = recorder; }
+
+  /// Resolve (actor, lane) to a stable track id, creating it on first use.
+  TrackId track(std::string_view actor, std::string_view lane);
+  const std::vector<Track>& tracks() const { return tracks_; }
+
+  void instant(TrackId track, std::string name,
+               std::vector<TraceArg> args = {});
+  /// Record a span with explicit timing (RAII spans call this).
+  void complete(TrackId track, std::string name, double ts, double dur,
+                std::vector<TraceArg> args = {});
+  /// Sample a named counter series (rendered as a counter track).
+  void counter(TrackId track, std::string name, double value);
+  /// Start an RAII span at SimClock::now().
+  Span span(TrackId track, std::string name) {
+    return Span(this, track, std::move(name));
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }
+  /// Events evicted because the ring was full.
+  std::uint64_t dropped() const { return total_ - ring_.size(); }
+  std::uint64_t total_recorded() const { return total_; }
+  void clear();
+
+  /// Visit retained events oldest-first.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      fn(ring_[(next_ + i) % ring_.size()]);
+  }
+  /// Retained events oldest-first (copies; for tests and exporters that
+  /// want random access).
+  std::vector<TraceEvent> events() const;
+
+private:
+  void push(TraceEvent ev);
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // oldest slot once the ring has wrapped
+  std::uint64_t total_ = 0;
+  std::map<std::pair<std::string, std::string>, TrackId> track_ids_;
+  std::vector<Track> tracks_;
+
+  static Recorder* current_;
+};
+
+/// The installed recorder, or nullptr when tracing is disabled.
+inline Recorder* tracer() { return Recorder::current(); }
+
+/// Start a span on the installed recorder; inert when tracing is off.
+inline Span trace_span(std::string_view actor, std::string_view lane,
+                       std::string name) {
+  Recorder* r = Recorder::current();
+  if (r == nullptr) return {};
+  return r->span(r->track(actor, lane), std::move(name));
+}
+
+inline void trace_instant(std::string_view actor, std::string_view lane,
+                          std::string name, std::vector<TraceArg> args = {}) {
+  if (Recorder* r = Recorder::current())
+    r->instant(r->track(actor, lane), std::move(name), std::move(args));
+}
+
+inline void trace_counter(std::string_view actor, std::string_view lane,
+                          std::string name, double value) {
+  if (Recorder* r = Recorder::current())
+    r->counter(r->track(actor, lane), std::move(name), value);
+}
+
+}  // namespace deisa::obs

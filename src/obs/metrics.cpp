@@ -1,0 +1,32 @@
+#include "deisa/obs/metrics.hpp"
+
+namespace deisa::obs {
+
+MetricsRegistry* MetricsRegistry::current_ = nullptr;
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace(name, c.value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace(name, g.value());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary s;
+    s.count = h.count();
+    s.mean = h.stats().mean();
+    s.stddev = h.stats().stddev();
+    s.min = h.stats().min();
+    s.max = h.stats().max();
+    s.p50 = h.percentile(0.50);
+    s.p95 = h.percentile(0.95);
+    s.p99 = h.percentile(0.99);
+    snap.histograms.emplace(name, s);
+  }
+  return snap;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace deisa::obs

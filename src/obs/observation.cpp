@@ -1,0 +1,24 @@
+#include "deisa/obs/observation.hpp"
+
+namespace deisa::obs {
+
+ObservationScope::ObservationScope(Recorder* recorder,
+                                   MetricsRegistry* registry,
+                                   SimClock::Source clock)
+    : previous_recorder_(Recorder::current()),
+      previous_registry_(MetricsRegistry::current()) {
+  Recorder::install(recorder);
+  MetricsRegistry::install(registry);
+  if (clock) {
+    SimClock::set_source(std::move(clock));
+    clock_bound_ = true;
+  }
+}
+
+ObservationScope::~ObservationScope() {
+  if (clock_bound_) SimClock::clear_source();
+  MetricsRegistry::install(previous_registry_);
+  Recorder::install(previous_recorder_);
+}
+
+}  // namespace deisa::obs

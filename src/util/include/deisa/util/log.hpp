@@ -1,5 +1,11 @@
 // Minimal leveled logger. Single-threaded by design: all deisa-cpp actors
 // run on one deterministic event loop, so no locking is needed.
+//
+// The default level is kWarn; set the DEISA_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error|off) to override it without recompiling.
+// When a time source is installed (the harness binds the simulated clock
+// through obs::SimClock), every line is prefixed with the current
+// simulated time so logs correlate with trace events.
 #pragma once
 
 #include <functional>
@@ -21,6 +27,12 @@ public:
   static void set_sink(std::function<void(LogLevel, const std::string&)> sink);
   static void reset_sink();
 
+  /// Install a time source whose value (seconds) prefixes every line as
+  /// `[t=...s]`. Used to stamp simulated time while a scenario runs.
+  static void set_time_source(std::function<double()> source);
+  static void reset_time_source();
+  static bool has_time_source() { return static_cast<bool>(time_source_); }
+
   static bool enabled(LogLevel lvl) { return lvl >= level_; }
   static void write(LogLevel lvl, const std::string& component,
                     const std::string& message);
@@ -28,11 +40,14 @@ public:
 private:
   static LogLevel level_;
   static std::function<void(LogLevel, const std::string&)> sink_;
+  static std::function<double()> time_source_;
 };
 
 const char* to_string(LogLevel lvl);
 
-}  // namespace deisa::util
+/// Parse a level name (trace|debug|info|warn|error|off, case-insensitive).
+/// Returns `fallback` for unknown names.
+LogLevel log_level_from_name(const std::string& name, LogLevel fallback);
 
 #define DEISA_LOG(lvl, component, msg)                                  \
   do {                                                                  \
@@ -53,3 +68,5 @@ const char* to_string(LogLevel lvl);
   DEISA_LOG(::deisa::util::LogLevel::kWarn, component, msg)
 #define DEISA_ERROR(component, msg) \
   DEISA_LOG(::deisa::util::LogLevel::kError, component, msg)
+
+}  // namespace deisa::util

@@ -45,7 +45,10 @@ struct Summary {
 
 Summary summarize(const std::vector<double>& samples);
 
-/// Linear-interpolation percentile, q in [0, 1]. Sorts a copy.
+/// Linear-interpolation percentile. Sorts a copy. Edge cases are total:
+/// an empty sample set yields 0.0 (histogram exporters summarize empty
+/// histograms without special-casing), q is clamped to [0, 1], and a
+/// single sample is its own percentile for every q.
 double percentile(std::vector<double> samples, double q);
 
 }  // namespace deisa::util

@@ -1,11 +1,28 @@
 #include "deisa/util/log.hpp"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 namespace deisa::util {
 
-LogLevel Log::level_ = LogLevel::kWarn;
+namespace {
+
+/// DEISA_LOG_LEVEL is honored once, at static-initialization time (i.e.
+/// before first use), so tools and benches can be made verbose without
+/// recompiling: DEISA_LOG_LEVEL=debug build/tools/deisa_scenario run.yaml
+LogLevel initial_level() {
+  const char* env = std::getenv("DEISA_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  return log_level_from_name(env, LogLevel::kWarn);
+}
+
+}  // namespace
+
+LogLevel Log::level_ = initial_level();
 std::function<void(LogLevel, const std::string&)> Log::sink_;
+std::function<double()> Log::time_source_;
 
 const char* to_string(LogLevel lvl) {
   switch (lvl) {
@@ -19,16 +36,43 @@ const char* to_string(LogLevel lvl) {
   return "?";
 }
 
+LogLevel log_level_from_name(const std::string& name, LogLevel fallback) {
+  std::string low;
+  low.reserve(name.size());
+  for (char c : name)
+    low.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (low == "trace") return LogLevel::kTrace;
+  if (low == "debug") return LogLevel::kDebug;
+  if (low == "info") return LogLevel::kInfo;
+  if (low == "warn" || low == "warning") return LogLevel::kWarn;
+  if (low == "error") return LogLevel::kError;
+  if (low == "off" || low == "none") return LogLevel::kOff;
+  return fallback;
+}
+
 void Log::set_sink(std::function<void(LogLevel, const std::string&)> sink) {
   sink_ = std::move(sink);
 }
 
 void Log::reset_sink() { sink_ = nullptr; }
 
+void Log::set_time_source(std::function<double()> source) {
+  time_source_ = std::move(source);
+}
+
+void Log::reset_time_source() { time_source_ = nullptr; }
+
 void Log::write(LogLevel lvl, const std::string& component,
                 const std::string& message) {
-  std::string line = std::string("[") + to_string(lvl) + "] " + component +
-                     ": " + message;
+  std::string line;
+  if (time_source_) {
+    char stamp[48];
+    std::snprintf(stamp, sizeof(stamp), "[t=%.6fs]", time_source_());
+    line += stamp;
+    line += ' ';
+  }
+  line += std::string("[") + to_string(lvl) + "] " + component + ": " +
+          message;
   if (sink_) {
     sink_(lvl, line);
   } else {

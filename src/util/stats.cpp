@@ -47,10 +47,12 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> samples, double q) {
-  DEISA_CHECK(!samples.empty(), "percentile of empty sample set");
-  DEISA_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0,1], got " << q);
+  if (samples.empty()) return 0.0;
+  // Clamp written to also map NaN to 0 (std::clamp would pass it through).
+  q = q > 0.0 ? std::min(q, 1.0) : 0.0;
   std::sort(samples.begin(), samples.end());
   if (samples.size() == 1) return samples.front();
+  if (q >= 1.0) return samples.back();  // avoid lo==size-1 interpolation
   const double pos = q * static_cast<double>(samples.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const auto hi = std::min(lo + 1, samples.size() - 1);

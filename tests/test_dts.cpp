@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "deisa/dts/runtime.hpp"
+#include "deisa/obs/observation.hpp"
 
 namespace dts = deisa::dts;
 namespace net = deisa::net;
@@ -155,6 +156,65 @@ TEST(Dts, ExternalTasksAllowGraphSubmissionBeforeData) {
   EXPECT_EQ(result, 42);
   EXPECT_LT(submitted, 1.0);
   EXPECT_GE(arrived, 5.0);
+}
+
+sim::Co<void> one_external_task(TestCluster& tc) {
+  co_await tc.client->external_futures(keys("ext"), ints(0));
+  co_await tc.eng.delay(1.0);
+  co_await tc.client->scatter("ext", int_data(7), 0, /*external=*/true);
+  co_await tc.client->wait_key("ext");
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, OneExternalTaskEmitsExactlyItsLifecycleEvents) {
+  TestCluster tc(1);
+  deisa::obs::Recorder recorder;
+  deisa::obs::MetricsRegistry registry;
+  {
+    deisa::obs::ObservationScope scope(
+        &recorder, &registry, [&eng = tc.eng] { return eng.now(); });
+    tc.run(one_external_task(tc));
+  }
+  // Exactly one external→memory transition, and no other transition for
+  // this task: it is born external and finishes in memory.
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("scheduler.transitions.external->memory"), 1u);
+  EXPECT_EQ(snap.counter("scheduler.created.external"), 1u);
+  std::uint64_t ext_transitions = 0;
+  for (const auto& [name, value] : snap.counters)
+    if (name.rfind("scheduler.transitions.external->", 0) == 0)
+      ext_transitions += value;
+  EXPECT_EQ(ext_transitions, 1u);
+
+  // The trace carries the same story: one creation instant, one span on
+  // the "external" lane covering [creation, scatter] with to=memory, one
+  // lifecycle instant for the transition — and nothing else for this key.
+  int created = 0, external_spans = 0, lifecycle_transitions = 0;
+  recorder.for_each([&](const deisa::obs::TraceEvent& ev) {
+    const auto& track = recorder.tracks()[ev.track];
+    if (track.actor != "scheduler") return;
+    if (ev.name == "create:ext") {
+      ++created;
+      return;
+    }
+    if (ev.name != "ext") return;
+    if (track.lane == "external") {
+      ASSERT_EQ(ev.type, deisa::obs::EventType::kSpan);
+      EXPECT_NEAR(ev.dur, 1.0, 0.5);  // created at ~t=0, completed at t>=1
+      ASSERT_EQ(ev.args.size(), 1u);
+      EXPECT_EQ(ev.args[0].key, "to");
+      EXPECT_EQ(ev.args[0].value, "memory");
+      ++external_spans;
+    } else if (track.lane == "lifecycle") {
+      EXPECT_EQ(ev.type, deisa::obs::EventType::kInstant);
+      ++lifecycle_transitions;
+    } else {
+      ADD_FAILURE() << "unexpected event for 'ext' on lane " << track.lane;
+    }
+  });
+  EXPECT_EQ(created, 1);
+  EXPECT_EQ(external_spans, 1);
+  EXPECT_EQ(lifecycle_transitions, 1);
 }
 
 sim::Co<void> external_state_probe(TestCluster& tc,

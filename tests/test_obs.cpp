@@ -1,0 +1,371 @@
+// Tests for the observability layer: trace recorder (spans, ring
+// eviction, disabled no-op), metrics registry, SimClock/log integration
+// and the Chrome trace-event exporter.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "deisa/obs/clock.hpp"
+#include "deisa/obs/export.hpp"
+#include "deisa/obs/metrics.hpp"
+#include "deisa/obs/observation.hpp"
+#include "deisa/obs/trace.hpp"
+#include "deisa/util/log.hpp"
+
+namespace obs = deisa::obs;
+namespace util = deisa::util;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A tiny recursive-descent JSON well-formedness checker — enough to prove
+// the Chrome trace export parses, without a JSON dependency.
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    const std::string l = lit;
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+TEST(SimClock, SourceDrivesNowAndScopedRestores) {
+  double t = 12.5;
+  {
+    obs::ScopedSimClock clock([&t] { return t; });
+    EXPECT_DOUBLE_EQ(obs::SimClock::now(), 12.5);
+    t = 99.0;
+    EXPECT_DOUBLE_EQ(obs::SimClock::now(), 99.0);
+  }
+  // Back to wall time: monotone non-negative, not our sim value.
+  const double w = obs::SimClock::now();
+  EXPECT_GE(w, 0.0);
+  EXPECT_LE(obs::SimClock::now() - w, 5.0);
+}
+
+TEST(SimClock, InstallsLogTimePrefix) {
+  EXPECT_FALSE(util::Log::has_time_source());
+  {
+    obs::ScopedSimClock clock([] { return 1.25; });
+    EXPECT_TRUE(util::Log::has_time_source());
+  }
+  EXPECT_FALSE(util::Log::has_time_source());
+}
+
+TEST(LogLevel, ParsesNames) {
+  EXPECT_EQ(util::log_level_from_name("debug", util::LogLevel::kError),
+            util::LogLevel::kDebug);
+  EXPECT_EQ(util::log_level_from_name("WARN", util::LogLevel::kError),
+            util::LogLevel::kWarn);
+  EXPECT_EQ(util::log_level_from_name("off", util::LogLevel::kError),
+            util::LogLevel::kOff);
+  EXPECT_EQ(util::log_level_from_name("nonsense", util::LogLevel::kInfo),
+            util::LogLevel::kInfo);
+}
+
+TEST(Recorder, SpanCapturesStartAndDuration) {
+  obs::Recorder rec;
+  double t = 1.0;
+  obs::ScopedSimClock clock([&t] { return t; });
+  {
+    obs::Span s = rec.span(rec.track("worker-0", "execute"), "task-a");
+    t = 3.5;
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, obs::EventType::kSpan);
+  EXPECT_EQ(events[0].name, "task-a");
+  EXPECT_DOUBLE_EQ(events[0].ts, 1.0);
+  EXPECT_DOUBLE_EQ(events[0].dur, 2.5);
+}
+
+TEST(Recorder, NestedSpansBothRecorded) {
+  obs::Recorder rec;
+  double t = 0.0;
+  obs::ScopedSimClock clock([&t] { return t; });
+  const auto track = rec.track("scheduler", "inbox");
+  {
+    obs::Span outer = rec.span(track, "outer");
+    t = 1.0;
+    {
+      obs::Span inner = rec.span(track, "inner");
+      t = 2.0;
+    }
+    t = 4.0;
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner finishes first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_DOUBLE_EQ(events[0].ts, 1.0);
+  EXPECT_DOUBLE_EQ(events[0].dur, 1.0);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_DOUBLE_EQ(events[1].ts, 0.0);
+  EXPECT_DOUBLE_EQ(events[1].dur, 4.0);
+  // Nesting is consistent: inner lies inside outer.
+  EXPECT_GE(events[0].ts, events[1].ts);
+  EXPECT_LE(events[0].ts + events[0].dur, events[1].ts + events[1].dur);
+}
+
+TEST(Recorder, SpanFinishIsIdempotentAndMoveSafe) {
+  obs::Recorder rec;
+  obs::Span s = rec.span(rec.track("a", "b"), "once");
+  s.finish();
+  s.finish();
+  obs::Span moved = std::move(s);
+  moved.finish();
+  EXPECT_EQ(rec.size(), 1u);
+}
+
+TEST(Recorder, RingEvictsOldestAndCountsDropped) {
+  obs::Recorder rec(4);
+  const auto track = rec.track("x", "y");
+  for (int i = 0; i < 10; ++i)
+    rec.instant(track, "e" + std::to_string(i));
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first iteration over the last four events.
+  EXPECT_EQ(events[0].name, "e6");
+  EXPECT_EQ(events[3].name, "e9");
+}
+
+TEST(Recorder, TrackIdsAreStableAndDeduplicated) {
+  obs::Recorder rec;
+  const auto a = rec.track("scheduler", "inbox");
+  const auto b = rec.track("scheduler", "lifecycle");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(rec.track("scheduler", "inbox"), a);
+  ASSERT_EQ(rec.tracks().size(), 2u);
+  EXPECT_EQ(rec.tracks()[a].actor, "scheduler");
+  EXPECT_EQ(rec.tracks()[b].lane, "lifecycle");
+}
+
+TEST(Recorder, DisabledHelpersAreNoOps) {
+  ASSERT_EQ(obs::tracer(), nullptr);
+  ASSERT_EQ(obs::metrics(), nullptr);
+  {
+    obs::Span s = obs::trace_span("a", "b", "c");
+    EXPECT_FALSE(s.active());
+  }
+  obs::trace_instant("a", "b", "c");
+  obs::trace_counter("a", "b", "c", 1.0);
+  obs::count("nope");
+  obs::gauge_set("nope", 1.0);
+  obs::observe("nope", 1.0);
+  // Still disabled, and nothing crashed.
+  EXPECT_EQ(obs::tracer(), nullptr);
+  EXPECT_EQ(obs::metrics(), nullptr);
+}
+
+TEST(ObservationScope, InstallsAndRestores) {
+  obs::Recorder rec;
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(obs::tracer(), nullptr);
+  {
+    obs::ObservationScope scope(&rec, &reg, [] { return 2.0; });
+    EXPECT_EQ(obs::tracer(), &rec);
+    EXPECT_EQ(obs::metrics(), &reg);
+    EXPECT_DOUBLE_EQ(obs::SimClock::now(), 2.0);
+    obs::count("seen");
+    obs::trace_instant("actor", "lane", "hello");
+  }
+  EXPECT_EQ(obs::tracer(), nullptr);
+  EXPECT_EQ(obs::metrics(), nullptr);
+  EXPECT_EQ(reg.snapshot().counter("seen"), 1u);
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.events()[0].ts, 2.0);
+}
+
+TEST(Metrics, CountersGaugesHistograms) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").add();
+  reg.counter("c").add(4);
+  reg.gauge("g").set(2.0);
+  reg.gauge("g").add(0.5);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) reg.histogram("h").observe(v);
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("c"), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauge("g"), 2.5);
+  const auto& h = snap.histograms.at("h");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.mean, 2.5);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 4.0);
+  EXPECT_DOUBLE_EQ(h.p50, 2.5);
+  // Absent names default rather than throw.
+  EXPECT_EQ(snap.counter("absent"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("absent"), 0.0);
+}
+
+TEST(Metrics, HistogramSampleCapKeepsMomentsStreaming) {
+  obs::Histogram h(/*max_samples=*/8);
+  for (int i = 0; i < 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.stats().max(), 99.0);
+  // Percentiles come from the retained prefix only — bounded memory.
+  EXPECT_LE(h.percentile(1.0), 7.0);
+}
+
+TEST(Export, ChromeTraceIsWellFormedJson) {
+  obs::Recorder rec;
+  double t = 0.5;
+  obs::ScopedSimClock clock([&t] { return t; });
+  {
+    obs::Span s = rec.span(rec.track("scheduler", "inbox"), "update \"graph\"");
+    s.add_arg(obs::arg("to", "memory"));
+    s.add_arg(obs::arg("bytes", std::uint64_t{128}));
+    t = 0.75;
+  }
+  rec.instant(rec.track("bridge", "rank-0"), "filtered:G_temp\n");
+  rec.counter(rec.track("worker-0", "memory"), "memory_bytes", 1e6);
+
+  std::ostringstream out;
+  obs::write_chrome_trace(rec, out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Span timestamps are exported in microseconds.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("worker-0"), std::string::npos);
+}
+
+TEST(Export, CsvHasHeaderAndOneRowPerEvent) {
+  obs::Recorder rec;
+  rec.instant(rec.track("a", "l"), "x,with,commas");
+  rec.instant(rec.track("a", "l"), "plain");
+  std::ostringstream out;
+  obs::write_trace_csv(rec, out);
+  const std::string csv = out.str();
+  std::size_t lines = 0;
+  for (char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 3u);  // header + 2 events
+  EXPECT_EQ(csv.rfind("type,actor,lane,name,ts_s,dur_s,value,args", 0), 0u);
+  EXPECT_NE(csv.find("\"x,with,commas\""), std::string::npos);
+}
+
+TEST(Export, MetricsJsonIsWellFormed) {
+  obs::MetricsRegistry reg;
+  reg.counter("scheduler.messages.total").add(7);
+  reg.gauge("worker-0.memory_bytes").set(1.5e8);
+  reg.histogram("pfs.op_seconds").observe(0.25);
+  std::ostringstream out;
+  obs::write_metrics_json(reg.snapshot(), out);
+  EXPECT_TRUE(JsonChecker(out.str()).valid()) << out.str();
+  EXPECT_NE(out.str().find("scheduler.messages.total"), std::string::npos);
+}
+
+TEST(Export, JsonEscapeHandlesControlChars) {
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace

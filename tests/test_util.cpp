@@ -54,8 +54,31 @@ TEST(Percentile, InterpolatesLinearly) {
   EXPECT_DOUBLE_EQ(util::percentile(v, 0.25), 2.0);
 }
 
-TEST(Percentile, EmptyThrows) {
-  EXPECT_THROW(util::percentile({}, 0.5), util::Error);
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(util::percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(util::percentile({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(util::percentile({}, 1.0), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsThatSample) {
+  EXPECT_DOUBLE_EQ(util::percentile({7.5}, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(util::percentile({7.5}, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(util::percentile({7.5}, 1.0), 7.5);
+}
+
+TEST(Percentile, ClampsQuantileOutOfRange) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(util::percentile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(v, 1.5), 3.0);
+  EXPECT_DOUBLE_EQ(util::percentile(v, std::nan("")), 1.0);
+}
+
+TEST(Percentile, ExactEndpointsNoInterpolationArtifacts) {
+  // q = 1 must return max exactly (no lo+1 read past the end, no
+  // 0-weight interpolation rounding).
+  std::vector<double> v{-3.0, 0.0, 1e18};
+  EXPECT_DOUBLE_EQ(util::percentile(v, 1.0), 1e18);
+  EXPECT_DOUBLE_EQ(util::percentile(v, 0.0), -3.0);
 }
 
 TEST(Summarize, FullSummary) {

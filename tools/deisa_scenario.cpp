@@ -1,7 +1,8 @@
 // deisa_scenario — run any of the paper's five workflow pipelines from a
 // YAML description and print the measured timings.
 //
-//   $ deisa_scenario my_run.yaml
+//   $ deisa_scenario [--trace-out trace.json] [--metrics-out metrics.json] \
+//         my_run.yaml
 //
 //   # my_run.yaml
 //   pipeline: DEISA3         # DEISA1|DEISA2|DEISA3|posthoc-old|posthoc-new
@@ -13,18 +14,37 @@
 //   seed: 1000
 //   contract_fraction: 1.0   # optional: fraction of Y kept by the contract
 //   real_data: false         # optional: move real Heat2D data (small runs)
+//
+// --trace-out records the first run's event trace and writes it as Chrome
+// trace-event JSON (open in ui.perfetto.dev or chrome://tracing; a .csv
+// extension switches to flat CSV). --metrics-out dumps the first run's
+// counters/gauges/histograms as JSON.
+#include <fstream>
 #include <iostream>
 
 #include "deisa/config/yaml.hpp"
 #include "deisa/harness/scenario.hpp"
+#include "deisa/obs/export.hpp"
 #include "deisa/util/table.hpp"
 #include "deisa/util/units.hpp"
 
 namespace cfg = deisa::config;
 namespace harness = deisa::harness;
+namespace obs = deisa::obs;
 namespace util = deisa::util;
 
 namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw util::ConfigError("cannot open '" + path + "' for writing");
+  return out;
+}
 
 harness::Pipeline pipeline_of(const std::string& name) {
   if (name == "DEISA1") return harness::Pipeline::kDeisa1;
@@ -37,7 +57,8 @@ harness::Pipeline pipeline_of(const std::string& name) {
       "' (expected DEISA1|DEISA2|DEISA3|posthoc-old|posthoc-new)");
 }
 
-int run(const std::string& path) {
+int run(const std::string& path, const std::string& trace_out,
+        const std::string& metrics_out) {
   const cfg::Node doc = cfg::parse_yaml_file(path);
   const auto pipeline = pipeline_of(doc.get_string("pipeline", "DEISA3"));
 
@@ -63,7 +84,27 @@ int run(const std::string& path) {
                  "analytics (s)", "total (s)", "scheduler msgs"});
   for (int i = 0; i < runs; ++i) {
     p.alloc_seed = seed + static_cast<std::uint64_t>(i) * 77;
+    // Only the first run is traced: the point of the trace is a timeline
+    // to look at, and run 1 is as representative as any.
+    p.trace = i == 0 && !trace_out.empty();
     const auto r = harness::run_scenario(pipeline, p);
+    if (p.trace && r.trace != nullptr) {
+      auto out = open_out(trace_out);
+      if (ends_with(trace_out, ".csv")) {
+        obs::write_trace_csv(*r.trace, out);
+      } else {
+        obs::write_chrome_trace(*r.trace, out);
+      }
+      std::cout << "trace: " << r.trace->size() << " events ("
+                << r.trace->dropped() << " dropped) -> " << trace_out << "\n";
+    }
+    if (i == 0 && !metrics_out.empty()) {
+      auto out = open_out(metrics_out);
+      obs::write_metrics_json(r.metrics, out);
+      std::cout << "metrics: " << r.metrics.counters.size() << " counters, "
+                << r.metrics.histograms.size() << " histograms -> "
+                << metrics_out << "\n";
+    }
     const auto sim = r.iteration_summary(r.sim_compute);
     const auto io = r.iteration_summary(r.sim_io);
     t.add_row({std::to_string(i + 1),
@@ -87,12 +128,34 @@ int run(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: deisa_scenario <config.yaml>\n";
+  std::string config;
+  std::string trace_out;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace-out" || a == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "option '" << a << "' requires a value\n";
+        return 2;
+      }
+      (a == "--trace-out" ? trace_out : metrics_out) = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown option '" << a << "'\n";
+      return 2;
+    } else if (config.empty()) {
+      config = a;
+    } else {
+      config.clear();
+      break;
+    }
+  }
+  if (config.empty()) {
+    std::cerr << "usage: deisa_scenario [--trace-out FILE] "
+                 "[--metrics-out FILE] <config.yaml>\n";
     return 2;
   }
   try {
-    return run(argv[1]);
+    return run(config, trace_out, metrics_out);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
