@@ -14,6 +14,18 @@ std::string bridge_lane(int rank) { return "rank-" + std::to_string(rank); }
 Bridge::Bridge(dts::Client& client, Mode mode, int rank, int nranks)
     : client_(&client), mode_(mode), rank_(rank), nranks_(nranks) {
   DEISA_CHECK(rank >= 0 && rank < nranks, "bridge rank out of range");
+  if (uses_external_tasks(mode_)) {
+    notify_ = std::make_shared<sim::Channel<int>>(client.engine());
+    client_->set_notify_channel(notify_);
+    client_->engine().spawn(run_repush_listener());
+  }
+}
+
+sim::Co<void> Bridge::run_repush_listener() {
+  while (true) {
+    (void)co_await notify_->recv();
+    co_await run_repush();
+  }
 }
 
 sim::Co<void> Bridge::publish_arrays(std::vector<VirtualArray> arrays) {
@@ -63,14 +75,71 @@ sim::Co<bool> Bridge::send_block(const VirtualArray& va,
   const std::uint64_t bytes = data.bytes;
   obs::Span span = obs::trace_span("bridge", bridge_lane(rank_), key);
   if (span.active()) span.add_arg(obs::arg("bytes", bytes));
-  co_await client_->scatter(key, std::move(data), preselect_worker(va, coord),
-                            /*external=*/true);
+  remember_block(key, data);
+  const int ack = co_await client_->scatter(
+      key, std::move(data), preselect_worker(va, coord), /*external=*/true);
   ++blocks_sent_;
   if (auto* m = obs::metrics()) {
     m->counter("bridge.blocks_sent").add();
     m->counter("bridge.bytes_sent").add(bytes);
   }
+  co_await handle_ack(ack);
   co_return true;
+}
+
+void Bridge::remember_block(const dts::Key& key, const dts::Data& data) {
+  if (replay_.emplace(key, data).second) {
+    replay_order_.push_back(key);
+    while (replay_order_.size() > replay_capacity_) {
+      replay_.erase(replay_order_.front());
+      replay_order_.pop_front();
+    }
+  }
+}
+
+sim::Co<void> Bridge::handle_ack(int ack) {
+  if (ack == dts::kAckDiscarded) {
+    // The key was cancelled/poisoned scheduler-side; the block is moot.
+    ++blocks_discarded_;
+    obs::count("bridge.blocks_discarded");
+    co_return;
+  }
+  if (ack == dts::kAckRepushPending) co_await run_repush();
+}
+
+sim::Co<void> Bridge::run_repush() {
+  if (repushing_) co_return;  // the active loop will pick new work up
+  repushing_ = true;
+  // Exponential backoff between rounds: a replacement worker may itself
+  // die, in which case the replayed block re-queues and the next round
+  // retries at the next re-routed target.
+  double backoff = 0.05;
+  constexpr int kMaxRounds = 8;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    const dts::RepushList assignments = co_await client_->repush_keys();
+    if (assignments.empty()) break;
+    obs::trace_instant("bridge", bridge_lane(rank_),
+                       "repush:" + std::to_string(assignments.size()));
+    bool any_pending = false;
+    for (const auto& [key, worker] : assignments) {
+      const auto it = replay_.find(key);
+      if (it == replay_.end()) {
+        // Evicted from the replay buffer: unrecoverable from this rank;
+        // the scheduler's re-push deadline will err the key out.
+        obs::count("bridge.repush_misses");
+        continue;
+      }
+      ++blocks_repushed_;
+      obs::count("bridge.blocks_repushed");
+      const int ack = co_await client_->scatter(key, it->second, worker,
+                                                /*external=*/true);
+      if (ack == dts::kAckRepushPending) any_pending = true;
+    }
+    if (!any_pending) break;
+    co_await client_->engine().delay(backoff);
+    backoff *= 2.0;
+  }
+  repushing_ = false;
 }
 
 sim::Co<void> Bridge::run_heartbeats(sim::Event& stop) {

@@ -5,6 +5,9 @@
 // preselected workers.
 #pragma once
 
+#include <deque>
+#include <unordered_map>
+
 #include "deisa/array/darray.hpp"
 #include "deisa/core/contract.hpp"
 #include "deisa/dts/client.hpp"
@@ -33,7 +36,11 @@ public:
 
   /// DEISA2/3 data path (step 3 of Figure 1): if the contract includes
   /// this block, push it to the preselected worker as an external-task
-  /// completion. Returns whether the block was sent.
+  /// completion. Returns whether the block was sent. Pushed blocks are
+  /// retained in a bounded replay buffer; when the scheduler acknowledges
+  /// with kAckRepushPending (the target worker is being replaced), the
+  /// bridge drains its re-push assignments and replays the lost blocks at
+  /// the re-routed workers, retrying with exponential backoff.
   sim::Co<bool> send_block(const VirtualArray& va, const array::Index& coord,
                            dts::Data data);
 
@@ -50,10 +57,23 @@ public:
 
   std::uint64_t blocks_sent() const { return blocks_sent_; }
   std::uint64_t blocks_filtered() const { return blocks_filtered_; }
+  std::uint64_t blocks_repushed() const { return blocks_repushed_; }
+  std::uint64_t blocks_discarded() const { return blocks_discarded_; }
 
 private:
   int preselect_worker(const VirtualArray& va,
                        const array::Index& coord) const;
+  /// Remember a pushed block for potential replay (bounded FIFO).
+  void remember_block(const dts::Key& key, const dts::Data& data);
+  /// React to a scatter acknowledgement: on kAckRepushPending, drain the
+  /// scheduler's re-push assignments and replay from the buffer.
+  sim::Co<void> handle_ack(int ack);
+  sim::Co<void> run_repush();
+  /// Waits on the notify channel the client registers with the scheduler:
+  /// a poke means re-push work appeared after this rank's last push (a
+  /// crash detected late), so no ack could carry the request. Runs for
+  /// the bridge's lifetime; the engine reaps it at teardown.
+  sim::Co<void> run_repush_listener();
 
   dts::Client* client_;
   Mode mode_;
@@ -63,6 +83,17 @@ private:
   bool has_contract_ = false;
   std::uint64_t blocks_sent_ = 0;
   std::uint64_t blocks_filtered_ = 0;
+  std::uint64_t blocks_repushed_ = 0;
+  std::uint64_t blocks_discarded_ = 0;
+
+  // Replay buffer: the last `replay_capacity_` blocks this rank pushed.
+  // Blocks evicted before a loss are unrecoverable (the scheduler's
+  // re-push deadline then errs them out instead of hanging waiters).
+  std::size_t replay_capacity_ = 1024;
+  std::unordered_map<dts::Key, dts::Data> replay_;
+  std::deque<dts::Key> replay_order_;
+  std::shared_ptr<sim::Channel<int>> notify_;
+  bool repushing_ = false;  // re-entrancy guard for run_repush()
 };
 
 }  // namespace deisa::core

@@ -13,11 +13,17 @@ Client::Client(sim::Engine& engine, net::Cluster& cluster, int id, int node,
       scheduler_inbox_(scheduler_inbox),
       workers_(std::move(workers)) {}
 
-sim::Co<void> Client::send_to_scheduler(SchedMsg msg) {
+sim::Co<void> Client::send_to_scheduler(SchedMsg msg,
+                                        net::Delivery delivery) {
   ++messages_sent_;
   msg.sender_node = node_;
-  co_await cluster_->send_control(node_, scheduler_node_, wire_bytes(msg));
-  scheduler_inbox_->send(std::move(msg));
+  msg.sender_client = id_;
+  const net::SendResult res = co_await cluster_->send_control(
+      node_, scheduler_node_, wire_bytes(msg), delivery);
+  // Fault injection decides delivery; the caller enqueues the copies
+  // (0 = dropped, 2 = duplicated — only for non-reliable traffic).
+  for (int i = 1; i < res.copies; ++i) scheduler_inbox_->send(msg);
+  if (res.copies > 0) scheduler_inbox_->send(std::move(msg));
 }
 
 sim::Co<void> Client::submit(std::vector<TaskSpec> tasks,
@@ -40,8 +46,8 @@ sim::Co<std::vector<Future>> Client::external_futures(
   co_return futures;
 }
 
-sim::Co<Future> Client::scatter(Key key, Data data, int worker, bool external,
-                                bool inform_scheduler) {
+sim::Co<int> Client::scatter(Key key, Data data, int worker, bool external,
+                             bool inform_scheduler) {
   DEISA_CHECK(worker >= 0 && static_cast<std::size_t>(worker) < workers_.size(),
               "scatter to unknown worker " << worker);
   const WorkerRef& ref = workers_[static_cast<std::size_t>(worker)];
@@ -62,10 +68,19 @@ sim::Co<Future> Client::scatter(Key key, Data data, int worker, bool external,
     reg.bytes = data.bytes;
     reg.external = external;
     reg.reply_worker = ack;
+    reg.notify = notify_;
     co_await send_to_scheduler(std::move(reg));
-    (void)co_await ack->recv();
+    co_return co_await ack->recv();
   }
-  co_return Future(std::move(key), this);
+  co_return worker;
+}
+
+sim::Co<RepushList> Client::repush_keys() {
+  auto reply = std::make_shared<sim::Channel<RepushList>>(*engine_);
+  SchedMsg msg(SchedMsgKind::kRepushKeys);
+  msg.reply_repush = reply;
+  co_await send_to_scheduler(std::move(msg));
+  co_return co_await reply->recv();
 }
 
 sim::Co<int> Client::wait_key(const Key& key) {
@@ -134,7 +149,7 @@ sim::Co<void> Client::run_heartbeats(double interval, sim::Event& stop) {
     if (stop.is_set()) co_return;
     SchedMsg hb(SchedMsgKind::kHeartbeatBridge);
     hb.worker = id_;
-    co_await send_to_scheduler(std::move(hb));
+    co_await send_to_scheduler(std::move(hb), net::Delivery::kDroppable);
   }
 }
 

@@ -37,6 +37,7 @@ public:
   int id() const { return id_; }
   int node() const { return node_; }
   int num_workers() const { return static_cast<int>(workers_.size()); }
+  sim::Engine& engine() { return *engine_; }
 
   /// Submit a task graph; `wants` marks the keys this client will gather.
   sim::Co<void> submit(std::vector<TaskSpec> tasks,
@@ -51,10 +52,26 @@ public:
   /// a task previously created by external_futures (scheduler transitions
   /// it external→memory and unblocks dependents). `inform_scheduler`
   /// mirrors the two messages of a dask scatter: bulk data to the worker
-  /// plus metadata to the scheduler.
-  sim::Co<Future> scatter(Key key, Data data, int worker,
-                          bool external = false,
-                          bool inform_scheduler = true);
+  /// plus metadata to the scheduler. Returns the scheduler's registration
+  /// acknowledgement: the worker id normally, or one of the negative ack
+  /// codes (kAckErred / kAckDiscarded / kAckRepushPending) under faults —
+  /// kAckRepushPending asks the caller to follow up with repush_keys().
+  sim::Co<int> scatter(Key key, Data data, int worker, bool external = false,
+                       bool inform_scheduler = true);
+
+  /// Drain this producer's pending re-push assignments: lost external
+  /// keys the scheduler wants pushed again, each with its re-routed
+  /// target worker. Synchronous RPC (see kAckRepushPending).
+  sim::Co<RepushList> repush_keys();
+
+  /// Register a wake-up channel carried on every scatter registration.
+  /// The scheduler pokes it with kAckRepushPending when re-push work
+  /// appears for this producer after its last push — the only path by
+  /// which a crash detected late (after the final block went out) still
+  /// reaches the producer's replay buffer.
+  void set_notify_channel(std::shared_ptr<sim::Channel<int>> ch) {
+    notify_ = std::move(ch);
+  }
 
   /// Block until `key` is finished; returns the worker holding it.
   /// Throws util::Error if the task erred.
@@ -89,7 +106,8 @@ public:
   std::uint64_t messages_sent() const { return messages_sent_; }
 
 private:
-  sim::Co<void> send_to_scheduler(SchedMsg msg);
+  sim::Co<void> send_to_scheduler(
+      SchedMsg msg, net::Delivery delivery = net::Delivery::kReliable);
 
   sim::Engine* engine_;
   net::Cluster* cluster_;
@@ -98,6 +116,7 @@ private:
   int scheduler_node_;
   sim::Channel<SchedMsg>* scheduler_inbox_;
   std::vector<WorkerRef> workers_;
+  std::shared_ptr<sim::Channel<int>> notify_;
   std::uint64_t messages_sent_ = 0;
 };
 

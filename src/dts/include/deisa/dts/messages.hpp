@@ -48,16 +48,38 @@ enum class SchedMsgKind {
   kVariableGet,
   kQueuePut,
   kQueueGet,
+  kWorkerLost,       // failure detector -> scheduler (serialized recovery)
+  kRepushKeys,       // producer asks for its pending re-push assignments
+  kRepushExpired,    // internal deadline: re-armed key never replayed
+                     // (carries the re-arm epoch in `bytes`)
   kShutdown,
 };
 
 const char* to_string(SchedMsgKind k);
+
+// Acknowledgement codes carried on int reply channels. Non-negative
+// values are worker ids (wait_key, scatter registration).
+inline constexpr int kAckErred = -2;      // task erred / cancelled
+inline constexpr int kAckDiscarded = -3;  // stale push dropped (terminal key)
+/// The push was handled, but the scheduler holds pending re-push
+/// assignments for this producer: it must issue kRepushKeys and replay
+/// the listed blocks (possibly including the one just pushed, if its
+/// target worker is being replaced).
+inline constexpr int kAckRepushPending = -4;
+
+/// Payload of a kRepushKeys reply: lost external keys this producer must
+/// push again, each with its re-routed target worker.
+using RepushList = std::vector<std::pair<Key, int>>;
 
 struct SchedMsg {
   explicit SchedMsg(SchedMsgKind kind_) : kind(kind_) {}
 
   SchedMsgKind kind;
   int sender_node = -1;
+  /// Client id of the sender (-1 for workers/internal messages). Re-push
+  /// bookkeeping is per client, not per node: two ranks can share a node
+  /// but each holds its own replay buffer.
+  int sender_client = -1;
 
   // kUpdateGraph
   std::vector<TaskSpec> tasks;
@@ -83,6 +105,14 @@ struct SchedMsg {
   // payload). Channels are engine-bound and shared with the requester.
   std::shared_ptr<sim::Channel<int>> reply_worker;
   std::shared_ptr<sim::Channel<Data>> reply_data;
+  std::shared_ptr<sim::Channel<RepushList>> reply_repush;  // kRepushKeys
+
+  /// Producer wake-up channel, carried on kUpdateData. The scheduler
+  /// remembers the latest channel per producing client and pokes it with
+  /// kAckRepushPending when re-push work appears for that producer later
+  /// — e.g. a crash detected after the producer's final push, when no
+  /// further ack could carry the request.
+  std::shared_ptr<sim::Channel<int>> notify;
 };
 
 /// Messages accepted by a worker inbox.

@@ -9,6 +9,7 @@
 
 #include <deque>
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +37,41 @@ struct SchedulerParams {
   /// noise of the Python scheduler).
   double service_jitter_sigma = 0.0;
   std::uint64_t seed = 0x5c4ed;
+
+  // ---- failure detection / recovery ----
+  /// Declare a worker lost after this many seconds without a heartbeat;
+  /// <= 0 disables detection (the seed behavior: heartbeats are counted
+  /// but never acted on). Only enable when worker heartbeats are on.
+  double heartbeat_timeout = 0.0;
+  /// How often the failure detector scans deadlines; <= 0 derives a
+  /// quarter of the heartbeat timeout.
+  double failure_check_interval = 0.0;
+  /// A lost external key re-armed for re-push errs out (poisoning its
+  /// cone, so waiters fail instead of hanging) if the producer has not
+  /// replayed it within this many seconds.
+  double repush_timeout = 60.0;
+};
+
+/// Scheduler-side task state machine: which transitions are legal. Every
+/// state change goes through Scheduler::transition(), which enforces this
+/// table — stale stimuli (late task_finished, duplicate pushes) are
+/// dropped by the handlers before ever reaching an illegal edge.
+bool transition_valid(TaskState from, TaskState to);
+
+/// Plain-counter mirror of the scheduler.recovery.* / scheduler.stale.*
+/// metrics, readable without a metrics registry installed (tests).
+struct RecoveryCounters {
+  std::uint64_t workers_lost = 0;        // workers declared dead
+  std::uint64_t tasks_rerun = 0;         // in-flight tasks re-assigned
+  std::uint64_t keys_recomputed = 0;     // lost computed keys re-executed
+  std::uint64_t external_rearmed = 0;    // lost external keys re-armed
+  std::uint64_t external_rerouted = 0;   // preselections moved off a dead
+                                         // worker before any push
+  std::uint64_t keys_lost = 0;           // unrecoverable (plain scatter)
+  std::uint64_t repush_expired = 0;      // re-armed keys never replayed
+  std::uint64_t stale_task_finished = 0; // late/duplicate reports dropped
+  std::uint64_t stale_update_data = 0;   // pushes to terminal keys dropped
+  std::uint64_t stale_heartbeats = 0;    // heartbeats from dead workers
 };
 
 class Scheduler {
@@ -49,6 +85,11 @@ public:
 
   /// Main actor loop (spawned by the Runtime). Exits on kShutdown.
   sim::Co<void> run();
+  /// Heartbeat-deadline monitor (spawned alongside run()). Exits
+  /// immediately when params.heartbeat_timeout <= 0. Suspected workers
+  /// are reported through the scheduler's own inbox (kWorkerLost), so
+  /// recovery serializes with every other handler.
+  sim::Co<void> run_failure_detector();
 
   // ---- observability ----
   std::uint64_t messages_received(SchedMsgKind kind) const;
@@ -60,17 +101,33 @@ public:
   bool knows(const Key& key) const { return records_.count(key) != 0; }
   std::size_t task_count() const { return records_.size(); }
   std::size_t count_in_state(TaskState s) const;
+  const RecoveryCounters& recovery() const { return recovery_; }
+  bool worker_is_dead(int worker) const {
+    return dead_workers_.count(worker) != 0;
+  }
+  std::size_t live_workers() const {
+    return workers_.size() - dead_workers_.size();
+  }
 
 private:
+  /// Where a record's data comes from — decides what a lost key implies:
+  /// computed keys re-run via lineage, external keys re-arm for a
+  /// producer re-push, plain scatters are unrecoverable.
+  enum class Origin { kComputed, kScattered, kExternal };
+
   struct TaskRecord {
     TaskSpec spec;
     TaskState state = TaskState::kWaiting;
+    Origin origin = Origin::kComputed;
     double state_since = 0.0;  // sim time of the last transition (tracing)
     int nwaiting = 0;  // unfinished dependencies
     std::vector<Key> dependents;
     int worker = -1;
     std::uint64_t bytes = 0;
     int attempts = 0;  // executions so far (retry support)
+    int pusher_client = -1;  // client id of the bridge that completed an
+                             // external key (for re-push routing)
+    std::uint64_t rearm_epoch = 0;  // bumps on memory -> external re-arm
     std::string error;
     std::vector<std::shared_ptr<sim::Channel<int>>> waiters;
     std::vector<int> waiter_nodes;
@@ -91,6 +148,27 @@ private:
   sim::Co<void> handle_cancel(SchedMsg& msg);
   sim::Co<void> handle_variable(SchedMsg& msg);
   sim::Co<void> handle_queue(SchedMsg& msg);
+  sim::Co<void> handle_worker_lost(SchedMsg& msg);
+  sim::Co<void> handle_repush_keys(SchedMsg& msg);
+  sim::Co<void> handle_repush_expired(SchedMsg& msg);
+
+  /// Recovery core, run as (part of) a serialized handler: classify every
+  /// key held by the dead worker, re-run lost computed keys via lineage,
+  /// re-arm lost external keys for a producer re-push, err unrecoverable
+  /// scatters (poisoning their cones), and re-assign in-flight tasks.
+  sim::Co<void> recover_worker(int worker);
+  /// Err `key` and cascade the poison through its dependent cone,
+  /// releasing any blocked waiters with kAckErred.
+  sim::Co<void> poison_task(const Key& key, const std::string& error);
+  /// Watchdog for a re-armed external key: if the producer has not
+  /// replayed it within params.repush_timeout, err it out (epoch guards
+  /// against acting on a key that was replayed and re-armed again).
+  sim::Co<void> repush_deadline(Key key, std::uint64_t epoch);
+  /// Poke a producer's registered wake-up channel (no-op if it never
+  /// pushed with one): re-push work is waiting for it.
+  void notify_producer(int client);
+  /// Round-robin over live workers only.
+  int pick_live_worker();
 
   /// Mark `rec` finished in memory and cascade: notify waiters, decrement
   /// dependents, assign newly-ready tasks. The external→memory transition
@@ -99,7 +177,7 @@ private:
                             std::uint64_t bytes, bool erred,
                             const std::string& error);
   sim::Co<void> assign(const Key& key);
-  int decide_worker(const TaskRecord& rec) const;
+  int decide_worker(const TaskRecord& rec);
   sim::Co<void> reply_int(std::shared_ptr<sim::Channel<int>> ch, int dst_node,
                           int value);
   sim::Co<void> reply_data(std::shared_ptr<sim::Channel<Data>> ch,
@@ -134,6 +212,20 @@ private:
   std::uint64_t total_messages_ = 0;
   std::uint64_t retries_performed_ = 0;
   bool stopping_ = false;
+
+  // ---- failure detection / recovery state ----
+  std::set<int> dead_workers_;             // worker ids declared lost
+  std::map<int, double> last_heartbeat_;   // worker id -> sim time
+  std::set<int> suspected_;                // reported, recovery pending
+  // Lost external keys awaiting a replay, grouped by producing client
+  // (each bridge holds its own replay buffer). The producer learns about
+  // them via kAckRepushPending — piggybacked on its next push ack, or
+  // poked through its registered notify channel when no further push is
+  // coming — and drains the list with kRepushKeys.
+  std::map<int, std::vector<Key>> repush_;
+  // Latest wake-up channel per producing client (see SchedMsg::notify).
+  std::map<int, std::shared_ptr<sim::Channel<int>>> producer_notify_;
+  RecoveryCounters recovery_;
 };
 
 }  // namespace deisa::dts

@@ -37,6 +37,13 @@ public:
   /// Heartbeat loop (spawned alongside run()); exits once shutdown.
   sim::Co<void> run_heartbeats();
 
+  /// Fail-stop crash (fault injection): the worker stops heartbeating,
+  /// drops every queued and future message, abandons in-flight computes,
+  /// and loses its store. The actor stays allocated — a crashed worker is
+  /// a black hole, not a dangling pointer.
+  void crash();
+  bool alive() const { return alive_; }
+
   // ---- observability ----
   std::uint64_t tasks_executed() const { return tasks_executed_; }
   /// Cumulative bytes ever stored (throughput measure).
@@ -57,7 +64,8 @@ private:
   sim::Co<Data> fetch(const DepLocation& dep);
   sim::Co<void> handle_get_data(WorkerMsg msg);
   void store_put(const Key& key, Data data);
-  sim::Co<void> notify_scheduler(SchedMsg msg);
+  sim::Co<void> notify_scheduler(
+      SchedMsg msg, net::Delivery delivery = net::Delivery::kReliable);
 
   /// Update the memory gauge + counter track after a store change.
   void record_memory() const;
@@ -81,6 +89,7 @@ private:
   std::uint64_t bytes_stored_ = 0;
   std::uint64_t memory_bytes_ = 0;
   bool stopping_ = false;
+  bool alive_ = true;
 };
 
 }  // namespace deisa::dts

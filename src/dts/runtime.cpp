@@ -30,6 +30,7 @@ void Runtime::start() {
   DEISA_CHECK(!started_, "runtime already started");
   started_ = true;
   engine_->spawn(scheduler_->run());
+  engine_->spawn(scheduler_->run_failure_detector());
   for (auto& w : workers_) {
     engine_->spawn(w->run());
     engine_->spawn(w->run_heartbeats());

@@ -34,9 +34,37 @@ const char* to_string(SchedMsgKind k) {
     case SchedMsgKind::kVariableGet: return "variable_get";
     case SchedMsgKind::kQueuePut: return "queue_put";
     case SchedMsgKind::kQueueGet: return "queue_get";
+    case SchedMsgKind::kWorkerLost: return "worker_lost";
+    case SchedMsgKind::kRepushKeys: return "repush_keys";
+    case SchedMsgKind::kRepushExpired: return "repush_expired";
     case SchedMsgKind::kShutdown: return "shutdown";
   }
   return "?";
+}
+
+bool transition_valid(TaskState from, TaskState to) {
+  switch (from) {
+    case TaskState::kWaiting:
+      return to == TaskState::kReady || to == TaskState::kProcessing ||
+             to == TaskState::kErred;
+    case TaskState::kReady:
+      return to == TaskState::kProcessing || to == TaskState::kErred;
+    case TaskState::kProcessing:
+      // -> ready/waiting are the retry and worker-loss re-run paths.
+      return to == TaskState::kMemory || to == TaskState::kErred ||
+             to == TaskState::kReady || to == TaskState::kWaiting;
+    case TaskState::kMemory:
+      // -> waiting: lost computed key re-running via lineage.
+      // -> external: lost external key re-armed for a producer re-push.
+      // -> erred: lost scattered key (no lineage, no producer protocol).
+      return to == TaskState::kWaiting || to == TaskState::kExternal ||
+             to == TaskState::kErred;
+    case TaskState::kExternal:
+      return to == TaskState::kMemory || to == TaskState::kErred;
+    case TaskState::kErred:
+      return false;  // terminal: stale stimuli must be dropped upstream
+  }
+  return false;
 }
 
 std::uint64_t wire_bytes(const SchedMsg& msg) {
@@ -111,6 +139,9 @@ void Scheduler::record_created(const Key& key, TaskRecord& rec) {
 void Scheduler::transition(const Key& key, TaskRecord& rec, TaskState to) {
   const TaskState from = rec.state;
   DEISA_ASSERT(from != to, "self-transition on task " << key);
+  DEISA_ASSERT(transition_valid(from, to),
+               "illegal transition " << to_string(from) << " -> "
+                                     << to_string(to) << " on task " << key);
   DEISA_TRACE("scheduler",
               key << ": " << to_string(from) << " -> " << to_string(to));
   if (auto* m = obs::metrics())
@@ -164,8 +195,25 @@ sim::Co<void> Scheduler::handle(SchedMsg msg) {
     case SchedMsgKind::kWaitKey: co_await handle_wait_key(msg); break;
     case SchedMsgKind::kCancelKey: co_await handle_cancel(msg); break;
     case SchedMsgKind::kHeartbeatWorker:
+      // The deadline the failure detector checks against. Heartbeats from
+      // a worker already declared dead are counted but ignored (the seed
+      // behavior for all heartbeats: service time is their whole cost).
+      if (msg.worker >= 0) {
+        if (dead_workers_.count(msg.worker) != 0) {
+          ++recovery_.stale_heartbeats;
+          obs::count("scheduler.stale.heartbeats");
+        } else {
+          last_heartbeat_[msg.worker] = engine_->now();
+        }
+      }
+      break;
     case SchedMsgKind::kHeartbeatBridge:
       break;  // service time is their whole cost
+    case SchedMsgKind::kWorkerLost: co_await handle_worker_lost(msg); break;
+    case SchedMsgKind::kRepushKeys: co_await handle_repush_keys(msg); break;
+    case SchedMsgKind::kRepushExpired:
+      co_await handle_repush_expired(msg);
+      break;
     case SchedMsgKind::kVariableSet:
     case SchedMsgKind::kVariableGet:
       co_await handle_variable(msg);
@@ -180,6 +228,8 @@ sim::Co<void> Scheduler::handle(SchedMsg msg) {
 
 sim::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
   // Pass 1: create records so intra-batch dependencies resolve.
+  std::vector<Key> inserted;
+  inserted.reserve(msg.tasks.size());
   for (auto& spec : msg.tasks) {
     DEISA_CHECK(records_.count(spec.key) == 0,
                 "task key resubmitted: " << spec.key);
@@ -188,14 +238,14 @@ sim::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
     rec.spec = std::move(spec);
     const auto it = records_.emplace(std::move(key), std::move(rec)).first;
     record_created(it->first, it->second);
+    inserted.push_back(it->first);
   }
   msg.tasks.clear();
-  // Pass 2: wire dependency edges and count unfinished inputs.
+  // Pass 2: wire dependency edges of the keys inserted above (and only
+  // those — incremental submission must not rescan the whole table).
   std::vector<Key> ready;
-  for (auto& [key, rec] : records_) {
-    if (rec.state != TaskState::kWaiting || rec.nwaiting != 0) continue;
-    // Only freshly-inserted waiting records reach here with nwaiting==0;
-    // recompute from dependencies.
+  for (const Key& key : inserted) {
+    TaskRecord& rec = records_.at(key);
     bool fresh = true;
     for (const Key& dep : rec.spec.deps) {
       auto it = records_.find(dep);
@@ -220,19 +270,33 @@ sim::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
   for (const Key& key : ready) co_await assign(key);
 }
 
-int Scheduler::decide_worker(const TaskRecord& rec) const {
+int Scheduler::pick_live_worker() {
+  DEISA_CHECK(live_workers() > 0, "no live workers left");
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const int w = static_cast<int>(rr_next_worker_++ % workers_.size());
+    if (dead_workers_.count(w) == 0) return w;
+  }
+  return -1;  // unreachable: the check above guarantees a live worker
+}
+
+int Scheduler::decide_worker(const TaskRecord& rec) {
   DEISA_CHECK(!workers_.empty(), "no workers attached to scheduler");
   if (rec.spec.preferred_worker >= 0) {
     DEISA_CHECK(static_cast<std::size_t>(rec.spec.preferred_worker) <
                     workers_.size(),
                 "preferred worker out of range");
-    return rec.spec.preferred_worker;
+    // A dead preferred worker falls through to the locality/round-robin
+    // path instead of assigning work to a corpse.
+    if (dead_workers_.count(rec.spec.preferred_worker) == 0)
+      return rec.spec.preferred_worker;
   }
-  // Data locality: pick the worker already holding the most input bytes.
+  // Data locality: pick the live worker already holding the most input
+  // bytes.
   std::map<int, std::uint64_t> bytes_on;
   for (const Key& dep : rec.spec.deps) {
     const auto it = records_.find(dep);
-    if (it != records_.end() && it->second.worker >= 0)
+    if (it != records_.end() && it->second.worker >= 0 &&
+        dead_workers_.count(it->second.worker) == 0)
       bytes_on[it->second.worker] += it->second.bytes;
   }
   int best = -1;
@@ -244,8 +308,7 @@ int Scheduler::decide_worker(const TaskRecord& rec) const {
     }
   }
   if (best >= 0) return best;
-  return static_cast<int>(
-      const_cast<Scheduler*>(this)->rr_next_worker_++ % workers_.size());
+  return pick_live_worker();
 }
 
 sim::Co<void> Scheduler::assign(const Key& key) {
@@ -267,42 +330,54 @@ sim::Co<void> Scheduler::assign(const Key& key) {
   ref.inbox->send(std::move(m));
 }
 
+sim::Co<void> Scheduler::poison_task(const Key& key,
+                                     const std::string& error) {
+  TaskRecord& rec = records_.at(key);
+  if (rec.state != TaskState::kErred) {
+    transition(key, rec, TaskState::kErred);
+    rec.error = error;
+    for (std::size_t i = 0; i < rec.waiters.size(); ++i)
+      co_await reply_int(rec.waiters[i], rec.waiter_nodes[i], kAckErred);
+    rec.waiters.clear();
+    rec.waiter_nodes.clear();
+  }
+  // Poison the whole downstream cone, replying to any waiters so blocked
+  // clients observe the failure instead of hanging.
+  std::vector<Key> poison = std::move(rec.dependents);
+  rec.dependents.clear();
+  while (!poison.empty()) {
+    const Key dkey = std::move(poison.back());
+    poison.pop_back();
+    TaskRecord& drec = records_.at(dkey);
+    if (drec.state == TaskState::kErred || drec.state == TaskState::kMemory)
+      continue;
+    transition(dkey, drec, TaskState::kErred);
+    drec.error = "dependency erred: " + key;
+    for (std::size_t i = 0; i < drec.waiters.size(); ++i)
+      co_await reply_int(drec.waiters[i], drec.waiter_nodes[i], kAckErred);
+    drec.waiters.clear();
+    drec.waiter_nodes.clear();
+    for (Key& next : drec.dependents) poison.push_back(std::move(next));
+    drec.dependents.clear();
+  }
+}
+
 sim::Co<void> Scheduler::finish_task(const Key& key, TaskRecord& rec,
                                      int worker, std::uint64_t bytes,
                                      bool erred, const std::string& error) {
-  transition(key, rec, erred ? TaskState::kErred : TaskState::kMemory);
   rec.worker = worker;
   rec.bytes = bytes;
-  rec.error = error;
-  // Wake clients blocked in wait_key/gather.
-  for (std::size_t i = 0; i < rec.waiters.size(); ++i)
-    co_await reply_int(rec.waiters[i], rec.waiter_nodes[i],
-                       erred ? -2 : worker);
-  rec.waiters.clear();
-  rec.waiter_nodes.clear();
   if (erred) {
-    // Poison the whole downstream cone, replying to any waiters so
-    // blocked clients observe the failure instead of hanging.
-    std::vector<Key> poison = std::move(rec.dependents);
-    rec.dependents.clear();
-    while (!poison.empty()) {
-      const Key dkey = std::move(poison.back());
-      poison.pop_back();
-      TaskRecord& drec = records_.at(dkey);
-      if (drec.state == TaskState::kErred ||
-          drec.state == TaskState::kMemory)
-        continue;
-      transition(dkey, drec, TaskState::kErred);
-      drec.error = "dependency erred: " + key;
-      for (std::size_t i = 0; i < drec.waiters.size(); ++i)
-        co_await reply_int(drec.waiters[i], drec.waiter_nodes[i], -2);
-      drec.waiters.clear();
-      drec.waiter_nodes.clear();
-      for (Key& next : drec.dependents) poison.push_back(std::move(next));
-      drec.dependents.clear();
-    }
+    co_await poison_task(key, error);
     co_return;
   }
+  transition(key, rec, TaskState::kMemory);
+  rec.error.clear();
+  // Wake clients blocked in wait_key/gather.
+  for (std::size_t i = 0; i < rec.waiters.size(); ++i)
+    co_await reply_int(rec.waiters[i], rec.waiter_nodes[i], worker);
+  rec.waiters.clear();
+  rec.waiter_nodes.clear();
   // Unblock dependents (standard task-finished stimulus; external tasks
   // reuse exactly this path — the point of §2.2).
   std::vector<Key> ready;
@@ -316,56 +391,141 @@ sim::Co<void> Scheduler::finish_task(const Key& key, TaskRecord& rec,
 }
 
 sim::Co<void> Scheduler::handle_task_finished(SchedMsg& msg) {
-  TaskRecord& rec = records_.at(msg.key);
+  const auto it = records_.find(msg.key);
+  if (it == records_.end()) {
+    ++recovery_.stale_task_finished;
+    obs::count("scheduler.stale.task_finished");
+    co_return;
+  }
+  TaskRecord& rec = it->second;
+  // Stale guard: only the worker currently assigned may report the task,
+  // and only while it is processing. Anything else — a report for a task
+  // cancelled/poisoned meanwhile (the old erred→memory resurrection bug),
+  // a report from a worker the task was re-assigned away from, or a
+  // fault-duplicated delivery — is dropped here, never reaching an
+  // illegal transition.
+  if (rec.state != TaskState::kProcessing || rec.worker != msg.worker) {
+    ++recovery_.stale_task_finished;
+    obs::count("scheduler.stale.task_finished");
+    obs::trace_instant("scheduler", "recovery", "stale_finish:" + msg.key);
+    co_return;
+  }
   ++rec.attempts;
   if (msg.erred && rec.attempts <= rec.spec.retries) {
     // Transient failure: re-run (dask's `retries=` semantics). The task
-    // returns to ready and is re-assigned (possibly elsewhere).
+    // returns to ready and is re-assigned (possibly elsewhere). The stale
+    // guard above makes this always a processing→ready edge — the retry
+    // path can no longer lift a task out of erred.
     ++retries_performed_;
     obs::count("scheduler.retries");
     transition(msg.key, rec, TaskState::kReady);
     co_await assign(msg.key);
     co_return;
   }
+  rec.origin = Origin::kComputed;
   co_await finish_task(msg.key, rec, msg.worker, msg.bytes, msg.erred,
                        msg.error);
 }
 
 sim::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
+  int ack = msg.worker;
+  if (msg.notify != nullptr) producer_notify_[msg.sender_client] = msg.notify;
   auto it = records_.find(msg.key);
   if (it == records_.end()) {
-    // Plain scatter of a fresh key: register it directly in memory.
-    TaskRecord rec;
-    rec.spec.key = msg.key;
-    rec.state = TaskState::kMemory;
-    rec.worker = msg.worker;
-    rec.bytes = msg.bytes;
-    const auto fresh = records_.emplace(msg.key, std::move(rec)).first;
-    record_created(fresh->first, fresh->second);
-  } else {
-    TaskRecord& rec = it->second;
-    if (rec.state == TaskState::kExternal) {
-      DEISA_CHECK(msg.external,
-                  "key " << msg.key
-                         << " is an external task; plain scatter cannot "
-                            "complete it");
-      // external -> memory, then the normal finished-task cascade.
-      co_await finish_task(msg.key, rec, msg.worker, msg.bytes, false, {});
+    if (dead_workers_.count(msg.worker) != 0) {
+      // The scatter raced a worker crash: the payload landed nowhere.
+      // Register the key as erred so consumers fail fast instead of
+      // waiting on data that does not exist.
+      TaskRecord rec;
+      rec.spec.key = msg.key;
+      rec.origin = Origin::kScattered;
+      rec.state = TaskState::kErred;
+      rec.error = "scattered to lost worker " + std::to_string(msg.worker);
+      const auto fresh = records_.emplace(msg.key, std::move(rec)).first;
+      record_created(fresh->first, fresh->second);
+      ++recovery_.keys_lost;
+      obs::count("scheduler.recovery.keys_lost");
+      ack = kAckErred;
     } else {
-      DEISA_CHECK(rec.state == TaskState::kMemory,
-                  "update_data on key '" << msg.key << "' in state "
-                                         << to_string(rec.state));
-      // Re-scatter of an existing key: refresh location.
+      // Plain scatter of a fresh key: register it directly in memory.
+      TaskRecord rec;
+      rec.spec.key = msg.key;
+      rec.origin = Origin::kScattered;
+      rec.state = TaskState::kMemory;
       rec.worker = msg.worker;
       rec.bytes = msg.bytes;
+      rec.pusher_client = msg.sender_client;
+      const auto fresh = records_.emplace(msg.key, std::move(rec)).first;
+      record_created(fresh->first, fresh->second);
+    }
+  } else {
+    TaskRecord& rec = it->second;
+    switch (rec.state) {
+      case TaskState::kErred:
+        // Push to a cancelled/poisoned key (the old DEISA_CHECK abort):
+        // acknowledge and discard so the producer keeps stepping.
+        ++recovery_.stale_update_data;
+        obs::count("scheduler.stale.update_data");
+        obs::trace_instant("scheduler", "recovery",
+                           "stale_push:" + msg.key);
+        ack = kAckDiscarded;
+        break;
+      case TaskState::kExternal: {
+        DEISA_CHECK(msg.external,
+                    "key " << msg.key
+                           << " is an external task; plain scatter cannot "
+                              "complete it");
+        rec.origin = Origin::kExternal;
+        rec.pusher_client = msg.sender_client;
+        if (dead_workers_.count(msg.worker) != 0) {
+          // The block was pushed at a worker that is being replaced: the
+          // data never landed. Re-route the preselection and schedule a
+          // re-push from this producer's replay buffer.
+          ++rec.rearm_epoch;
+          if (rec.spec.preferred_worker < 0 ||
+              dead_workers_.count(rec.spec.preferred_worker) != 0)
+            rec.spec.preferred_worker = pick_live_worker();
+          repush_[msg.sender_client].push_back(msg.key);
+          engine_->spawn(repush_deadline(msg.key, rec.rearm_epoch));
+          ++recovery_.external_rearmed;
+          obs::count("scheduler.recovery.external_rearmed");
+          ack = kAckRepushPending;
+        } else {
+          // external -> memory, then the normal finished-task cascade.
+          co_await finish_task(msg.key, rec, msg.worker, msg.bytes, false,
+                               {});
+        }
+        break;
+      }
+      case TaskState::kMemory:
+        if (msg.external) {
+          // Duplicate delivery of a push that already completed the key
+          // (fault duplication, or a replay racing the original).
+          ++recovery_.stale_update_data;
+          obs::count("scheduler.stale.update_data");
+          ack = kAckDiscarded;
+        } else {
+          // Re-scatter of an existing key: refresh location.
+          rec.worker = msg.worker;
+          rec.bytes = msg.bytes;
+        }
+        break;
+      default:
+        DEISA_CHECK(false, "update_data on key '" << msg.key << "' in state "
+                                                  << to_string(rec.state));
     }
   }
+  // Pending re-push assignments for this producer piggyback on the ack:
+  // the producer must follow up with kRepushKeys and replay the blocks.
+  const auto rit = repush_.find(msg.sender_client);
+  if (rit != repush_.end() && !rit->second.empty() && ack != kAckErred)
+    ack = kAckRepushPending;
   // scatter is a synchronous RPC: the caller blocks until the scheduler
   // has registered the data. Under DEISA1's per-timestep metadata load
   // this acknowledgement queues behind everything else — the source of
   // the communication-time inflation and variability in Figures 2a/3a/5.
   if (msg.reply_worker != nullptr)
-    co_await reply_int(msg.reply_worker, msg.sender_node, msg.worker);
+    co_await reply_int(msg.reply_worker, msg.sender_node, ack);
 }
 
 void Scheduler::handle_create_external(SchedMsg& msg) {
@@ -378,8 +538,18 @@ void Scheduler::handle_create_external(SchedMsg& msg) {
                 "external task key already exists: " << key);
     TaskRecord rec;
     rec.spec.key = key;
-    if (!msg.preferred_workers.empty())
-      rec.spec.preferred_worker = msg.preferred_workers[i];
+    rec.origin = Origin::kExternal;
+    if (!msg.preferred_workers.empty()) {
+      int pw = msg.preferred_workers[i];
+      if (pw >= 0 && dead_workers_.count(pw) != 0) {
+        // Preselection targets a worker that has since died: re-route at
+        // creation so the producer is never told to push at a corpse.
+        pw = pick_live_worker();
+        ++recovery_.external_rerouted;
+        obs::count("scheduler.recovery.external_rerouted");
+      }
+      rec.spec.preferred_worker = pw;
+    }
     rec.state = TaskState::kExternal;
     const auto it = records_.emplace(key, std::move(rec)).first;
     record_created(it->first, it->second);
@@ -452,6 +622,270 @@ sim::Co<void> Scheduler::handle_queue(SchedMsg& msg) {
   } else {
     slot.waiters.emplace_back(msg.reply_data, msg.sender_node);
   }
+}
+
+sim::Co<void> Scheduler::run_failure_detector() {
+  if (params_.heartbeat_timeout <= 0.0) co_return;
+  const double interval = params_.failure_check_interval > 0.0
+                              ? params_.failure_check_interval
+                              : params_.heartbeat_timeout / 4.0;
+  // Workers that have not heartbeated yet are measured from arming time,
+  // so a worker that dies before its first heartbeat is still detected.
+  const double armed_at = engine_->now();
+  while (!stopping_) {
+    co_await engine_->delay(interval);
+    if (stopping_) co_return;
+    const double now = engine_->now();
+    for (const WorkerRef& ref : workers_) {
+      if (dead_workers_.count(ref.id) != 0 || suspected_.count(ref.id) != 0)
+        continue;
+      const auto it = last_heartbeat_.find(ref.id);
+      const double last = it == last_heartbeat_.end() ? armed_at : it->second;
+      if (now - last <= params_.heartbeat_timeout) continue;
+      // Report through the scheduler's own inbox so recovery serializes
+      // with every other handler instead of mutating records mid-flight.
+      suspected_.insert(ref.id);
+      obs::count("scheduler.recovery.suspected");
+      obs::trace_instant("scheduler", "recovery",
+                         "suspect:worker-" + std::to_string(ref.id));
+      SchedMsg m(SchedMsgKind::kWorkerLost);
+      m.worker = ref.id;
+      m.sender_node = node_;
+      inbox_.send(std::move(m));
+    }
+  }
+}
+
+sim::Co<void> Scheduler::handle_worker_lost(SchedMsg& msg) {
+  const int w = msg.worker;
+  suspected_.erase(w);
+  if (w < 0 || static_cast<std::size_t>(w) >= workers_.size()) co_return;
+  if (dead_workers_.count(w) != 0) co_return;
+  // A heartbeat may have slipped in while this report queued: re-check
+  // the deadline before declaring the worker dead.
+  const auto hb = last_heartbeat_.find(w);
+  if (hb != last_heartbeat_.end() &&
+      engine_->now() - hb->second <= params_.heartbeat_timeout)
+    co_return;
+  DEISA_CHECK(live_workers() > 1,
+              "worker " << w << " lost and no surviving worker to recover "
+                        << "onto");
+  dead_workers_.insert(w);
+  ++recovery_.workers_lost;
+  obs::count("scheduler.recovery.workers_lost");
+  obs::trace_instant("scheduler", "recovery",
+                     "worker_lost:worker-" + std::to_string(w));
+  DEISA_TRACE("scheduler", "worker " << w << " declared lost; recovering");
+  co_await recover_worker(w);
+}
+
+sim::Co<void> Scheduler::recover_worker(int w) {
+  obs::Span span;
+  if (obs::tracer() != nullptr)
+    span = obs::trace_span("scheduler", "recovery",
+                           "recover:worker-" + std::to_string(w));
+  // Phase 1: classify every key whose data lived on the dead worker.
+  std::set<Key> lost;  // keys whose stored bytes vanished with the worker
+  std::vector<std::pair<Key, std::string>> to_poison;
+  std::vector<Key> rearmed;
+  for (auto& [key, rec] : records_) {
+    if (rec.state == TaskState::kMemory && rec.worker == w) {
+      lost.insert(key);
+      switch (rec.origin) {
+        case Origin::kComputed:
+          // Lineage exists: re-run the task once its inputs are back.
+          transition(key, rec, TaskState::kWaiting);
+          rec.worker = -1;
+          rec.bytes = 0;
+          rec.nwaiting = 0;
+          ++recovery_.keys_recomputed;
+          obs::count("scheduler.recovery.keys_recomputed");
+          break;
+        case Origin::kExternal:
+          // The producer still holds the block: re-arm the external state
+          // and schedule a re-push at a surviving worker.
+          transition(key, rec, TaskState::kExternal);
+          rec.worker = -1;
+          rec.bytes = 0;
+          rec.nwaiting = 0;
+          ++rec.rearm_epoch;
+          rec.spec.preferred_worker = pick_live_worker();
+          rearmed.push_back(key);
+          ++recovery_.external_rearmed;
+          obs::count("scheduler.recovery.external_rearmed");
+          break;
+        case Origin::kScattered:
+          // No lineage and no re-push protocol: unrecoverable. Poisoned
+          // below, after dependent edges are rebuilt, so the cascade
+          // reaches every consumer.
+          to_poison.emplace_back(
+              key, "scattered data lost with worker " + std::to_string(w));
+          ++recovery_.keys_lost;
+          obs::count("scheduler.recovery.keys_lost");
+          break;
+      }
+    } else if (rec.state == TaskState::kExternal &&
+               rec.spec.preferred_worker == w) {
+      // Pending preselection on the dead worker, no data pushed yet:
+      // point it at a survivor so the eventual push/replay lands.
+      rec.spec.preferred_worker = pick_live_worker();
+      ++recovery_.external_rerouted;
+      obs::count("scheduler.recovery.external_rerouted");
+    }
+  }
+  // Phase 2: rebuild consumer edges and restart derailed in-flight work.
+  // A finished key's dependent edges were cleared when it completed, so
+  // consumers of lost keys are rediscovered from their specs — one
+  // O(records) sweep per lost worker, not per message.
+  std::vector<Key> assignable;
+  for (auto& [key, rec] : records_) {
+    if (rec.state == TaskState::kWaiting) {
+      bool doomed = false;
+      for (const Key& dep : rec.spec.deps) {
+        TaskRecord& drec = records_.at(dep);
+        if (drec.state == TaskState::kErred) {
+          doomed = true;
+          continue;
+        }
+        if (lost.count(dep) == 0) continue;
+        ++rec.nwaiting;
+        drec.dependents.push_back(key);
+      }
+      if (doomed)
+        to_poison.emplace_back(key, "dependency unrecoverable after loss "
+                                    "of worker " +
+                                        std::to_string(w));
+      else if (lost.count(key) != 0 && rec.nwaiting == 0)
+        assignable.push_back(key);  // lost key whose inputs all survived
+    } else if (rec.state == TaskState::kProcessing) {
+      bool derailed = rec.worker == w;
+      if (!derailed)
+        for (const Key& dep : rec.spec.deps)
+          if (lost.count(dep) != 0) {
+            derailed = true;  // its compute is fetching from the corpse
+            break;
+          }
+      if (!derailed) continue;
+      transition(key, rec, TaskState::kWaiting);
+      rec.worker = -1;
+      rec.nwaiting = 0;
+      bool doomed = false;
+      for (const Key& dep : rec.spec.deps) {
+        TaskRecord& drec = records_.at(dep);
+        if (drec.state == TaskState::kErred) {
+          doomed = true;
+          continue;
+        }
+        if (lost.count(dep) != 0 || drec.state != TaskState::kMemory) {
+          ++rec.nwaiting;
+          drec.dependents.push_back(key);
+        }
+      }
+      ++recovery_.tasks_rerun;
+      obs::count("scheduler.recovery.tasks_rerun");
+      if (doomed)
+        to_poison.emplace_back(key, "dependency unrecoverable after loss "
+                                    "of worker " +
+                                        std::to_string(w));
+      else if (rec.nwaiting == 0)
+        assignable.push_back(key);
+    }
+  }
+  // Phase 3: fail the unrecoverable cones (waiters get kAckErred now
+  // instead of hanging on data that will never exist).
+  for (const auto& [key, error] : to_poison) co_await poison_task(key, error);
+  // Phase 4: queue re-pushes with their producers and arm the deadline
+  // that errs a re-armed key out if the producer never replays it. The
+  // producers are poked through their notify channels: detection often
+  // happens after a producer's final push, when no ack could carry the
+  // kAckRepushPending request.
+  std::set<int> producers_to_poke;
+  for (const Key& key : rearmed) {
+    TaskRecord& rec = records_.at(key);
+    if (rec.state != TaskState::kExternal) continue;
+    if (rec.pusher_client >= 0) {
+      repush_[rec.pusher_client].push_back(key);
+      producers_to_poke.insert(rec.pusher_client);
+      engine_->spawn(repush_deadline(key, rec.rearm_epoch));
+    } else {
+      co_await poison_task(key, "external data lost with worker " +
+                                    std::to_string(w) +
+                                    " and no known producer");
+    }
+  }
+  for (int client : producers_to_poke) notify_producer(client);
+  // Phase 5: re-assign everything that is immediately runnable.
+  for (const Key& key : assignable) {
+    TaskRecord& rec = records_.at(key);
+    if (rec.state == TaskState::kWaiting && rec.nwaiting == 0)
+      co_await assign(key);
+  }
+}
+
+sim::Co<void> Scheduler::handle_repush_keys(SchedMsg& msg) {
+  RepushList list;
+  const auto it = repush_.find(msg.sender_client);
+  if (it != repush_.end()) {
+    for (const Key& key : it->second) {
+      const auto rit = records_.find(key);
+      // Skip keys that were replayed, poisoned, or expired meanwhile.
+      if (rit == records_.end() || rit->second.state != TaskState::kExternal)
+        continue;
+      int target = rit->second.spec.preferred_worker;
+      if (target < 0 || dead_workers_.count(target) != 0) {
+        target = pick_live_worker();
+        rit->second.spec.preferred_worker = target;
+      }
+      list.emplace_back(key, target);
+    }
+    repush_.erase(it);
+  }
+  DEISA_ASSERT(msg.reply_repush != nullptr, "missing repush reply channel");
+  co_await cluster_->send_control(node_, msg.sender_node,
+                                  128 + list.size() * 64);
+  msg.reply_repush->send(std::move(list));
+}
+
+sim::Co<void> Scheduler::handle_repush_expired(SchedMsg& msg) {
+  const auto it = records_.find(msg.key);
+  if (it == records_.end()) co_return;
+  TaskRecord& rec = it->second;
+  // The epoch (carried in msg.bytes) guards against expiring a key that
+  // was replayed and re-armed again after this deadline was set.
+  if (rec.state != TaskState::kExternal || rec.rearm_epoch != msg.bytes)
+    co_return;
+  ++recovery_.repush_expired;
+  obs::count("scheduler.recovery.repush_expired");
+  obs::trace_instant("scheduler", "recovery", "repush_expired:" + msg.key);
+  for (auto& [client, keys] : repush_)
+    keys.erase(std::remove(keys.begin(), keys.end(), msg.key), keys.end());
+  co_await poison_task(msg.key, "external re-push timed out");
+}
+
+void Scheduler::notify_producer(int client) {
+  const auto it = producer_notify_.find(client);
+  // The wake-up is a local channel send (modelling the scheduler->client
+  // stream dask keeps open); the follow-up kRepushKeys RPC pays the real
+  // network cost. Extra pokes are absorbed by the bridge's re-entrancy
+  // guard.
+  if (it != producer_notify_.end()) it->second->send(kAckRepushPending);
+}
+
+sim::Co<void> Scheduler::repush_deadline(Key key, std::uint64_t epoch) {
+  co_await engine_->delay(params_.repush_timeout);
+  if (stopping_) co_return;
+  const auto it = records_.find(key);
+  if (it == records_.end()) co_return;
+  const TaskRecord& rec = it->second;
+  if (rec.state != TaskState::kExternal || rec.rearm_epoch != epoch)
+    co_return;  // replayed (or re-armed again, with a fresh deadline)
+  // Route the expiry through the inbox so the poisoning serializes with
+  // the message handlers.
+  SchedMsg msg(SchedMsgKind::kRepushExpired);
+  msg.key = std::move(key);
+  msg.bytes = epoch;
+  msg.sender_node = node_;
+  inbox_.send(std::move(msg));
 }
 
 sim::Co<void> Scheduler::reply_int(std::shared_ptr<sim::Channel<int>> ch,

@@ -36,6 +36,13 @@ void Worker::attach(int scheduler_node,
 sim::Co<void> Worker::run() {
   while (true) {
     WorkerMsg msg = co_await inbox_.recv();
+    if (!alive_ && msg.kind != WorkerMsgKind::kShutdown) {
+      // Crashed worker: every message disappears into the void. Senders
+      // that expected a reply stay blocked and are reaped at teardown;
+      // the scheduler learns of the death from the missed heartbeats.
+      obs::count("worker.messages_dropped_dead");
+      continue;
+    }
     switch (msg.kind) {
       case WorkerMsgKind::kCompute:
         engine_->spawn(handle_compute(std::move(msg.spec), std::move(msg.deps)));
@@ -55,14 +62,24 @@ sim::Co<void> Worker::run() {
 
 sim::Co<void> Worker::run_heartbeats() {
   if (params_.heartbeat_interval <= 0.0) co_return;
-  while (!stopping_) {
+  while (!stopping_ && alive_) {
     co_await engine_->delay(params_.heartbeat_interval);
-    if (stopping_) co_return;
+    if (stopping_ || !alive_) co_return;
     SchedMsg hb(SchedMsgKind::kHeartbeatWorker);
     hb.worker = id_;
     hb.sender_node = node_;
-    co_await notify_scheduler(std::move(hb));
+    co_await notify_scheduler(std::move(hb), net::Delivery::kDroppable);
   }
+}
+
+void Worker::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  store_.clear();
+  memory_bytes_ = 0;
+  record_memory();
+  obs::count("worker.crashes");
+  obs::trace_instant(actor_, "lifecycle", "crash");
 }
 
 bool Worker::release_key(const Key& key) {
@@ -136,8 +153,10 @@ sim::Co<Data> Worker::fetch(const DepLocation& dep) {
 
 sim::Co<void> Worker::handle_get_data(WorkerMsg msg) {
   Data d = co_await local_get(msg.key);
+  if (!alive_) co_return;  // died while the request was in flight
   const std::uint64_t b = std::max<std::uint64_t>(d.bytes, 64);
   co_await cluster_->transfer(node_, msg.requester_node, b);
+  if (!alive_) co_return;
   msg.reply_data->send(std::move(d));
 }
 
@@ -149,6 +168,7 @@ sim::Co<void> Worker::handle_compute(TaskSpec spec,
   // bounded by the NIC anyway and sequential fetches keep ordering
   // deterministic.
   for (const auto& dep : deps) inputs.push_back(co_await fetch(dep));
+  if (!alive_) co_return;  // crashed while fetching inputs
 
   SchedMsg done(SchedMsgKind::kTaskFinished);
   done.key = spec.key;
@@ -159,6 +179,7 @@ sim::Co<void> Worker::handle_compute(TaskSpec spec,
   try {
     if (spec.io) co_await spec.io();
     co_await cpu_.serve(spec.cost);
+    if (!alive_) co_return;  // crashed mid-execution: drop the result
     Data out;
     if (spec.fn) {
       out = spec.fn(inputs);
@@ -175,18 +196,23 @@ sim::Co<void> Worker::handle_compute(TaskSpec spec,
     if (span.active()) span.add_arg(obs::arg("error", done.error));
   }
   span.finish();
+  if (!alive_) co_return;  // crashed mid-execution: the result dies here
   if (auto* m = obs::metrics()) {
     m->counter("worker.tasks_executed").add();
     m->histogram("worker.execute_seconds").observe(engine_->now() - exec_start);
     if (done.erred) m->counter("worker.tasks_erred").add();
   }
-  co_await notify_scheduler(std::move(done));
+  co_await notify_scheduler(std::move(done), net::Delivery::kIdempotent);
 }
 
-sim::Co<void> Worker::notify_scheduler(SchedMsg msg) {
+sim::Co<void> Worker::notify_scheduler(SchedMsg msg, net::Delivery delivery) {
   DEISA_ASSERT(scheduler_inbox_ != nullptr, "worker not attached");
-  co_await cluster_->send_control(node_, scheduler_node_, wire_bytes(msg));
-  scheduler_inbox_->send(std::move(msg));
+  const net::SendResult res = co_await cluster_->send_control(
+      node_, scheduler_node_, wire_bytes(msg), delivery);
+  // Delivery is caller-side: enqueue 0, 1 or 2 copies as the fault hook
+  // decided (0/2 only for droppable/idempotent traffic under injection).
+  for (int i = 1; i < res.copies; ++i) scheduler_inbox_->send(msg);
+  if (res.copies > 0) scheduler_inbox_->send(std::move(msg));
 }
 
 }  // namespace deisa::dts

@@ -15,6 +15,7 @@
 
 #include "deisa/core/contract.hpp"
 #include "deisa/dts/runtime.hpp"
+#include "deisa/fault/fault.hpp"
 #include "deisa/io/pfs.hpp"
 #include "deisa/ml/insitu.hpp"
 #include "deisa/net/cluster.hpp"
@@ -77,6 +78,11 @@ struct ScenarioParams {
   /// events are evicted beyond this).
   std::size_t trace_capacity = obs::Recorder::kDefaultCapacity;
 
+  /// Fault plan armed against the run (worker kills, message drop/dup,
+  /// push delays). With a non-empty plan the scheduler's failure detector
+  /// is auto-enabled unless `sched.heartbeat_timeout` was set explicitly.
+  fault::FaultPlan faults;
+
   static net::ClusterParams irene_cluster();
   static dts::SchedulerParams paper_scheduler();
   /// Per-rank local block edge (square blocks of doubles).
@@ -113,6 +119,11 @@ struct RunResult {
   double scheduler_busy_seconds = 0.0;
   std::uint64_t pfs_bytes_written = 0;
   std::uint64_t pfs_bytes_read = 0;
+
+  /// Scheduler-side recovery counters (all zero on fault-free runs).
+  dts::RecoveryCounters recovery;
+  /// Worker crashes actually performed by the fault injector.
+  std::uint64_t workers_killed = 0;
 
   /// Snapshot of every counter/gauge/histogram the run produced.
   obs::MetricsSnapshot metrics;

@@ -139,9 +139,16 @@ struct World {
     dts::RuntimeParams rp;
     rp.scheduler = p.sched;
     rp.scheduler.seed = p.alloc_seed * 131 + 17;
+    // A non-empty fault plan needs the failure detector armed; pick a
+    // timeout comfortably above the heartbeat period unless the caller
+    // chose one.
+    if (!p.faults.empty() && rp.scheduler.heartbeat_timeout <= 0.0)
+      rp.scheduler.heartbeat_timeout = 3.5 * p.worker_heartbeat_interval;
     rp.worker.heartbeat_interval = p.worker_heartbeat_interval;
     runtime = std::make_unique<dts::Runtime>(engine, cluster, scheduler_node,
                                              worker_nodes, rp);
+    injector = std::make_unique<fault::FaultInjector>(engine, cluster,
+                                                      p.faults);
     comm = std::make_unique<mpix::Comm>(cluster, rank_nodes);
     this->rank_nodes = std::move(rank_nodes);
   }
@@ -155,6 +162,7 @@ struct World {
   int client_node = 0;
   std::vector<int> rank_nodes;
   std::unique_ptr<dts::Runtime> runtime;
+  std::unique_ptr<fault::FaultInjector> injector;
   std::unique_ptr<mpix::Comm> comm;
 };
 
@@ -509,6 +517,7 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
   res.sim_io = res.sim_compute;
 
   w.runtime->start();
+  w.injector->arm(*w.runtime);
 
   io::PosthocDataset dataset;
   std::unique_ptr<io::PosthocWriter> writer;
@@ -580,6 +589,8 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
   }
   res.pfs_bytes_written = w.pfs.bytes_written();
   res.pfs_bytes_read = w.pfs.bytes_read();
+  res.recovery = sched.recovery();
+  res.workers_killed = w.injector->kills_performed();
   res.metrics = registry.snapshot();
   res.trace = std::move(recorder);
   return res;

@@ -91,7 +91,17 @@ sim::Co<void> Cluster::transfer(int src, int dst, std::uint64_t bytes) {
         m->histogram("net.transfer_seconds").observe(engine->now() - start);
     }
   } done_guard{engine_, start};
-  const double lat = base_latency(src, dst);
+  double lat = base_latency(src, dst);
+  if (fault_hook_) {
+    const FaultDecision fd = fault_hook_(src, dst, bytes, Delivery::kBulk);
+    if (fd.extra_delay > 0.0) {
+      lat += fd.extra_delay;
+      if (auto* m = obs::metrics()) {
+        m->counter("net.faults.delayed").add();
+        m->histogram("net.faults.delay_seconds").observe(fd.extra_delay);
+      }
+    }
+  }
   if (src == dst) {
     // Intra-node copy through shared memory; two memcpy engines per node.
     auto& mem = *node_memory_[static_cast<std::size_t>(src)];
@@ -123,18 +133,40 @@ sim::Co<void> Cluster::transfer(int src, int dst, std::uint64_t bytes) {
   eg.release();
 }
 
-sim::Co<void> Cluster::send_control(int src, int dst, std::uint64_t bytes) {
+sim::Co<SendResult> Cluster::send_control(int src, int dst,
+                                          std::uint64_t bytes,
+                                          Delivery delivery) {
   ++stats_.count;
   stats_.bytes += bytes;
   if (auto* m = obs::metrics()) {
     m->counter("net.control_messages").add();
     m->counter("net.bytes").add(bytes);
   }
+  SendResult result;
+  double extra = 0.0;
+  if (fault_hook_ && delivery != Delivery::kReliable) {
+    const FaultDecision fd = fault_hook_(src, dst, bytes, delivery);
+    const bool may_drop =
+        delivery == Delivery::kDroppable || delivery == Delivery::kLossy;
+    const bool may_dup =
+        delivery == Delivery::kIdempotent || delivery == Delivery::kLossy;
+    if (fd.drop && may_drop) {
+      result.delivered = false;
+      result.copies = 0;
+      obs::count("net.faults.dropped");
+    } else if (fd.duplicate && may_dup) {
+      result.copies = 2;
+      obs::count("net.faults.duplicated");
+    }
+    extra = fd.extra_delay;
+  }
   const double duration =
       (base_latency(src, dst) +
        static_cast<double>(bytes) / params_.link_bandwidth) *
-      jitter();
+          jitter() +
+      extra;
   co_await engine_->delay(duration);
+  co_return result;
 }
 
 std::vector<int> allocate_nodes(const ClusterParams& params, int n,

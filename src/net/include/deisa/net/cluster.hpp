@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,41 @@
 #include "deisa/util/rng.hpp"
 
 namespace deisa::net {
+
+/// How a message tolerates network faults. Senders declare it per send;
+/// the cluster's fault hook (if installed) may only perturb messages in
+/// the ways their class permits. Reliable messages (RPCs with a blocked
+/// caller, data-plane handoffs) are never dropped or duplicated — losing
+/// one would wedge the workflow instead of exercising recovery.
+enum class Delivery {
+  kReliable,    // never perturbed (acks, replies, compute orders)
+  kDroppable,   // may be silently lost (heartbeats)
+  kIdempotent,  // may be duplicated; receiver dedups (task_finished,
+                // scatter registrations)
+  kLossy,       // may be dropped or duplicated
+  kBulk,        // data-plane transfer: may be delayed, never lost
+};
+
+/// Verdict of the fault hook for one message.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  double extra_delay = 0.0;  // seconds added to the transfer duration
+};
+
+/// Installed by a FaultInjector; consulted on every perturbable send.
+using FaultHook =
+    std::function<FaultDecision(int src, int dst, std::uint64_t bytes,
+                                Delivery delivery)>;
+
+/// What happened to a control send under fault injection. `copies` is the
+/// number of times the caller should enqueue the message at the receiver
+/// (0 = dropped, 2 = duplicated); delivery of the payload is caller-side,
+/// so the cluster can only report the decision.
+struct SendResult {
+  bool delivered = true;
+  int copies = 1;
+};
 
 struct ClusterParams {
   /// Total physical nodes available to the scheduler (machine size).
@@ -71,12 +107,22 @@ public:
 
   /// Move `bytes` from `src` to `dst` (physical node ids). Completes when
   /// the last byte lands. Holds NIC (and uplink, when crossing the spine)
-  /// slots for the whole flow so that concurrent flows queue.
+  /// slots for the whole flow so that concurrent flows queue. The fault
+  /// hook may stretch the flow (kBulk extra_delay) but never lose it.
   sim::Co<void> transfer(int src, int dst, std::uint64_t bytes);
 
   /// Pure latency-only message (control traffic small enough that
-  /// bandwidth does not matter). Never queues.
-  sim::Co<void> send_control(int src, int dst, std::uint64_t bytes = 256);
+  /// bandwidth does not matter). Never queues. The returned SendResult
+  /// tells fault-aware senders whether to enqueue the message 0, 1 or 2
+  /// times; callers sending kReliable traffic may ignore it.
+  sim::Co<SendResult> send_control(int src, int dst,
+                                   std::uint64_t bytes = 256,
+                                   Delivery delivery = Delivery::kReliable);
+
+  /// Install (or clear, with an empty function) the fault hook consulted
+  /// on every perturbable send. Used by fault::FaultInjector.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  bool has_fault_hook() const { return static_cast<bool>(fault_hook_); }
 
   /// Ideal (contention-free) duration of a transfer; used by tests.
   double ideal_duration(int src, int dst, std::uint64_t bytes) const;
@@ -99,6 +145,7 @@ private:
   std::vector<std::unique_ptr<sim::Semaphore>> uplinks_;
   util::Rng rng_;
   TransferStats stats_;
+  FaultHook fault_hook_;
 };
 
 /// Slurm-like allocation: pick `n` physical nodes from the cluster. The

@@ -1,12 +1,16 @@
 // Fault-handling tests for the task system: retries of transient
-// failures, cancellation semantics, and worker memory accounting.
+// failures, cancellation semantics, worker memory accounting, stale
+// lifecycle reports, heartbeat-based failure detection, lost-key
+// re-execution, and the external re-arm/re-push protocol.
 #include <gtest/gtest.h>
 
 #include <memory>
 
 #include "deisa/dts/runtime.hpp"
+#include "deisa/fault/fault.hpp"
 
 namespace dts = deisa::dts;
+namespace fault = deisa::fault;
 namespace net = deisa::net;
 namespace sim = deisa::sim;
 
@@ -18,7 +22,8 @@ struct TestCluster {
   std::unique_ptr<dts::Runtime> rt;
   dts::Client* client = nullptr;
 
-  explicit TestCluster(int workers = 2) {
+  explicit TestCluster(int workers = 2, double heartbeat_timeout = 0.0,
+                       double repush_timeout = 60.0) {
     net::ClusterParams p;
     p.physical_nodes = workers + 4;
     cluster = std::make_unique<net::Cluster>(eng, p);
@@ -28,6 +33,8 @@ struct TestCluster {
     rp.scheduler.service_base = 1e-4;  // fast tests
     rp.scheduler.service_per_task = 0;
     rp.scheduler.service_per_key = 0;
+    rp.scheduler.heartbeat_timeout = heartbeat_timeout;
+    rp.scheduler.repush_timeout = repush_timeout;
     rt = std::make_unique<dts::Runtime>(eng, *cluster, 0, wn, rp);
     rt->start();
     client = &rt->make_client(1);
@@ -150,6 +157,232 @@ TEST(Fault, CancelOnFinishedTaskIsAdvisory) {
   tc.eng.run();
   EXPECT_EQ(result, 5);
   EXPECT_EQ(tc.rt->scheduler().state_of("done"), dts::TaskState::kMemory);
+}
+
+sim::Co<void> cancel_late_finish_flow(TestCluster& tc) {
+  std::vector<dts::TaskSpec> tasks;
+  tasks.emplace_back("slow", no_keys(),
+                     [](const std::vector<dts::Data>&) { return int_data(1); },
+                     /*cost=*/2.0);
+  co_await tc.client->submit(std::move(tasks), keys("slow"));
+  co_await tc.eng.delay(0.5);          // now processing on a worker
+  co_await tc.client->cancel("slow");  // erred while still running
+  co_await tc.eng.delay(5.0);          // the task_finished arrives late
+  co_await tc.rt->shutdown();
+}
+
+TEST(Fault, CancelThenLateCompletionStaysErred) {
+  // A task cancelled mid-execution still reports task_finished when the
+  // worker completes it; that stale report used to resurrect the task
+  // into memory. It must be dropped and the task stay terminal.
+  TestCluster tc(1);
+  tc.eng.spawn(cancel_late_finish_flow(tc));
+  tc.eng.run();
+  EXPECT_EQ(tc.rt->scheduler().state_of("slow"), dts::TaskState::kErred);
+  EXPECT_EQ(tc.rt->scheduler().recovery().stale_task_finished, 1u);
+}
+
+sim::Co<void> cancel_external_push_flow(TestCluster& tc, int& ack) {
+  std::vector<int> pw;
+  pw.push_back(0);
+  co_await tc.client->external_futures(keys("ext"), std::move(pw));
+  co_await tc.client->cancel("ext");
+  // The simulation-side bridge, unaware of the cancel, pushes the block.
+  ack = co_await tc.client->scatter("ext", int_data(3), 0, /*external=*/true);
+  co_await tc.rt->shutdown();
+}
+
+TEST(Fault, CancelExternalThenBridgePushIsDiscarded) {
+  // Pushing to a cancelled external task used to trip a DEISA_CHECK and
+  // abort the scheduler; it must be acknowledged and discarded so the
+  // producer keeps stepping.
+  TestCluster tc(1);
+  int ack = 0;
+  tc.eng.spawn(cancel_external_push_flow(tc, ack));
+  tc.eng.run();
+  EXPECT_EQ(ack, dts::kAckDiscarded);
+  EXPECT_EQ(tc.rt->scheduler().state_of("ext"), dts::TaskState::kErred);
+  EXPECT_EQ(tc.rt->scheduler().recovery().stale_update_data, 1u);
+}
+
+sim::Co<void> poisoned_waiter_flow(TestCluster& tc, std::string& error,
+                                   bool& released) {
+  std::vector<dts::TaskSpec> tasks;
+  tasks.emplace_back("boom", no_keys(),
+                     [](const std::vector<dts::Data>&) -> dts::Data {
+                       throw std::runtime_error("boom");
+                     },
+                     /*cost=*/1.0);
+  tasks.emplace_back("down", keys("boom"),
+                     [](const std::vector<dts::Data>&) { return int_data(2); });
+  co_await tc.client->submit(std::move(tasks), keys("down"));
+  try {
+    // Registers the waiter while "boom" is still running: the poisoning
+    // cascade must release it, not leave it hanging.
+    (void)co_await tc.client->gather("down");
+  } catch (const deisa::util::Error& e) {
+    error = e.what();
+  }
+  released = true;
+  co_await tc.rt->shutdown();
+}
+
+TEST(Fault, ErredDependencyPoisonsBlockedWaiters) {
+  TestCluster tc(2);
+  std::string error;
+  bool released = false;
+  tc.eng.spawn(poisoned_waiter_flow(tc, error, released));
+  tc.eng.run();
+  EXPECT_TRUE(released);
+  EXPECT_NE(error.find("down"), std::string::npos);
+  EXPECT_EQ(tc.rt->scheduler().state_of("boom"), dts::TaskState::kErred);
+  EXPECT_EQ(tc.rt->scheduler().state_of("down"), dts::TaskState::kErred);
+}
+
+sim::Co<void> heartbeat_loss_flow(TestCluster& tc) {
+  co_await tc.eng.delay(2.0);  // heartbeats flowing normally
+  tc.rt->worker(0).crash();
+  co_await tc.eng.delay(10.0);  // detector times the silence out
+  co_await tc.rt->shutdown();
+}
+
+TEST(Fault, HeartbeatLossDetectsDeadWorker) {
+  TestCluster tc(2, /*heartbeat_timeout=*/3.0);
+  tc.eng.spawn(heartbeat_loss_flow(tc));
+  tc.eng.run();
+  const dts::Scheduler& s = tc.rt->scheduler();
+  EXPECT_TRUE(s.worker_is_dead(0));
+  EXPECT_FALSE(s.worker_is_dead(1));
+  EXPECT_EQ(s.live_workers(), 1u);
+  EXPECT_EQ(s.recovery().workers_lost, 1u);
+}
+
+sim::Co<void> lost_key_flow(TestCluster& tc, int& result) {
+  std::vector<dts::TaskSpec> tasks;
+  tasks.emplace_back("a", no_keys(),
+                     [](const std::vector<dts::Data>&) { return int_data(20); },
+                     /*cost=*/0.01, /*out_bytes=*/0, /*preferred_worker=*/0);
+  tasks.emplace_back("b", keys("a"),
+                     [](const std::vector<dts::Data>& in) {
+                       return int_data(in[0].as<int>() * 2 + 2);
+                     },
+                     /*cost=*/0.01, /*out_bytes=*/0, /*preferred_worker=*/0);
+  co_await tc.client->submit(std::move(tasks), keys("b"));
+  (void)co_await tc.client->wait_key("b");  // both in memory on worker 0
+  tc.rt->worker(0).crash();
+  co_await tc.eng.delay(12.0);  // detection + lineage re-execution
+  result = (co_await tc.client->gather("b")).as<int>();
+  co_await tc.rt->shutdown();
+}
+
+TEST(Fault, LostKeysRecomputedViaLineage) {
+  TestCluster tc(2, /*heartbeat_timeout=*/3.0);
+  int result = 0;
+  tc.eng.spawn(lost_key_flow(tc, result));
+  tc.eng.run();
+  const dts::Scheduler& s = tc.rt->scheduler();
+  EXPECT_EQ(result, 42);  // recomputed from lineage, same value
+  EXPECT_EQ(s.recovery().workers_lost, 1u);
+  EXPECT_EQ(s.recovery().keys_recomputed, 2u);  // both a and b lived on w0
+  EXPECT_EQ(s.state_of("a"), dts::TaskState::kMemory);
+  EXPECT_EQ(s.state_of("b"), dts::TaskState::kMemory);
+  EXPECT_GT(tc.rt->worker(1).tasks_executed(), 0u);
+}
+
+sim::Co<void> rearm_repush_flow(TestCluster& tc, int& first_ack,
+                                dts::RepushList& assignments, int& value) {
+  std::vector<int> pw;
+  pw.push_back(0);
+  co_await tc.client->external_futures(keys("blk"), std::move(pw));
+  first_ack = co_await tc.client->scatter("blk", int_data(9), 0,
+                                          /*external=*/true);
+  co_await tc.eng.delay(1.0);
+  tc.rt->worker(0).crash();
+  co_await tc.eng.delay(10.0);  // detection re-arms blk for re-push
+  assignments = co_await tc.client->repush_keys();
+  for (const auto& [key, target] : assignments)
+    (void)co_await tc.client->scatter(key, int_data(9), target,
+                                      /*external=*/true);
+  value = (co_await tc.client->gather("blk")).as<int>();
+  co_await tc.rt->shutdown();
+}
+
+TEST(Fault, LostExternalKeyRearmedAndRepushed) {
+  // External data has no lineage; the producer must replay it. The
+  // scheduler re-arms the key, re-routes the preselection to a survivor,
+  // and hands the assignment out via kRepushKeys.
+  TestCluster tc(2, /*heartbeat_timeout=*/3.0);
+  int first_ack = -1;
+  dts::RepushList assignments;
+  int value = 0;
+  tc.eng.spawn(rearm_repush_flow(tc, first_ack, assignments, value));
+  tc.eng.run();
+  EXPECT_EQ(first_ack, 0);  // normal registration at worker 0
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].first, "blk");
+  EXPECT_EQ(assignments[0].second, 1);  // re-routed to the survivor
+  EXPECT_EQ(value, 9);
+  const dts::Scheduler& s = tc.rt->scheduler();
+  EXPECT_EQ(s.recovery().external_rearmed, 1u);
+  EXPECT_EQ(s.state_of("blk"), dts::TaskState::kMemory);
+}
+
+sim::Co<void> never_repushed_flow(TestCluster& tc, std::string& error) {
+  std::vector<int> pw;
+  pw.push_back(0);
+  co_await tc.client->external_futures(keys("gone"), std::move(pw));
+  (void)co_await tc.client->scatter("gone", int_data(4), 0,
+                                    /*external=*/true);
+  tc.rt->worker(0).crash();
+  co_await tc.eng.delay(6.0);  // past detection: the key is re-armed
+  try {
+    // The producer never replays: the re-push deadline must err the key
+    // out so this waiter fails instead of hanging forever.
+    (void)co_await tc.client->gather("gone");
+  } catch (const deisa::util::Error& e) {
+    error = e.what();
+  }
+  co_await tc.rt->shutdown();
+}
+
+TEST(Fault, UnreplayedExternalKeyExpiresInsteadOfHanging) {
+  TestCluster tc(2, /*heartbeat_timeout=*/3.0, /*repush_timeout=*/5.0);
+  std::string error;
+  tc.eng.spawn(never_repushed_flow(tc, error));
+  tc.eng.run();
+  EXPECT_NE(error.find("gone"), std::string::npos);
+  const dts::Scheduler& s = tc.rt->scheduler();
+  EXPECT_EQ(s.recovery().repush_expired, 1u);
+  EXPECT_EQ(s.state_of("gone"), dts::TaskState::kErred);
+}
+
+sim::Co<void> duplicated_traffic_flow(TestCluster& tc, int& result) {
+  std::vector<dts::TaskSpec> tasks;
+  tasks.emplace_back("t", no_keys(),
+                     [](const std::vector<dts::Data>&) { return int_data(6); },
+                     /*cost=*/0.05);
+  co_await tc.client->submit(std::move(tasks), keys("t"));
+  result = (co_await tc.client->gather("t")).as<int>();
+  co_await tc.rt->shutdown();
+}
+
+TEST(Fault, DuplicatedTaskFinishedIsDropped) {
+  // Every idempotent message delivered twice: the duplicate
+  // task_finished must be absorbed by the stale guard, not re-finish
+  // (or corrupt) the task.
+  TestCluster tc(2);
+  fault::FaultPlan plan;
+  plan.dup_prob = 1.0;
+  plan.seed = 5;
+  fault::FaultInjector inj(tc.eng, *tc.cluster, plan);
+  inj.arm(*tc.rt);
+  int result = 0;
+  tc.eng.spawn(duplicated_traffic_flow(tc, result));
+  tc.eng.run();
+  EXPECT_EQ(result, 6);
+  const dts::Scheduler& s = tc.rt->scheduler();
+  EXPECT_EQ(s.state_of("t"), dts::TaskState::kMemory);
+  EXPECT_GE(s.recovery().stale_task_finished, 1u);
 }
 
 sim::Co<void> memory_flow(TestCluster& tc) {

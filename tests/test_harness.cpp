@@ -197,6 +197,78 @@ TEST(Harness, DeterministicForSameSeed) {
   EXPECT_NE(a.sim_io, c.sim_io);
 }
 
+TEST(HarnessFault, WorkerKillRecoversWithIdenticalResults) {
+  // The acceptance bar of the recovery subsystem: a run with one worker
+  // killed mid-run completes and produces the exact same analytics
+  // results as the fault-free run.
+  const auto p = small_real();
+  const auto clean = harness::run_scenario(harness::Pipeline::kDeisa3, p);
+  ASSERT_EQ(clean.singular_values.size(), 2u);
+  EXPECT_EQ(clean.workers_killed, 0u);
+  EXPECT_EQ(clean.recovery.workers_lost, 0u);
+
+  auto pf = p;
+  pf.faults.kills.emplace_back(1, clean.sim_end * 0.5);
+  const auto faulty = harness::run_scenario(harness::Pipeline::kDeisa3, pf);
+  EXPECT_EQ(faulty.workers_killed, 1u);
+  EXPECT_EQ(faulty.recovery.workers_lost, 1u);
+  EXPECT_GT(faulty.recovery.external_rearmed + faulty.recovery.tasks_rerun +
+                faulty.recovery.keys_recomputed +
+                faulty.recovery.external_rerouted,
+            0u);
+  // Recovery is visible in the metrics layer, not just the counters.
+  EXPECT_EQ(faulty.metrics.counter("scheduler.recovery.workers_lost"), 1u);
+  EXPECT_EQ(faulty.metrics.counter("fault.workers_killed"), 1u);
+  ASSERT_EQ(faulty.singular_values.size(), clean.singular_values.size());
+  for (std::size_t i = 0; i < clean.singular_values.size(); ++i)
+    EXPECT_EQ(faulty.singular_values[i], clean.singular_values[i]);
+  for (std::size_t i = 0; i < clean.explained_variance.size(); ++i)
+    EXPECT_EQ(faulty.explained_variance[i], clean.explained_variance[i]);
+}
+
+TEST(HarnessFault, SameFaultSeedReplaysIdentically) {
+  // A plan plus a seed is a complete description of the failure trace:
+  // repeated runs agree event for event (timings, message counts, and
+  // recovery actions all match exactly).
+  auto p = small_synthetic();
+  p.faults = deisa::fault::FaultPlan::parse(
+      "kill:0@0.4;dup:0.4;delay:0.2@0.01;seed:11");
+  const auto a = harness::run_scenario(harness::Pipeline::kDeisa3, p);
+  const auto b = harness::run_scenario(harness::Pipeline::kDeisa3, p);
+  EXPECT_EQ(a.workers_killed, 1u);
+  EXPECT_EQ(a.workers_killed, b.workers_killed);
+  EXPECT_EQ(a.scheduler_messages, b.scheduler_messages);
+  EXPECT_EQ(a.sim_io, b.sim_io);
+  EXPECT_DOUBLE_EQ(a.analytics_seconds, b.analytics_seconds);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.recovery.workers_lost, b.recovery.workers_lost);
+  EXPECT_EQ(a.recovery.tasks_rerun, b.recovery.tasks_rerun);
+  EXPECT_EQ(a.recovery.external_rearmed, b.recovery.external_rearmed);
+  EXPECT_EQ(a.recovery.stale_task_finished, b.recovery.stale_task_finished);
+  EXPECT_EQ(a.recovery.stale_update_data, b.recovery.stale_update_data);
+
+  // A different seed perturbs a different set of messages.
+  auto p2 = p;
+  p2.faults.seed = 12;
+  const auto c = harness::run_scenario(harness::Pipeline::kDeisa3, p2);
+  EXPECT_NE(a.total_seconds, c.total_seconds);
+}
+
+TEST(HarnessFault, EmptyPlanLeavesRunsUntouched) {
+  // The fault hooks must be invisible when no plan is armed: identical
+  // message counts and timings with and without the (empty) fault config.
+  const auto p = small_synthetic();
+  auto pf = p;
+  pf.faults = deisa::fault::FaultPlan();
+  const auto a = harness::run_scenario(harness::Pipeline::kDeisa2, p);
+  const auto b = harness::run_scenario(harness::Pipeline::kDeisa2, pf);
+  EXPECT_EQ(a.scheduler_messages, b.scheduler_messages);
+  EXPECT_EQ(a.sim_io, b.sim_io);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(b.workers_killed, 0u);
+  EXPECT_EQ(b.recovery.workers_lost, 0u);
+}
+
 TEST(Harness, IterationSummarySkipsFirstIterations) {
   harness::RunResult r;
   r.sim_io = {{10.0, 1.0, 1.0}, {10.0, 2.0, 2.0}};

@@ -14,6 +14,21 @@
 //   seed: 1000
 //   contract_fraction: 1.0   # optional: fraction of Y kept by the contract
 //   real_data: false         # optional: move real Heat2D data (small runs)
+//   faults: "kill:1@30"      # optional: fault plan (spec string or map)
+//
+// The faults section accepts either the compact spec string used by
+// --fault, or a map:
+//
+//   faults:
+//     kills: [{worker: 1, time: 30.0}]
+//     drop: 0.01            # heartbeat drop probability
+//     dup: 0.02             # task_finished/update_data duplication
+//     delay_prob: 0.05      # extra-delay probability ...
+//     delay_seconds: 0.2    # ... and the delay applied
+//     seed: 7               # injection stream seed
+//
+// --fault=SPEC overrides the config, e.g. --fault="kill:0@25;seed:3".
+// Same plan + same seed reproduces the same failure trace bit for bit.
 //
 // --trace-out records the first run's event trace and writes it as Chrome
 // trace-event JSON (open in ui.perfetto.dev or chrome://tracing; a .csv
@@ -23,12 +38,14 @@
 #include <iostream>
 
 #include "deisa/config/yaml.hpp"
+#include "deisa/fault/fault.hpp"
 #include "deisa/harness/scenario.hpp"
 #include "deisa/obs/export.hpp"
 #include "deisa/util/table.hpp"
 #include "deisa/util/units.hpp"
 
 namespace cfg = deisa::config;
+namespace fault = deisa::fault;
 namespace harness = deisa::harness;
 namespace obs = deisa::obs;
 namespace util = deisa::util;
@@ -46,6 +63,27 @@ std::ofstream open_out(const std::string& path) {
   return out;
 }
 
+/// Parse the `faults:` config section: either the compact spec string
+/// used by --fault, or a structured map (see the header comment).
+fault::FaultPlan faults_of(const cfg::Node& node) {
+  if (node.is_scalar()) return fault::FaultPlan::parse(node.as_string());
+  fault::FaultPlan plan;
+  if (const cfg::Node* kills = node.find("kills")) {
+    for (std::size_t i = 0; i < kills->size(); ++i) {
+      const cfg::Node& k = kills->at(i);
+      plan.kills.emplace_back(static_cast<int>(k.at("worker").as_int()),
+                              k.at("time").as_double());
+    }
+  }
+  plan.drop_prob = node.get_double("drop", 0.0);
+  plan.dup_prob = node.get_double("dup", 0.0);
+  plan.delay_prob = node.get_double("delay_prob", 0.0);
+  plan.delay_seconds = node.get_double("delay_seconds", 0.0);
+  plan.seed =
+      static_cast<std::uint64_t>(node.get_int("seed", 0xFA017));
+  return plan;
+}
+
 harness::Pipeline pipeline_of(const std::string& name) {
   if (name == "DEISA1") return harness::Pipeline::kDeisa1;
   if (name == "DEISA2") return harness::Pipeline::kDeisa2;
@@ -58,7 +96,7 @@ harness::Pipeline pipeline_of(const std::string& name) {
 }
 
 int run(const std::string& path, const std::string& trace_out,
-        const std::string& metrics_out) {
+        const std::string& metrics_out, const std::string& fault_spec) {
   const cfg::Node doc = cfg::parse_yaml_file(path);
   const auto pipeline = pipeline_of(doc.get_string("pipeline", "DEISA3"));
 
@@ -74,11 +112,18 @@ int run(const std::string& path, const std::string& trace_out,
       static_cast<std::size_t>(doc.get_int("n_components", 2));
   const int runs = static_cast<int>(doc.get_int("runs", 1));
   const auto seed = static_cast<std::uint64_t>(doc.get_int("seed", 1000));
+  if (!fault_spec.empty()) {
+    p.faults = fault::FaultPlan::parse(fault_spec);
+  } else if (const cfg::Node* f = doc.find("faults")) {
+    p.faults = faults_of(*f);
+  }
 
   std::cout << "pipeline " << harness::to_string(pipeline) << ": " << p.ranks
             << " ranks x " << util::format_bytes(p.block_bytes) << " x "
             << p.timesteps << " steps, " << p.workers << " workers, " << runs
             << " run(s)\n";
+  if (!p.faults.empty())
+    std::cout << "faults: " << p.faults.describe() << "\n";
 
   util::Table t({"run", "sim compute (s/iter)", "sim io (s/iter)",
                  "analytics (s)", "total (s)", "scheduler msgs"});
@@ -120,6 +165,19 @@ int run(const std::string& path, const std::string& trace_out,
       for (double s : r.singular_values) std::cout << " " << s;
       std::cout << "\n";
     }
+    if (!p.faults.empty()) {
+      const auto& rec = r.recovery;
+      std::cout << "  recovery: killed " << r.workers_killed
+                << ", workers_lost " << rec.workers_lost << ", tasks_rerun "
+                << rec.tasks_rerun << ", keys_recomputed "
+                << rec.keys_recomputed << ", external_rearmed "
+                << rec.external_rearmed << ", external_rerouted "
+                << rec.external_rerouted << ", keys_lost " << rec.keys_lost
+                << ", repush_expired " << rec.repush_expired << "\n"
+                << "  stale: task_finished " << rec.stale_task_finished
+                << ", update_data " << rec.stale_update_data
+                << ", heartbeats " << rec.stale_heartbeats << "\n";
+    }
   }
   t.print(std::cout);
   return 0;
@@ -131,6 +189,7 @@ int main(int argc, char** argv) {
   std::string config;
   std::string trace_out;
   std::string metrics_out;
+  std::string fault_spec;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--trace-out" || a == "--metrics-out") {
@@ -139,6 +198,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       (a == "--trace-out" ? trace_out : metrics_out) = argv[++i];
+    } else if (a.rfind("--fault=", 0) == 0) {
+      fault_spec = a.substr(8);
+    } else if (a == "--fault") {
+      if (i + 1 >= argc) {
+        std::cerr << "option '--fault' requires a value\n";
+        return 2;
+      }
+      fault_spec = argv[++i];
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "unknown option '" << a << "'\n";
       return 2;
@@ -151,11 +218,11 @@ int main(int argc, char** argv) {
   }
   if (config.empty()) {
     std::cerr << "usage: deisa_scenario [--trace-out FILE] "
-                 "[--metrics-out FILE] <config.yaml>\n";
+                 "[--metrics-out FILE] [--fault=SPEC] <config.yaml>\n";
     return 2;
   }
   try {
-    return run(config, trace_out, metrics_out);
+    return run(config, trace_out, metrics_out, fault_spec);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
