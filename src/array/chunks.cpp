@@ -99,12 +99,30 @@ std::vector<Index> ChunkGrid::chunks_overlapping(const Box& box) const {
 
 std::string chunk_key(const std::string& prefix, const std::string& name,
                       const Index& coord) {
-  std::string key = prefix + name + "|";
+  ChunkKeyBuilder builder(prefix, name);
+  return builder.render(coord);
+}
+
+ChunkKeyBuilder::ChunkKeyBuilder(std::string_view prefix,
+                                 std::string_view name) {
+  buf_.reserve(prefix.size() + name.size() + 1 + 24);
+  buf_.append(prefix);
+  buf_.append(name);
+  buf_.push_back('|');
+  stem_ = buf_.size();
+}
+
+const std::string& ChunkKeyBuilder::render(const Index& coord) {
+  buf_.resize(stem_);
+  char digits[24];
   for (std::size_t d = 0; d < coord.size(); ++d) {
-    if (d > 0) key += ',';
-    key += std::to_string(coord[d]);
+    if (d > 0) buf_.push_back(',');
+    const auto [end, ec] =
+        std::to_chars(digits, digits + sizeof digits, coord[d]);
+    DEISA_ASSERT(ec == std::errc(), "coordinate render failed");
+    buf_.append(digits, end);
   }
-  return key;
+  return buf_;
 }
 
 std::pair<std::string, Index> parse_chunk_key(const std::string& prefix,

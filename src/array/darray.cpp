@@ -14,9 +14,13 @@ void DArray::build_keys(const std::string& prefix) {
   const std::int64_t n = grid_.num_chunks();
   keys_.reserve(static_cast<std::size_t>(n));
   workers_.reserve(static_cast<std::size_t>(n));
+  // One stem render for the whole array; per chunk only the coordinate
+  // digits are appended and the finished key copied into place.
+  ChunkKeyBuilder builder(prefix, name_);
+  const int num_workers = client_->num_workers();
   for (std::int64_t i = 0; i < n; ++i) {
-    keys_.push_back(chunk_key(prefix, name_, grid_.coord_of(i)));
-    workers_.push_back(preselected_worker(i, client_->num_workers()));
+    keys_.push_back(builder.render(grid_.coord_of(i)));
+    workers_.push_back(preselected_worker(i, num_workers));
   }
 }
 

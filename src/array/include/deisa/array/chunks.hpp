@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "deisa/array/ndarray.hpp"
 
@@ -47,6 +48,24 @@ private:
 /// string key, e.g. "deisa-temp|3,1,5".
 std::string chunk_key(const std::string& prefix, const std::string& name,
                       const Index& coord);
+
+/// Renders chunk keys that share one (prefix, name) stem into a reused
+/// buffer: the "prefix+name|" part is concatenated once at construction
+/// and render() appends the coordinates with to_chars, so per-key cost is
+/// a few digit writes instead of a string allocation per component. The
+/// returned reference is valid until the next render(); callers copy it
+/// only where an owning Key is needed (e.g. into a message).
+class ChunkKeyBuilder {
+public:
+  ChunkKeyBuilder() = default;
+  ChunkKeyBuilder(std::string_view prefix, std::string_view name);
+
+  const std::string& render(const Index& coord);
+
+private:
+  std::string buf_;
+  std::size_t stem_ = 0;
+};
 
 /// Parse a chunk key back into (name, coord); throws on malformed keys.
 std::pair<std::string, Index> parse_chunk_key(const std::string& prefix,

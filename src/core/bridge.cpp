@@ -50,6 +50,14 @@ const Contract& Bridge::contract() const {
   return contract_;
 }
 
+const dts::Key& Bridge::chunk_key_for(const VirtualArray& va,
+                                      const array::Index& coord) {
+  const auto [it, fresh] = key_builders_.try_emplace(va.name);
+  if (fresh)
+    it->second = array::ChunkKeyBuilder(array::kDeisaPrefix, va.name);
+  return it->second.render(coord);
+}
+
 int Bridge::preselect_worker(const VirtualArray& va,
                              const array::Index& coord) const {
   const int workers =
@@ -71,7 +79,7 @@ sim::Co<bool> Bridge::send_block(const VirtualArray& va,
     obs::trace_instant("bridge", bridge_lane(rank_), "filtered:" + va.name);
     co_return false;
   }
-  const dts::Key key = array::chunk_key(array::kDeisaPrefix, va.name, coord);
+  const dts::Key& key = chunk_key_for(va, coord);
   const std::uint64_t bytes = data.bytes;
   obs::Span span = obs::trace_span("bridge", bridge_lane(rank_), key);
   if (span.active()) span.add_arg(obs::arg("bytes", bytes));
@@ -161,7 +169,7 @@ sim::Co<bool> Bridge::deisa1_send_block(const VirtualArray& va,
   DEISA_CHECK(has_contract_, "DEISA1 bridges fetch their selection first");
   bool sent = false;
   if (contract_.includes(va, coord)) {
-    const dts::Key key = array::chunk_key(array::kDeisaPrefix, va.name, coord);
+    const dts::Key& key = chunk_key_for(va, coord);
     const std::uint64_t bytes = data.bytes;
     obs::Span span = obs::trace_span("bridge", bridge_lane(rank_), key);
     if (span.active()) span.add_arg(obs::arg("bytes", bytes));

@@ -63,6 +63,11 @@ public:
 private:
   int preselect_worker(const VirtualArray& va,
                        const array::Index& coord) const;
+  /// Chunk key for (va, coord), rendered by a per-array ChunkKeyBuilder
+  /// so a bridge pushing B blocks/step builds each array's key stem once,
+  /// not B times. The reference is valid until the next call.
+  const dts::Key& chunk_key_for(const VirtualArray& va,
+                                const array::Index& coord);
   /// Remember a pushed block for potential replay (bounded FIFO).
   void remember_block(const dts::Key& key, const dts::Data& data);
   /// React to a scatter acknowledgement: on kAckRepushPending, drain the
@@ -90,6 +95,8 @@ private:
   // Blocks evicted before a loss are unrecoverable (the scheduler's
   // re-push deadline then errs them out instead of hanging waiters).
   std::size_t replay_capacity_ = 1024;
+  // Key builders cached per virtual-array name (see chunk_key_for).
+  std::unordered_map<std::string, array::ChunkKeyBuilder> key_builders_;
   std::unordered_map<dts::Key, dts::Data> replay_;
   std::deque<dts::Key> replay_order_;
   std::shared_ptr<sim::Channel<int>> notify_;

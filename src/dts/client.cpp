@@ -63,7 +63,7 @@ sim::Co<int> Client::scatter(Key key, Data data, int worker, bool external,
   if (inform_scheduler) {
     auto ack = std::make_shared<sim::Channel<int>>(*engine_);
     SchedMsg reg(SchedMsgKind::kUpdateData);
-    reg.key = key;
+    reg.key = std::move(key);  // last use; the worker push copied above
     reg.worker = worker;
     reg.bytes = data.bytes;
     reg.external = external;

@@ -57,6 +57,10 @@ enum class SchedMsgKind {
 
 const char* to_string(SchedMsgKind k);
 
+/// Number of SchedMsgKind values (flat per-kind arrival counters).
+inline constexpr std::size_t kSchedMsgKindCount =
+    static_cast<std::size_t>(SchedMsgKind::kShutdown) + 1;
+
 // Acknowledgement codes carried on int reply channels. Non-negative
 // values are worker ids (wait_key, scatter registration).
 inline constexpr int kAckErred = -2;      // task erred / cancelled
@@ -113,7 +117,17 @@ struct SchedMsg {
   /// — e.g. a crash detected after the producer's final push, when no
   /// further ack could carry the request.
   std::shared_ptr<sim::Channel<int>> notify;
+
+  /// Memoized sum of tasks[i].deps.size(), shared by wire_bytes() and
+  /// the scheduler's service-time model so a large update_graph batch is
+  /// scanned once, not once per consumer. ~0 means "not computed yet";
+  /// mutating `tasks` after either consumer ran would stale it, which no
+  /// sender does (messages are built, sent, and moved).
+  mutable std::uint64_t dep_total_cache = ~std::uint64_t{0};
 };
+
+/// Sum of deps.size() over msg.tasks, memoized on the message.
+std::uint64_t spec_dep_total(const SchedMsg& msg);
 
 /// Messages accepted by a worker inbox.
 enum class WorkerMsgKind {

@@ -5,14 +5,26 @@
 // Python scheduler is single-threaded); queueing on this server under
 // per-timestep metadata load is what degrades DEISA1 in the paper's
 // Figures 2a/3a/5, and what external tasks (DEISA2/3) avoid.
+//
+// Hot-path layout (see DESIGN.md "Scheduler data structures"): every key
+// string is interned to a dense KeyId once at ingestion (KeyTable); task
+// records live in a flat vector indexed by KeyId; dependencies are CSR
+// slices of one shared pool; dependent edges are a pooled intrusive
+// list; ready tasks chain through an intrusive O(1) FIFO queue; per-kind
+// and per-state counters are flat arrays. Key strings are only rebuilt
+// at the wire boundary (worker messages, replies, traces).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <deque>
-#include <map>
-#include <set>
+#include <memory>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "deisa/dts/key_table.hpp"
 #include "deisa/dts/messages.hpp"
 #include "deisa/dts/task.hpp"
 #include "deisa/net/cluster.hpp"
@@ -92,53 +104,111 @@ public:
   sim::Co<void> run_failure_detector();
 
   // ---- observability ----
-  std::uint64_t messages_received(SchedMsgKind kind) const;
+  std::uint64_t messages_received(SchedMsgKind kind) const {
+    return arrivals_[static_cast<std::size_t>(kind)];
+  }
   std::uint64_t total_messages() const { return total_messages_; }
   std::uint64_t retries_performed() const { return retries_performed_; }
   double total_service_time() const { return server_.total_busy_time(); }
   double total_queueing_time() const { return server_.total_waiting_time(); }
   TaskState state_of(const Key& key) const;
-  bool knows(const Key& key) const { return records_.count(key) != 0; }
+  bool knows(const Key& key) const { return keys_.find(key) != kNoKeyId; }
   std::size_t task_count() const { return records_.size(); }
-  std::size_t count_in_state(TaskState s) const;
+  std::size_t count_in_state(TaskState s) const {
+    return state_counts_[static_cast<std::size_t>(s)];
+  }
   const RecoveryCounters& recovery() const { return recovery_; }
   bool worker_is_dead(int worker) const {
-    return dead_workers_.count(worker) != 0;
+    return worker >= 0 && static_cast<std::size_t>(worker) < dead_.size() &&
+           dead_[static_cast<std::size_t>(worker)] != 0;
   }
-  std::size_t live_workers() const {
-    return workers_.size() - dead_workers_.size();
-  }
+  std::size_t live_workers() const { return workers_.size() - dead_count_; }
+
+  // ---- leak / drain introspection (stress tests) ----
+  /// Interned keys == task records ever created (records are never
+  /// erased; a leak shows up as records stuck in a non-terminal state).
+  std::size_t interned_keys() const { return keys_.size(); }
+  /// Tasks currently chained in the ready queue (must be 0 between
+  /// messages: every handler drains the queue before returning).
+  std::size_t ready_queue_size() const { return ready_size_; }
+  /// Blocked wait_key/gather reply channels across all records.
+  std::size_t pending_waiters() const;
+  /// Lost external keys still queued for a producer re-push.
+  std::size_t repush_pending() const;
 
 private:
   /// Where a record's data comes from — decides what a lost key implies:
   /// computed keys re-run via lineage, external keys re-arm for a
   /// producer re-push, plain scatters are unrecoverable.
-  enum class Origin { kComputed, kScattered, kExternal };
+  enum class Origin : std::uint8_t { kComputed, kScattered, kExternal };
 
+  static constexpr std::uint32_t kNoEdge = static_cast<std::uint32_t>(-1);
+
+  /// Flat task record, indexed by KeyId in records_ — sized for cache
+  /// residency (~72 bytes). The key string lives in keys_; the submitted
+  /// TaskSpec stays in spec_arena_ (one wholesale vector move per
+  /// update_graph) and the record points at it; cold per-task state
+  /// (blocked waiters, error text) lives in side tables keyed by id.
   struct TaskRecord {
-    TaskSpec spec;
     TaskState state = TaskState::kWaiting;
     Origin origin = Origin::kComputed;
-    double state_since = 0.0;  // sim time of the last transition (tracing)
     int nwaiting = 0;  // unfinished dependencies
-    std::vector<Key> dependents;
     int worker = -1;
-    std::uint64_t bytes = 0;
+    std::uint32_t dep_off = 0;    // CSR slice into deps_pool_
+    std::uint32_t dep_count = 0;
+    std::uint32_t dependents_head = kNoEdge;  // pooled intrusive list
+    KeyId next_ready = kNoKeyId;  // intrusive ready-queue link
+    int preferred_worker = -1;    // scheduler's (re-routable) copy
+    int retries = 0;
     int attempts = 0;  // executions so far (retry support)
     int pusher_client = -1;  // client id of the bridge that completed an
                              // external key (for re-push routing)
+    std::uint64_t bytes = 0;
+    double state_since = 0.0;  // sim time of the last transition (tracing)
     std::uint64_t rearm_epoch = 0;  // bumps on memory -> external re-arm
-    std::string error;
-    std::vector<std::shared_ptr<sim::Channel<int>>> waiters;
-    std::vector<int> waiter_nodes;
+    /// Execution payload (fn/io/cost/out_bytes) in spec_arena_; null for
+    /// records the scheduler never assigns (external/scattered keys).
+    TaskSpec* spec = nullptr;
+  };
+
+  /// Clients blocked in wait_key/gather on one record (cold path).
+  struct WaiterList {
+    std::vector<std::shared_ptr<sim::Channel<int>>> chans;
+    std::vector<int> nodes;
+  };
+
+  struct Edge {  // pooled singly-linked dependent edge
+    KeyId node = kNoKeyId;
+    std::uint32_t next = kNoEdge;
   };
 
   double service_time(const SchedMsg& msg);
-  /// Record a task entering the state machine (tracing/metrics).
-  void record_created(const Key& key, TaskRecord& rec);
-  /// Move `rec` to state `to`, emitting the lifecycle event (a span for
-  /// the time spent in the previous state) and transition counters.
-  void transition(const Key& key, TaskRecord& rec, TaskState to);
+  /// Create the record for a freshly interned id (records_ grows in
+  /// lockstep with the key table).
+  TaskRecord& create_record(KeyId id);
+  /// Record a task entering the state machine (tracing/metrics/state
+  /// counts) — called after the creator set state/origin.
+  void record_created(KeyId id, TaskRecord& rec);
+  /// Move record `id` to state `to`, emitting the lifecycle event (a
+  /// span for the time spent in the previous state), transition counters
+  /// and the flat per-state counts.
+  void transition(KeyId id, TaskRecord& rec, TaskState to);
+
+  // ---- edge pool ----
+  void add_dependent(TaskRecord& rec, KeyId dependent);
+  /// Move rec's dependent list into `out` in original insertion order
+  /// (the pooled list is LIFO; consumers need push order for
+  /// deterministic cascade/assignment sequencing) and clear it.
+  void take_dependents(TaskRecord& rec, std::vector<KeyId>& out);
+
+  // ---- intrusive ready queue ----
+  /// Transition `id` to kReady and chain it on the FIFO ready queue.
+  void push_ready(KeyId id);
+  KeyId pop_ready();
+  /// Assign every queued ready task in FIFO order. Handlers call this
+  /// before returning, so the queue is always empty between messages.
+  sim::Co<void> drain_ready();
+
   sim::Co<void> handle(SchedMsg msg);
   sim::Co<void> handle_update_graph(SchedMsg& msg);
   sim::Co<void> handle_task_finished(SchedMsg& msg);
@@ -157,9 +227,11 @@ private:
   /// re-arm lost external keys for a producer re-push, err unrecoverable
   /// scatters (poisoning their cones), and re-assign in-flight tasks.
   sim::Co<void> recover_worker(int worker);
-  /// Err `key` and cascade the poison through its dependent cone,
+  /// Err task `id` and cascade the poison through its dependent cone,
   /// releasing any blocked waiters with kAckErred.
-  sim::Co<void> poison_task(const Key& key, const std::string& error);
+  sim::Co<void> poison_task(KeyId id, const std::string& error);
+  /// Reply `value` to every client blocked on record `id` and drop them.
+  sim::Co<void> release_waiters(KeyId id, int value);
   /// Watchdog for a re-armed external key: if the producer has not
   /// replayed it within params.repush_timeout, err it out (epoch guards
   /// against acting on a key that was replayed and re-armed again).
@@ -169,14 +241,17 @@ private:
   void notify_producer(int client);
   /// Round-robin over live workers only.
   int pick_live_worker();
+  bool is_dead(int worker) const {
+    return dead_[static_cast<std::size_t>(worker)] != 0;
+  }
 
-  /// Mark `rec` finished in memory and cascade: notify waiters, decrement
-  /// dependents, assign newly-ready tasks. The external→memory transition
-  /// of §2.2 lands here.
-  sim::Co<void> finish_task(const Key& key, TaskRecord& rec, int worker,
+  /// Mark record `id` finished in memory and cascade: notify waiters,
+  /// decrement dependents, assign newly-ready tasks. The
+  /// external→memory transition of §2.2 lands here.
+  sim::Co<void> finish_task(KeyId id, TaskRecord& rec, int worker,
                             std::uint64_t bytes, bool erred,
                             const std::string& error);
-  sim::Co<void> assign(const Key& key);
+  sim::Co<void> assign(KeyId id);
   int decide_worker(const TaskRecord& rec);
   sim::Co<void> reply_int(std::shared_ptr<sim::Channel<int>> ch, int dst_node,
                           int value);
@@ -192,7 +267,30 @@ private:
   util::Rng rng_;
 
   std::vector<WorkerRef> workers_;
-  std::unordered_map<Key, TaskRecord> records_;
+
+  // ---- task table (all KeyId-indexed, parallel to keys_) ----
+  KeyTable keys_;
+  std::vector<TaskRecord> records_;
+  std::vector<KeyId> deps_pool_;  // CSR backing store for spec deps
+  std::vector<Edge> edge_pool_;   // pooled dependent-edge links
+  // Submitted specs, one batch per update_graph, moved in wholesale;
+  // element addresses are stable (inner vectors are never resized), so
+  // records point straight at their spec. Dep strings are released once
+  // resolved into the CSR pool.
+  std::vector<std::vector<TaskSpec>> spec_arena_;
+  std::unordered_map<KeyId, WaiterList> waiters_;  // cold: blocked clients
+  std::unordered_map<KeyId, std::string> errors_;  // cold: failure text
+  KeyId ready_head_ = kNoKeyId;   // intrusive FIFO of kReady tasks
+  KeyId ready_tail_ = kNoKeyId;
+  std::size_t ready_size_ = 0;
+  std::array<std::size_t, kNumTaskStates> state_counts_{};
+  // Handler-local scratch, reused across messages to stay allocation-free
+  // on the hot path (handlers are fully serialized by run()).
+  std::vector<KeyId> scratch_dependents_;
+  std::vector<KeyId> scratch_batch_;
+  std::vector<int> scratch_owner_;
+  std::vector<std::uint64_t> scratch_owner_bytes_;
+
   std::size_t rr_next_worker_ = 0;
 
   struct VariableSlot {
@@ -200,31 +298,35 @@ private:
     Data value;
     std::vector<std::pair<std::shared_ptr<sim::Channel<Data>>, int>> waiters;
   };
-  std::map<std::string, VariableSlot> variables_;
+  std::unordered_map<std::string, VariableSlot> variables_;
 
   struct QueueSlot {
     std::deque<Data> items;
     std::deque<std::pair<std::shared_ptr<sim::Channel<Data>>, int>> waiters;
   };
-  std::map<std::string, QueueSlot> queues_;
+  std::unordered_map<std::string, QueueSlot> queues_;
 
-  std::map<SchedMsgKind, std::uint64_t> arrivals_;
+  std::array<std::uint64_t, kSchedMsgKindCount> arrivals_{};
   std::uint64_t total_messages_ = 0;
   std::uint64_t retries_performed_ = 0;
   bool stopping_ = false;
 
-  // ---- failure detection / recovery state ----
-  std::set<int> dead_workers_;             // worker ids declared lost
-  std::map<int, double> last_heartbeat_;   // worker id -> sim time
-  std::set<int> suspected_;                // reported, recovery pending
+  // ---- failure detection / recovery state (worker-id indexed) ----
+  std::vector<std::uint8_t> dead_;       // declared lost
+  std::vector<std::uint8_t> suspected_;  // reported, recovery pending
+  std::size_t dead_count_ = 0;
+  std::vector<double> last_heartbeat_;   // sim time; <0 = never seen
+  // Which keys' data lives on each worker (memory-state records only).
+  // recover_worker reads this instead of scanning every record.
+  std::vector<std::unordered_set<KeyId>> has_what_;
   // Lost external keys awaiting a replay, grouped by producing client
   // (each bridge holds its own replay buffer). The producer learns about
   // them via kAckRepushPending — piggybacked on its next push ack, or
   // poked through its registered notify channel when no further push is
   // coming — and drains the list with kRepushKeys.
-  std::map<int, std::vector<Key>> repush_;
+  std::unordered_map<int, std::vector<KeyId>> repush_;
   // Latest wake-up channel per producing client (see SchedMsg::notify).
-  std::map<int, std::shared_ptr<sim::Channel<int>>> producer_notify_;
+  std::unordered_map<int, std::shared_ptr<sim::Channel<int>>> producer_notify_;
   RecoveryCounters recovery_;
 };
 

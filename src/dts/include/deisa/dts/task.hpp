@@ -18,6 +18,13 @@ namespace deisa::dts {
 
 using Key = std::string;
 
+/// Dense integer handle for an interned Key. The scheduler interns every
+/// key string once at ingestion (see KeyTable) and indexes all of its
+/// internal structures by KeyId; key strings are only rebuilt at the
+/// wire boundary (worker messages, client replies, traces).
+using KeyId = std::uint32_t;
+inline constexpr KeyId kNoKeyId = static_cast<KeyId>(-1);
+
 /// Scheduler-side task lifecycle. `kExternal` is this paper's addition: a
 /// task that is known (keyed, sized) but neither schedulable nor runnable
 /// by the task system — it completes when an external environment pushes
@@ -32,6 +39,10 @@ enum class TaskState {
 };
 
 const char* to_string(TaskState s);
+
+/// Number of TaskState values (flat per-state counters).
+inline constexpr std::size_t kNumTaskStates =
+    static_cast<std::size_t>(TaskState::kErred) + 1;
 
 /// Value moved between actors. In functional runs `value` holds a real
 /// payload; in synthetic (paper-scale benchmark) runs only `bytes` is

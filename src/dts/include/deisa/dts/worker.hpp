@@ -63,7 +63,7 @@ private:
   sim::Co<void> handle_compute(TaskSpec spec, std::vector<DepLocation> deps);
   sim::Co<Data> fetch(const DepLocation& dep);
   sim::Co<void> handle_get_data(WorkerMsg msg);
-  void store_put(const Key& key, Data data);
+  void store_put(Key key, Data data);
   sim::Co<void> notify_scheduler(
       SchedMsg msg, net::Delivery delivery = net::Delivery::kReliable);
 

@@ -1,6 +1,7 @@
 #include "deisa/dts/scheduler.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "deisa/obs/metrics.hpp"
 #include "deisa/obs/trace.hpp"
@@ -67,10 +68,19 @@ bool transition_valid(TaskState from, TaskState to) {
   return false;
 }
 
+std::uint64_t spec_dep_total(const SchedMsg& msg) {
+  if (msg.dep_total_cache == ~std::uint64_t{0}) {
+    std::uint64_t s = 0;
+    for (const auto& t : msg.tasks) s += t.deps.size();
+    msg.dep_total_cache = s;
+  }
+  return msg.dep_total_cache;
+}
+
 std::uint64_t wire_bytes(const SchedMsg& msg) {
   std::uint64_t b = 512;  // envelope
   b += msg.tasks.size() * 256;
-  for (const auto& t : msg.tasks) b += t.deps.size() * 48;
+  b += spec_dep_total(msg) * 48;
   b += msg.keys.size() * 64;
   b += msg.wants.size() * 64;
   b += msg.key.size();
@@ -90,23 +100,29 @@ Scheduler::Scheduler(sim::Engine& engine, net::Cluster& cluster, int node,
 
 void Scheduler::attach_workers(std::vector<WorkerRef> workers) {
   workers_ = std::move(workers);
-}
-
-std::uint64_t Scheduler::messages_received(SchedMsgKind kind) const {
-  const auto it = arrivals_.find(kind);
-  return it == arrivals_.end() ? 0 : it->second;
+  dead_.assign(workers_.size(), 0);
+  suspected_.assign(workers_.size(), 0);
+  last_heartbeat_.assign(workers_.size(), -1.0);
+  has_what_.clear();
+  has_what_.resize(workers_.size());
+  dead_count_ = 0;
 }
 
 TaskState Scheduler::state_of(const Key& key) const {
-  const auto it = records_.find(key);
-  DEISA_CHECK(it != records_.end(), "unknown task key: " << key);
-  return it->second.state;
+  const KeyId id = keys_.find(key);
+  DEISA_CHECK(id != kNoKeyId, "unknown task key: " << key);
+  return records_[id].state;
 }
 
-std::size_t Scheduler::count_in_state(TaskState s) const {
+std::size_t Scheduler::pending_waiters() const {
   std::size_t n = 0;
-  for (const auto& [k, r] : records_)
-    if (r.state == s) ++n;
+  for (const auto& [id, wl] : waiters_) n += wl.chans.size();
+  return n;
+}
+
+std::size_t Scheduler::repush_pending() const {
+  std::size_t n = 0;
+  for (const auto& [client, ids] : repush_) n += ids.size();
   return n;
 }
 
@@ -117,33 +133,42 @@ double Scheduler::service_time(const SchedMsg& msg) {
     t += params_.service_queue_extra;
   t += params_.service_per_task * static_cast<double>(msg.tasks.size());
   std::size_t keys = msg.keys.size() + msg.wants.size() + (msg.key.empty() ? 0 : 1);
-  for (const auto& spec : msg.tasks) keys += spec.deps.size();
+  keys += static_cast<std::size_t>(spec_dep_total(msg));
   t += params_.service_per_key * static_cast<double>(keys);
   if (params_.service_jitter_sigma > 0.0)
     t *= rng_.lognormal_mean(1.0, params_.service_jitter_sigma);
   return t;
 }
 
-void Scheduler::record_created(const Key& key, TaskRecord& rec) {
+Scheduler::TaskRecord& Scheduler::create_record(KeyId id) {
+  DEISA_ASSERT(static_cast<std::size_t>(id) == records_.size(),
+               "key table and record table out of sync at id " << id);
+  records_.emplace_back();
+  return records_.back();
+}
+
+void Scheduler::record_created(KeyId id, TaskRecord& rec) {
   rec.state_since = engine_->now();
+  ++state_counts_[static_cast<std::size_t>(rec.state)];
   if (auto* m = obs::metrics()) {
     m->counter("scheduler.tasks.created").add();
     m->counter(std::string("scheduler.created.") + to_string(rec.state))
         .add();
   }
   if (auto* r = obs::tracer())
-    r->instant(r->track("scheduler", "lifecycle"), "create:" + key,
+    r->instant(r->track("scheduler", "lifecycle"), "create:" + keys_.name(id),
                {obs::arg("state", to_string(rec.state))});
 }
 
-void Scheduler::transition(const Key& key, TaskRecord& rec, TaskState to) {
+void Scheduler::transition(KeyId id, TaskRecord& rec, TaskState to) {
   const TaskState from = rec.state;
-  DEISA_ASSERT(from != to, "self-transition on task " << key);
+  DEISA_ASSERT(from != to, "self-transition on task " << keys_.name(id));
   DEISA_ASSERT(transition_valid(from, to),
                "illegal transition " << to_string(from) << " -> "
-                                     << to_string(to) << " on task " << key);
-  DEISA_TRACE("scheduler",
-              key << ": " << to_string(from) << " -> " << to_string(to));
+                                     << to_string(to) << " on task "
+                                     << keys_.name(id));
+  DEISA_TRACE("scheduler", keys_.name(id) << ": " << to_string(from) << " -> "
+                                          << to_string(to));
   if (auto* m = obs::metrics())
     m->counter(std::string("scheduler.transitions.") + to_string(from) +
                "->" + to_string(to))
@@ -152,21 +177,67 @@ void Scheduler::transition(const Key& key, TaskRecord& rec, TaskState to) {
     // Time spent in the state being left, as a span on that state's lane;
     // terminal states (memory/erred) show up as lifecycle instants.
     const double now = engine_->now();
-    r->complete(r->track("scheduler", to_string(from)), key, rec.state_since,
-                now - rec.state_since, {obs::arg("to", to_string(to))});
-    r->instant(r->track("scheduler", "lifecycle"), key,
+    r->complete(r->track("scheduler", to_string(from)), keys_.name(id),
+                rec.state_since, now - rec.state_since,
+                {obs::arg("to", to_string(to))});
+    r->instant(r->track("scheduler", "lifecycle"), keys_.name(id),
                {obs::arg("from", to_string(from)),
                 obs::arg("to", to_string(to))});
   }
+  --state_counts_[static_cast<std::size_t>(from)];
+  ++state_counts_[static_cast<std::size_t>(to)];
   rec.state = to;
   rec.state_since = engine_->now();
+}
+
+void Scheduler::add_dependent(TaskRecord& rec, KeyId dependent) {
+  edge_pool_.push_back(Edge{dependent, rec.dependents_head});
+  rec.dependents_head = static_cast<std::uint32_t>(edge_pool_.size() - 1);
+}
+
+void Scheduler::take_dependents(TaskRecord& rec, std::vector<KeyId>& out) {
+  out.clear();
+  for (std::uint32_t e = rec.dependents_head; e != kNoEdge;
+       e = edge_pool_[e].next)
+    out.push_back(edge_pool_[e].node);
+  rec.dependents_head = kNoEdge;
+  // The pooled list is LIFO; downstream cascades must see original
+  // insertion order for deterministic assignment sequencing.
+  std::reverse(out.begin(), out.end());
+}
+
+void Scheduler::push_ready(KeyId id) {
+  TaskRecord& rec = records_[id];
+  transition(id, rec, TaskState::kReady);
+  rec.next_ready = kNoKeyId;
+  if (ready_tail_ == kNoKeyId)
+    ready_head_ = id;
+  else
+    records_[ready_tail_].next_ready = id;
+  ready_tail_ = id;
+  ++ready_size_;
+}
+
+KeyId Scheduler::pop_ready() {
+  DEISA_ASSERT(ready_head_ != kNoKeyId, "pop from empty ready queue");
+  const KeyId id = ready_head_;
+  TaskRecord& rec = records_[id];
+  ready_head_ = rec.next_ready;
+  if (ready_head_ == kNoKeyId) ready_tail_ = kNoKeyId;
+  rec.next_ready = kNoKeyId;
+  --ready_size_;
+  return id;
+}
+
+sim::Co<void> Scheduler::drain_ready() {
+  while (ready_head_ != kNoKeyId) co_await assign(pop_ready());
 }
 
 sim::Co<void> Scheduler::run() {
   while (true) {
     SchedMsg msg = co_await inbox_.recv();
     ++total_messages_;
-    ++arrivals_[msg.kind];
+    ++arrivals_[static_cast<std::size_t>(msg.kind)];
     if (auto* m = obs::metrics()) {
       m->counter("scheduler.messages.total").add();
       m->counter(std::string("scheduler.messages.") + to_string(msg.kind))
@@ -183,6 +254,8 @@ sim::Co<void> Scheduler::run() {
       break;
     }
     co_await handle(std::move(msg));
+    DEISA_ASSERT(ready_head_ == kNoKeyId,
+                 "ready queue not drained by a handler");
   }
 }
 
@@ -198,12 +271,14 @@ sim::Co<void> Scheduler::handle(SchedMsg msg) {
       // The deadline the failure detector checks against. Heartbeats from
       // a worker already declared dead are counted but ignored (the seed
       // behavior for all heartbeats: service time is their whole cost).
-      if (msg.worker >= 0) {
-        if (dead_workers_.count(msg.worker) != 0) {
+      if (msg.worker >= 0 &&
+          static_cast<std::size_t>(msg.worker) < workers_.size()) {
+        if (is_dead(msg.worker)) {
           ++recovery_.stale_heartbeats;
           obs::count("scheduler.stale.heartbeats");
         } else {
-          last_heartbeat_[msg.worker] = engine_->now();
+          last_heartbeat_[static_cast<std::size_t>(msg.worker)] =
+              engine_->now();
         }
       }
       break;
@@ -227,83 +302,147 @@ sim::Co<void> Scheduler::handle(SchedMsg msg) {
 }
 
 sim::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
-  // Pass 1: create records so intra-batch dependencies resolve.
-  std::vector<Key> inserted;
-  inserted.reserve(msg.tasks.size());
-  for (auto& spec : msg.tasks) {
-    DEISA_CHECK(records_.count(spec.key) == 0,
-                "task key resubmitted: " << spec.key);
-    Key key = spec.key;
-    TaskRecord rec;
-    rec.spec = std::move(spec);
-    const auto it = records_.emplace(std::move(key), std::move(rec)).first;
-    record_created(it->first, it->second);
-    inserted.push_back(it->first);
+  const std::size_t n = msg.tasks.size();
+  const std::size_t ndeps = static_cast<std::size_t>(spec_dep_total(msg));
+  keys_.reserve(keys_.size() + n);
+  records_.reserve(records_.size() + n);
+  deps_pool_.reserve(deps_pool_.size() + ndeps);
+  edge_pool_.reserve(edge_pool_.size() + ndeps);
+  scratch_batch_.clear();
+  scratch_batch_.reserve(n);
+  // The whole submitted batch moves into the arena in one vector steal;
+  // records point at their spec in place instead of copying it around.
+  spec_arena_.push_back(std::move(msg.tasks));
+  std::vector<TaskSpec>& batch = spec_arena_.back();
+  // Pass 1: intern keys and create records in one batch, so intra-batch
+  // dependencies resolve and no reference is invalidated by growth later.
+  // The loop is software-pipelined: keys are hashed kPipe items ahead and
+  // their table slots prefetched, overlapping the DRAM misses that
+  // otherwise serialize one probe per insert at 10^5-task scale.
+  constexpr std::size_t kPipe = 8;
+  std::uint64_t hpipe[kPipe];
+  for (std::size_t i = 0; i < std::min(n, kPipe); ++i) {
+    hpipe[i] = KeyTable::hash_key(batch[i].key);
+    keys_.prefetch(hpipe[i]);
   }
-  msg.tasks.clear();
-  // Pass 2: wire dependency edges of the keys inserted above (and only
-  // those — incremental submission must not rescan the whole table).
-  std::vector<Key> ready;
-  for (const Key& key : inserted) {
-    TaskRecord& rec = records_.at(key);
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskSpec& spec = batch[i];
+    const std::uint64_t h = hpipe[i % kPipe];
+    if (i + kPipe < n) {
+      const std::uint64_t hn = KeyTable::hash_key(batch[i + kPipe].key);
+      keys_.prefetch(hn);
+      hpipe[i % kPipe] = hn;
+    }
+    const auto [id, fresh] = keys_.intern_hashed(h, std::move(spec.key));
+    DEISA_CHECK(fresh, "task key resubmitted: " << keys_.name(id));
+    TaskRecord& rec = create_record(id);
+    rec.spec = &spec;
+    rec.preferred_worker = spec.preferred_worker;
+    rec.retries = spec.retries;
+    record_created(id, rec);
+    scratch_batch_.push_back(id);
+  }
+  // Pass 2: wire dependency edges of the records created above (and only
+  // those — incremental submission must not rescan the whole table). Dep
+  // strings are resolved to ids into the CSR pool; the scheduler never
+  // touches them again (they stay parked in the spec arena). A tiny memo
+  // short-circuits deps repeated between nearby tasks — reduction trees
+  // and stencils share most deps with the previous task, so roughly half
+  // the table probes disappear. A memo hit is confirmed by a string
+  // compare against names_, whose line is warm from the find that
+  // populated the entry, so a 64-bit hash collision can never alias two
+  // keys.
+  struct DepMemo {
+    std::uint64_t h = 0;
+    KeyId id = kNoKeyId;
+  };
+  DepMemo memo[4];
+  std::size_t memo_rr = 0;
+  const std::size_t ntasks = scratch_batch_.size();
+  for (std::size_t t = 0; t < ntasks; ++t) {
+    const KeyId id = scratch_batch_[t];
+    TaskRecord& rec = records_[id];
+    const TaskSpec& spec = batch[t];
+    rec.dep_off = static_cast<std::uint32_t>(deps_pool_.size());
     bool fresh = true;
-    for (const Key& dep : rec.spec.deps) {
-      auto it = records_.find(dep);
-      DEISA_CHECK(it != records_.end(),
+    for (const Key& dep : spec.deps) {
+      const std::uint64_t h = KeyTable::hash_key(dep);
+      KeyId d = kNoKeyId;
+      for (const DepMemo& m : memo)
+        if (m.id != kNoKeyId && m.h == h && keys_.name(m.id) == dep) {
+          d = m.id;
+          break;
+        }
+      if (d == kNoKeyId) {
+        d = keys_.find_hashed(h, dep);
+        memo[memo_rr++ % std::size(memo)] = DepMemo{h, d};
+      }
+      DEISA_CHECK(d != kNoKeyId,
                   "graph references unknown key '"
                       << dep << "' — without external tasks, graphs may "
                       << "only depend on data already in the cluster");
-      TaskRecord& drec = it->second;
+      TaskRecord& drec = records_[d];
       if (drec.state == TaskState::kErred) {
-        transition(key, rec, TaskState::kErred);
-        rec.error = "dependency erred: " + dep;
+        transition(id, rec, TaskState::kErred);
+        errors_[id] = "dependency erred: " + dep;
         fresh = false;
         break;
       }
+      deps_pool_.push_back(d);
+      ++rec.dep_count;
       if (drec.state != TaskState::kMemory) {
         ++rec.nwaiting;
-        drec.dependents.push_back(key);
+        add_dependent(drec, id);
       }
     }
-    if (fresh && rec.nwaiting == 0) ready.push_back(key);
+    if (fresh && rec.nwaiting == 0) push_ready(id);
   }
-  for (const Key& key : ready) co_await assign(key);
+  co_await drain_ready();
 }
 
 int Scheduler::pick_live_worker() {
   DEISA_CHECK(live_workers() > 0, "no live workers left");
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     const int w = static_cast<int>(rr_next_worker_++ % workers_.size());
-    if (dead_workers_.count(w) == 0) return w;
+    if (!is_dead(w)) return w;
   }
   return -1;  // unreachable: the check above guarantees a live worker
 }
 
 int Scheduler::decide_worker(const TaskRecord& rec) {
   DEISA_CHECK(!workers_.empty(), "no workers attached to scheduler");
-  if (rec.spec.preferred_worker >= 0) {
-    DEISA_CHECK(static_cast<std::size_t>(rec.spec.preferred_worker) <
+  if (rec.preferred_worker >= 0) {
+    DEISA_CHECK(static_cast<std::size_t>(rec.preferred_worker) <
                     workers_.size(),
                 "preferred worker out of range");
     // A dead preferred worker falls through to the locality/round-robin
     // path instead of assigning work to a corpse.
-    if (dead_workers_.count(rec.spec.preferred_worker) == 0)
-      return rec.spec.preferred_worker;
+    if (!is_dead(rec.preferred_worker)) return rec.preferred_worker;
   }
   // Data locality: pick the live worker already holding the most input
-  // bytes.
-  std::map<int, std::uint64_t> bytes_on;
-  for (const Key& dep : rec.spec.deps) {
-    const auto it = records_.find(dep);
-    if (it != records_.end() && it->second.worker >= 0 &&
-        dead_workers_.count(it->second.worker) == 0)
-      bytes_on[it->second.worker] += it->second.bytes;
+  // bytes. Owner accumulation runs on two parallel scratch arrays (a
+  // task has a handful of deps); ties break to the lowest worker id.
+  scratch_owner_.clear();
+  scratch_owner_bytes_.clear();
+  for (std::uint32_t i = 0; i < rec.dep_count; ++i) {
+    const TaskRecord& drec = records_[deps_pool_[rec.dep_off + i]];
+    const int w = drec.worker;
+    if (w < 0 || worker_is_dead(w)) continue;
+    std::size_t j = 0;
+    while (j < scratch_owner_.size() && scratch_owner_[j] != w) ++j;
+    if (j == scratch_owner_.size()) {
+      scratch_owner_.push_back(w);
+      scratch_owner_bytes_.push_back(0);
+    }
+    scratch_owner_bytes_[j] += drec.bytes;
   }
   int best = -1;
   std::uint64_t best_bytes = 0;
-  for (const auto& [w, b] : bytes_on) {
-    if (b > best_bytes) {
-      best = w;
+  for (std::size_t j = 0; j < scratch_owner_.size(); ++j) {
+    const std::uint64_t b = scratch_owner_bytes_[j];
+    if (b > best_bytes ||
+        (b == best_bytes && best >= 0 && scratch_owner_[j] < best)) {
+      best = scratch_owner_[j];
       best_bytes = b;
     }
   }
@@ -311,93 +450,106 @@ int Scheduler::decide_worker(const TaskRecord& rec) {
   return pick_live_worker();
 }
 
-sim::Co<void> Scheduler::assign(const Key& key) {
-  TaskRecord& rec = records_.at(key);
-  DEISA_ASSERT(rec.state == TaskState::kWaiting ||
-                   rec.state == TaskState::kReady,
+sim::Co<void> Scheduler::assign(KeyId id) {
+  TaskRecord& rec = records_[id];
+  DEISA_ASSERT(rec.state == TaskState::kReady,
                "assigning task in state " << to_string(rec.state));
+  DEISA_ASSERT(rec.spec != nullptr,
+               "assigning specless task " << keys_.name(id));
   const int w = decide_worker(rec);
-  transition(key, rec, TaskState::kProcessing);
+  transition(id, rec, TaskState::kProcessing);
   rec.worker = w;
   WorkerMsg m(WorkerMsgKind::kCompute);
-  m.spec = rec.spec;
-  for (const Key& dep : rec.spec.deps) {
-    const TaskRecord& drec = records_.at(dep);
-    m.deps.emplace_back(dep, drec.worker, drec.bytes);
+  // Field-wise copy: the dep strings stay scheduler-side (workers consume
+  // m.deps below), so assignment never re-serializes the dependency list.
+  const TaskSpec& s = *rec.spec;
+  m.spec.key = keys_.name(id);  // rebuilt at the wire boundary
+  m.spec.fn = s.fn;
+  m.spec.io = s.io;
+  m.spec.cost = s.cost;
+  m.spec.out_bytes = s.out_bytes;
+  m.spec.preferred_worker = rec.preferred_worker;
+  m.spec.retries = rec.retries;
+  m.deps.reserve(rec.dep_count);
+  for (std::uint32_t i = 0; i < rec.dep_count; ++i) {
+    const KeyId d = deps_pool_[rec.dep_off + i];
+    const TaskRecord& drec = records_[d];
+    m.deps.emplace_back(keys_.name(d), drec.worker, drec.bytes);
   }
   const WorkerRef& ref = workers_[static_cast<std::size_t>(w)];
   co_await cluster_->send_control(node_, ref.node, 512 + m.deps.size() * 48);
   ref.inbox->send(std::move(m));
 }
 
-sim::Co<void> Scheduler::poison_task(const Key& key,
-                                     const std::string& error) {
-  TaskRecord& rec = records_.at(key);
+sim::Co<void> Scheduler::poison_task(KeyId id, const std::string& error) {
+  TaskRecord& rec = records_[id];
   if (rec.state != TaskState::kErred) {
-    transition(key, rec, TaskState::kErred);
-    rec.error = error;
-    for (std::size_t i = 0; i < rec.waiters.size(); ++i)
-      co_await reply_int(rec.waiters[i], rec.waiter_nodes[i], kAckErred);
-    rec.waiters.clear();
-    rec.waiter_nodes.clear();
+    transition(id, rec, TaskState::kErred);
+    errors_[id] = error;
+    co_await release_waiters(id, kAckErred);
   }
   // Poison the whole downstream cone, replying to any waiters so blocked
   // clients observe the failure instead of hanging.
-  std::vector<Key> poison = std::move(rec.dependents);
-  rec.dependents.clear();
+  std::vector<KeyId> poison;
+  take_dependents(rec, poison);
+  std::vector<KeyId> next;
   while (!poison.empty()) {
-    const Key dkey = std::move(poison.back());
+    const KeyId dk = poison.back();
     poison.pop_back();
-    TaskRecord& drec = records_.at(dkey);
+    TaskRecord& drec = records_[dk];
     if (drec.state == TaskState::kErred || drec.state == TaskState::kMemory)
       continue;
-    transition(dkey, drec, TaskState::kErred);
-    drec.error = "dependency erred: " + key;
-    for (std::size_t i = 0; i < drec.waiters.size(); ++i)
-      co_await reply_int(drec.waiters[i], drec.waiter_nodes[i], kAckErred);
-    drec.waiters.clear();
-    drec.waiter_nodes.clear();
-    for (Key& next : drec.dependents) poison.push_back(std::move(next));
-    drec.dependents.clear();
+    transition(dk, drec, TaskState::kErred);
+    errors_[dk] = "dependency erred: " + keys_.name(id);
+    co_await release_waiters(dk, kAckErred);
+    take_dependents(drec, next);
+    poison.insert(poison.end(), next.begin(), next.end());
   }
 }
 
-sim::Co<void> Scheduler::finish_task(const Key& key, TaskRecord& rec,
-                                     int worker, std::uint64_t bytes,
-                                     bool erred, const std::string& error) {
+sim::Co<void> Scheduler::release_waiters(KeyId id, int value) {
+  const auto it = waiters_.find(id);
+  if (it == waiters_.end()) co_return;
+  WaiterList wl = std::move(it->second);
+  waiters_.erase(it);
+  for (std::size_t i = 0; i < wl.chans.size(); ++i)
+    co_await reply_int(wl.chans[i], wl.nodes[i], value);
+}
+
+sim::Co<void> Scheduler::finish_task(KeyId id, TaskRecord& rec, int worker,
+                                     std::uint64_t bytes, bool erred,
+                                     const std::string& error) {
   rec.worker = worker;
   rec.bytes = bytes;
   if (erred) {
-    co_await poison_task(key, error);
+    co_await poison_task(id, error);
     co_return;
   }
-  transition(key, rec, TaskState::kMemory);
-  rec.error.clear();
+  transition(id, rec, TaskState::kMemory);
+  errors_.erase(id);
+  if (worker >= 0 && static_cast<std::size_t>(worker) < has_what_.size())
+    has_what_[static_cast<std::size_t>(worker)].insert(id);
   // Wake clients blocked in wait_key/gather.
-  for (std::size_t i = 0; i < rec.waiters.size(); ++i)
-    co_await reply_int(rec.waiters[i], rec.waiter_nodes[i], worker);
-  rec.waiters.clear();
-  rec.waiter_nodes.clear();
+  co_await release_waiters(id, worker);
   // Unblock dependents (standard task-finished stimulus; external tasks
   // reuse exactly this path — the point of §2.2).
-  std::vector<Key> ready;
-  for (const Key& dkey : rec.dependents) {
-    TaskRecord& drec = records_.at(dkey);
+  take_dependents(rec, scratch_dependents_);
+  for (const KeyId dk : scratch_dependents_) {
+    TaskRecord& drec = records_[dk];
     if (drec.state == TaskState::kWaiting && --drec.nwaiting == 0)
-      ready.push_back(dkey);
+      push_ready(dk);
   }
-  rec.dependents.clear();
-  for (const Key& rkey : ready) co_await assign(rkey);
+  co_await drain_ready();
 }
 
 sim::Co<void> Scheduler::handle_task_finished(SchedMsg& msg) {
-  const auto it = records_.find(msg.key);
-  if (it == records_.end()) {
+  const KeyId id = keys_.find(msg.key);
+  if (id == kNoKeyId) {
     ++recovery_.stale_task_finished;
     obs::count("scheduler.stale.task_finished");
     co_return;
   }
-  TaskRecord& rec = it->second;
+  TaskRecord& rec = records_[id];
   // Stale guard: only the worker currently assigned may report the task,
   // and only while it is processing. Anything else — a report for a task
   // cancelled/poisoned meanwhile (the old erred→memory resurrection bug),
@@ -411,55 +563,55 @@ sim::Co<void> Scheduler::handle_task_finished(SchedMsg& msg) {
     co_return;
   }
   ++rec.attempts;
-  if (msg.erred && rec.attempts <= rec.spec.retries) {
+  if (msg.erred && rec.attempts <= rec.retries) {
     // Transient failure: re-run (dask's `retries=` semantics). The task
     // returns to ready and is re-assigned (possibly elsewhere). The stale
     // guard above makes this always a processing→ready edge — the retry
     // path can no longer lift a task out of erred.
     ++retries_performed_;
     obs::count("scheduler.retries");
-    transition(msg.key, rec, TaskState::kReady);
-    co_await assign(msg.key);
+    push_ready(id);
+    co_await drain_ready();
     co_return;
   }
   rec.origin = Origin::kComputed;
-  co_await finish_task(msg.key, rec, msg.worker, msg.bytes, msg.erred,
-                       msg.error);
+  co_await finish_task(id, rec, msg.worker, msg.bytes, msg.erred, msg.error);
 }
 
 sim::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
   int ack = msg.worker;
   if (msg.notify != nullptr) producer_notify_[msg.sender_client] = msg.notify;
-  auto it = records_.find(msg.key);
-  if (it == records_.end()) {
-    if (dead_workers_.count(msg.worker) != 0) {
+  KeyId id = keys_.find(msg.key);
+  if (id == kNoKeyId) {
+    if (worker_is_dead(msg.worker)) {
       // The scatter raced a worker crash: the payload landed nowhere.
       // Register the key as erred so consumers fail fast instead of
       // waiting on data that does not exist.
-      TaskRecord rec;
-      rec.spec.key = msg.key;
+      id = keys_.intern(std::move(msg.key)).first;
+      TaskRecord& rec = create_record(id);
       rec.origin = Origin::kScattered;
       rec.state = TaskState::kErred;
-      rec.error = "scattered to lost worker " + std::to_string(msg.worker);
-      const auto fresh = records_.emplace(msg.key, std::move(rec)).first;
-      record_created(fresh->first, fresh->second);
+      errors_[id] = "scattered to lost worker " + std::to_string(msg.worker);
+      record_created(id, rec);
       ++recovery_.keys_lost;
       obs::count("scheduler.recovery.keys_lost");
       ack = kAckErred;
     } else {
       // Plain scatter of a fresh key: register it directly in memory.
-      TaskRecord rec;
-      rec.spec.key = msg.key;
+      id = keys_.intern(std::move(msg.key)).first;
+      TaskRecord& rec = create_record(id);
       rec.origin = Origin::kScattered;
       rec.state = TaskState::kMemory;
       rec.worker = msg.worker;
       rec.bytes = msg.bytes;
       rec.pusher_client = msg.sender_client;
-      const auto fresh = records_.emplace(msg.key, std::move(rec)).first;
-      record_created(fresh->first, fresh->second);
+      record_created(id, rec);
+      if (msg.worker >= 0 &&
+          static_cast<std::size_t>(msg.worker) < has_what_.size())
+        has_what_[static_cast<std::size_t>(msg.worker)].insert(id);
     }
   } else {
-    TaskRecord& rec = it->second;
+    TaskRecord& rec = records_[id];
     switch (rec.state) {
       case TaskState::kErred:
         // Push to a cancelled/poisoned key (the old DEISA_CHECK abort):
@@ -477,23 +629,21 @@ sim::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
                               "complete it");
         rec.origin = Origin::kExternal;
         rec.pusher_client = msg.sender_client;
-        if (dead_workers_.count(msg.worker) != 0) {
+        if (worker_is_dead(msg.worker)) {
           // The block was pushed at a worker that is being replaced: the
           // data never landed. Re-route the preselection and schedule a
           // re-push from this producer's replay buffer.
           ++rec.rearm_epoch;
-          if (rec.spec.preferred_worker < 0 ||
-              dead_workers_.count(rec.spec.preferred_worker) != 0)
-            rec.spec.preferred_worker = pick_live_worker();
-          repush_[msg.sender_client].push_back(msg.key);
+          if (rec.preferred_worker < 0 || worker_is_dead(rec.preferred_worker))
+            rec.preferred_worker = pick_live_worker();
+          repush_[msg.sender_client].push_back(id);
           engine_->spawn(repush_deadline(msg.key, rec.rearm_epoch));
           ++recovery_.external_rearmed;
           obs::count("scheduler.recovery.external_rearmed");
           ack = kAckRepushPending;
         } else {
           // external -> memory, then the normal finished-task cascade.
-          co_await finish_task(msg.key, rec, msg.worker, msg.bytes, false,
-                               {});
+          co_await finish_task(id, rec, msg.worker, msg.bytes, false, {});
         }
         break;
       }
@@ -506,8 +656,14 @@ sim::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
           ack = kAckDiscarded;
         } else {
           // Re-scatter of an existing key: refresh location.
+          if (rec.worker >= 0 &&
+              static_cast<std::size_t>(rec.worker) < has_what_.size())
+            has_what_[static_cast<std::size_t>(rec.worker)].erase(id);
           rec.worker = msg.worker;
           rec.bytes = msg.bytes;
+          if (msg.worker >= 0 &&
+              static_cast<std::size_t>(msg.worker) < has_what_.size())
+            has_what_[static_cast<std::size_t>(msg.worker)].insert(id);
         }
         break;
       default:
@@ -532,52 +688,66 @@ void Scheduler::handle_create_external(SchedMsg& msg) {
   DEISA_CHECK(msg.preferred_workers.empty() ||
                   msg.preferred_workers.size() == msg.keys.size(),
               "preferred_workers must be empty or match keys");
-  for (std::size_t i = 0; i < msg.keys.size(); ++i) {
-    const Key& key = msg.keys[i];
-    DEISA_CHECK(records_.count(key) == 0,
-                "external task key already exists: " << key);
-    TaskRecord rec;
-    rec.spec.key = key;
+  const std::size_t n = msg.keys.size();
+  keys_.reserve(keys_.size() + n);
+  records_.reserve(records_.size() + n);
+  // Same hash-ahead pipeline as update_graph pass 1.
+  constexpr std::size_t kPipe = 8;
+  std::uint64_t hpipe[kPipe];
+  for (std::size_t i = 0; i < std::min(n, kPipe); ++i) {
+    hpipe[i] = KeyTable::hash_key(msg.keys[i]);
+    keys_.prefetch(hpipe[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t h = hpipe[i % kPipe];
+    if (i + kPipe < n) {
+      const std::uint64_t hn = KeyTable::hash_key(msg.keys[i + kPipe]);
+      keys_.prefetch(hn);
+      hpipe[i % kPipe] = hn;
+    }
+    const auto [id, fresh] = keys_.intern_hashed(h, std::move(msg.keys[i]));
+    DEISA_CHECK(fresh, "external task key already exists: " << keys_.name(id));
+    TaskRecord& rec = create_record(id);
     rec.origin = Origin::kExternal;
     if (!msg.preferred_workers.empty()) {
       int pw = msg.preferred_workers[i];
-      if (pw >= 0 && dead_workers_.count(pw) != 0) {
+      if (pw >= 0 && worker_is_dead(pw)) {
         // Preselection targets a worker that has since died: re-route at
         // creation so the producer is never told to push at a corpse.
         pw = pick_live_worker();
         ++recovery_.external_rerouted;
         obs::count("scheduler.recovery.external_rerouted");
       }
-      rec.spec.preferred_worker = pw;
+      rec.preferred_worker = pw;
     }
     rec.state = TaskState::kExternal;
-    const auto it = records_.emplace(key, std::move(rec)).first;
-    record_created(it->first, it->second);
+    record_created(id, rec);
   }
 }
 
 sim::Co<void> Scheduler::handle_wait_key(SchedMsg& msg) {
-  auto it = records_.find(msg.key);
-  DEISA_CHECK(it != records_.end(), "wait on unknown key: " << msg.key);
-  TaskRecord& rec = it->second;
+  const KeyId id = keys_.find(msg.key);
+  DEISA_CHECK(id != kNoKeyId, "wait on unknown key: " << msg.key);
+  TaskRecord& rec = records_[id];
   if (rec.state == TaskState::kMemory) {
     co_await reply_int(msg.reply_worker, msg.sender_node, rec.worker);
   } else if (rec.state == TaskState::kErred) {
     co_await reply_int(msg.reply_worker, msg.sender_node, -2);
   } else {
-    rec.waiters.push_back(msg.reply_worker);
-    rec.waiter_nodes.push_back(msg.sender_node);
+    WaiterList& wl = waiters_[id];
+    wl.chans.push_back(msg.reply_worker);
+    wl.nodes.push_back(msg.sender_node);
   }
 }
 
 sim::Co<void> Scheduler::handle_cancel(SchedMsg& msg) {
-  auto it = records_.find(msg.key);
-  DEISA_CHECK(it != records_.end(), "cancel of unknown key: " << msg.key);
-  TaskRecord& rec = it->second;
+  const KeyId id = keys_.find(msg.key);
+  DEISA_CHECK(id != kNoKeyId, "cancel of unknown key: " << msg.key);
+  TaskRecord& rec = records_[id];
   // Finished work is left in place (dask semantics: cancel is advisory
   // for completed futures); anything not yet in memory is poisoned.
   if (rec.state != TaskState::kMemory && rec.state != TaskState::kErred)
-    co_await finish_task(msg.key, rec, -1, 0, /*erred=*/true,
+    co_await finish_task(id, rec, -1, 0, /*erred=*/true,
                          "cancelled by client");
   if (msg.reply_worker != nullptr)
     co_await reply_int(msg.reply_worker, msg.sender_node, 0);
@@ -637,14 +807,14 @@ sim::Co<void> Scheduler::run_failure_detector() {
     if (stopping_) co_return;
     const double now = engine_->now();
     for (const WorkerRef& ref : workers_) {
-      if (dead_workers_.count(ref.id) != 0 || suspected_.count(ref.id) != 0)
-        continue;
-      const auto it = last_heartbeat_.find(ref.id);
-      const double last = it == last_heartbeat_.end() ? armed_at : it->second;
+      const auto w = static_cast<std::size_t>(ref.id);
+      if (dead_[w] != 0 || suspected_[w] != 0) continue;
+      const double hb = last_heartbeat_[w];
+      const double last = hb < 0.0 ? armed_at : hb;
       if (now - last <= params_.heartbeat_timeout) continue;
       // Report through the scheduler's own inbox so recovery serializes
       // with every other handler instead of mutating records mid-flight.
-      suspected_.insert(ref.id);
+      suspected_[w] = 1;
       obs::count("scheduler.recovery.suspected");
       obs::trace_instant("scheduler", "recovery",
                          "suspect:worker-" + std::to_string(ref.id));
@@ -658,19 +828,19 @@ sim::Co<void> Scheduler::run_failure_detector() {
 
 sim::Co<void> Scheduler::handle_worker_lost(SchedMsg& msg) {
   const int w = msg.worker;
-  suspected_.erase(w);
   if (w < 0 || static_cast<std::size_t>(w) >= workers_.size()) co_return;
-  if (dead_workers_.count(w) != 0) co_return;
+  suspected_[static_cast<std::size_t>(w)] = 0;
+  if (is_dead(w)) co_return;
   // A heartbeat may have slipped in while this report queued: re-check
   // the deadline before declaring the worker dead.
-  const auto hb = last_heartbeat_.find(w);
-  if (hb != last_heartbeat_.end() &&
-      engine_->now() - hb->second <= params_.heartbeat_timeout)
+  const double hb = last_heartbeat_[static_cast<std::size_t>(w)];
+  if (hb >= 0.0 && engine_->now() - hb <= params_.heartbeat_timeout)
     co_return;
   DEISA_CHECK(live_workers() > 1,
               "worker " << w << " lost and no surviving worker to recover "
                         << "onto");
-  dead_workers_.insert(w);
+  dead_[static_cast<std::size_t>(w)] = 1;
+  ++dead_count_;
   ++recovery_.workers_lost;
   obs::count("scheduler.recovery.workers_lost");
   obs::trace_instant("scheduler", "recovery",
@@ -684,159 +854,171 @@ sim::Co<void> Scheduler::recover_worker(int w) {
   if (obs::tracer() != nullptr)
     span = obs::trace_span("scheduler", "recovery",
                            "recover:worker-" + std::to_string(w));
-  // Phase 1: classify every key whose data lived on the dead worker.
-  std::set<Key> lost;  // keys whose stored bytes vanished with the worker
-  std::vector<std::pair<Key, std::string>> to_poison;
-  std::vector<Key> rearmed;
-  for (auto& [key, rec] : records_) {
-    if (rec.state == TaskState::kMemory && rec.worker == w) {
-      lost.insert(key);
-      switch (rec.origin) {
-        case Origin::kComputed:
-          // Lineage exists: re-run the task once its inputs are back.
-          transition(key, rec, TaskState::kWaiting);
-          rec.worker = -1;
-          rec.bytes = 0;
-          rec.nwaiting = 0;
-          ++recovery_.keys_recomputed;
-          obs::count("scheduler.recovery.keys_recomputed");
-          break;
-        case Origin::kExternal:
-          // The producer still holds the block: re-arm the external state
-          // and schedule a re-push at a surviving worker.
-          transition(key, rec, TaskState::kExternal);
-          rec.worker = -1;
-          rec.bytes = 0;
-          rec.nwaiting = 0;
-          ++rec.rearm_epoch;
-          rec.spec.preferred_worker = pick_live_worker();
-          rearmed.push_back(key);
-          ++recovery_.external_rearmed;
-          obs::count("scheduler.recovery.external_rearmed");
-          break;
-        case Origin::kScattered:
-          // No lineage and no re-push protocol: unrecoverable. Poisoned
-          // below, after dependent edges are rebuilt, so the cascade
-          // reaches every consumer.
-          to_poison.emplace_back(
-              key, "scattered data lost with worker " + std::to_string(w));
-          ++recovery_.keys_lost;
-          obs::count("scheduler.recovery.keys_lost");
-          break;
-      }
-    } else if (rec.state == TaskState::kExternal &&
-               rec.spec.preferred_worker == w) {
-      // Pending preselection on the dead worker, no data pushed yet:
-      // point it at a survivor so the eventual push/replay lands.
-      rec.spec.preferred_worker = pick_live_worker();
-      ++recovery_.external_rerouted;
-      obs::count("scheduler.recovery.external_rerouted");
+  // Phase 1: classify every key whose data lived on the dead worker. The
+  // has-what index hands them over directly (sorted for deterministic
+  // event ordering) — no scan of the full record table.
+  auto& held = has_what_[static_cast<std::size_t>(w)];
+  std::vector<KeyId> lost_ids(held.begin(), held.end());
+  held.clear();
+  std::sort(lost_ids.begin(), lost_ids.end());
+  std::vector<std::uint8_t> lost(records_.size(), 0);
+  std::vector<std::pair<KeyId, std::string>> to_poison;
+  std::vector<KeyId> rearmed;
+  for (const KeyId id : lost_ids) {
+    TaskRecord& rec = records_[id];
+    DEISA_ASSERT(rec.state == TaskState::kMemory && rec.worker == w,
+                 "has-what index out of sync on " << keys_.name(id));
+    lost[id] = 1;
+    switch (rec.origin) {
+      case Origin::kComputed:
+        // Lineage exists: re-run the task once its inputs are back.
+        transition(id, rec, TaskState::kWaiting);
+        rec.worker = -1;
+        rec.bytes = 0;
+        rec.nwaiting = 0;
+        ++recovery_.keys_recomputed;
+        obs::count("scheduler.recovery.keys_recomputed");
+        break;
+      case Origin::kExternal:
+        // The producer still holds the block: re-arm the external state
+        // and schedule a re-push at a surviving worker.
+        transition(id, rec, TaskState::kExternal);
+        rec.worker = -1;
+        rec.bytes = 0;
+        rec.nwaiting = 0;
+        ++rec.rearm_epoch;
+        rec.preferred_worker = pick_live_worker();
+        rearmed.push_back(id);
+        ++recovery_.external_rearmed;
+        obs::count("scheduler.recovery.external_rearmed");
+        break;
+      case Origin::kScattered:
+        // No lineage and no re-push protocol: unrecoverable. Poisoned
+        // below, after dependent edges are rebuilt, so the cascade
+        // reaches every consumer.
+        to_poison.emplace_back(
+            id, "scattered data lost with worker " + std::to_string(w));
+        ++recovery_.keys_lost;
+        obs::count("scheduler.recovery.keys_lost");
+        break;
     }
   }
   // Phase 2: rebuild consumer edges and restart derailed in-flight work.
   // A finished key's dependent edges were cleared when it completed, so
-  // consumers of lost keys are rediscovered from their specs — one
-  // O(records) sweep per lost worker, not per message.
-  std::vector<Key> assignable;
-  for (auto& [key, rec] : records_) {
+  // consumers of lost keys are rediscovered from the CSR dep slices —
+  // one flat sweep per lost worker, not per message.
+  std::vector<KeyId> assignable;
+  const KeyId nrec = static_cast<KeyId>(records_.size());
+  for (KeyId id = 0; id < nrec; ++id) {
+    TaskRecord& rec = records_[id];
     if (rec.state == TaskState::kWaiting) {
       bool doomed = false;
-      for (const Key& dep : rec.spec.deps) {
-        TaskRecord& drec = records_.at(dep);
+      for (std::uint32_t i = 0; i < rec.dep_count; ++i) {
+        const KeyId d = deps_pool_[rec.dep_off + i];
+        TaskRecord& drec = records_[d];
         if (drec.state == TaskState::kErred) {
           doomed = true;
           continue;
         }
-        if (lost.count(dep) == 0) continue;
+        if (lost[d] == 0) continue;
         ++rec.nwaiting;
-        drec.dependents.push_back(key);
+        add_dependent(drec, id);
       }
       if (doomed)
-        to_poison.emplace_back(key, "dependency unrecoverable after loss "
-                                    "of worker " +
-                                        std::to_string(w));
-      else if (lost.count(key) != 0 && rec.nwaiting == 0)
-        assignable.push_back(key);  // lost key whose inputs all survived
+        to_poison.emplace_back(id, "dependency unrecoverable after loss "
+                                   "of worker " +
+                                       std::to_string(w));
+      else if (lost[id] != 0 && rec.nwaiting == 0)
+        assignable.push_back(id);  // lost key whose inputs all survived
     } else if (rec.state == TaskState::kProcessing) {
       bool derailed = rec.worker == w;
       if (!derailed)
-        for (const Key& dep : rec.spec.deps)
-          if (lost.count(dep) != 0) {
+        for (std::uint32_t i = 0; i < rec.dep_count; ++i)
+          if (lost[deps_pool_[rec.dep_off + i]] != 0) {
             derailed = true;  // its compute is fetching from the corpse
             break;
           }
       if (!derailed) continue;
-      transition(key, rec, TaskState::kWaiting);
+      transition(id, rec, TaskState::kWaiting);
       rec.worker = -1;
       rec.nwaiting = 0;
       bool doomed = false;
-      for (const Key& dep : rec.spec.deps) {
-        TaskRecord& drec = records_.at(dep);
+      for (std::uint32_t i = 0; i < rec.dep_count; ++i) {
+        const KeyId d = deps_pool_[rec.dep_off + i];
+        TaskRecord& drec = records_[d];
         if (drec.state == TaskState::kErred) {
           doomed = true;
           continue;
         }
-        if (lost.count(dep) != 0 || drec.state != TaskState::kMemory) {
+        if (lost[d] != 0 || drec.state != TaskState::kMemory) {
           ++rec.nwaiting;
-          drec.dependents.push_back(key);
+          add_dependent(drec, id);
         }
       }
       ++recovery_.tasks_rerun;
       obs::count("scheduler.recovery.tasks_rerun");
       if (doomed)
-        to_poison.emplace_back(key, "dependency unrecoverable after loss "
-                                    "of worker " +
-                                        std::to_string(w));
+        to_poison.emplace_back(id, "dependency unrecoverable after loss "
+                                   "of worker " +
+                                       std::to_string(w));
       else if (rec.nwaiting == 0)
-        assignable.push_back(key);
+        assignable.push_back(id);
+    } else if (rec.state == TaskState::kExternal &&
+               rec.preferred_worker == w) {
+      // Pending preselection on the dead worker, no data pushed yet:
+      // point it at a survivor so the eventual push/replay lands. (Keys
+      // re-armed in phase 1 already point at a survivor, so this only
+      // catches never-pushed preselections.)
+      rec.preferred_worker = pick_live_worker();
+      ++recovery_.external_rerouted;
+      obs::count("scheduler.recovery.external_rerouted");
     }
   }
   // Phase 3: fail the unrecoverable cones (waiters get kAckErred now
   // instead of hanging on data that will never exist).
-  for (const auto& [key, error] : to_poison) co_await poison_task(key, error);
+  for (const auto& [id, error] : to_poison) co_await poison_task(id, error);
   // Phase 4: queue re-pushes with their producers and arm the deadline
   // that errs a re-armed key out if the producer never replays it. The
   // producers are poked through their notify channels: detection often
   // happens after a producer's final push, when no ack could carry the
   // kAckRepushPending request.
   std::set<int> producers_to_poke;
-  for (const Key& key : rearmed) {
-    TaskRecord& rec = records_.at(key);
+  for (const KeyId id : rearmed) {
+    TaskRecord& rec = records_[id];
     if (rec.state != TaskState::kExternal) continue;
     if (rec.pusher_client >= 0) {
-      repush_[rec.pusher_client].push_back(key);
+      repush_[rec.pusher_client].push_back(id);
       producers_to_poke.insert(rec.pusher_client);
-      engine_->spawn(repush_deadline(key, rec.rearm_epoch));
+      engine_->spawn(repush_deadline(keys_.name(id), rec.rearm_epoch));
     } else {
-      co_await poison_task(key, "external data lost with worker " +
-                                    std::to_string(w) +
-                                    " and no known producer");
+      co_await poison_task(id, "external data lost with worker " +
+                                   std::to_string(w) +
+                                   " and no known producer");
     }
   }
   for (int client : producers_to_poke) notify_producer(client);
   // Phase 5: re-assign everything that is immediately runnable.
-  for (const Key& key : assignable) {
-    TaskRecord& rec = records_.at(key);
-    if (rec.state == TaskState::kWaiting && rec.nwaiting == 0)
-      co_await assign(key);
+  for (const KeyId id : assignable) {
+    TaskRecord& rec = records_[id];
+    if (rec.state == TaskState::kWaiting && rec.nwaiting == 0) push_ready(id);
   }
+  co_await drain_ready();
 }
 
 sim::Co<void> Scheduler::handle_repush_keys(SchedMsg& msg) {
   RepushList list;
   const auto it = repush_.find(msg.sender_client);
   if (it != repush_.end()) {
-    for (const Key& key : it->second) {
-      const auto rit = records_.find(key);
+    for (const KeyId id : it->second) {
+      TaskRecord& rec = records_[id];
       // Skip keys that were replayed, poisoned, or expired meanwhile.
-      if (rit == records_.end() || rit->second.state != TaskState::kExternal)
-        continue;
-      int target = rit->second.spec.preferred_worker;
-      if (target < 0 || dead_workers_.count(target) != 0) {
+      if (rec.state != TaskState::kExternal) continue;
+      int target = rec.preferred_worker;
+      if (target < 0 || worker_is_dead(target)) {
         target = pick_live_worker();
-        rit->second.spec.preferred_worker = target;
+        rec.preferred_worker = target;
       }
-      list.emplace_back(key, target);
+      list.emplace_back(keys_.name(id), target);
     }
     repush_.erase(it);
   }
@@ -847,9 +1029,9 @@ sim::Co<void> Scheduler::handle_repush_keys(SchedMsg& msg) {
 }
 
 sim::Co<void> Scheduler::handle_repush_expired(SchedMsg& msg) {
-  const auto it = records_.find(msg.key);
-  if (it == records_.end()) co_return;
-  TaskRecord& rec = it->second;
+  const KeyId id = keys_.find(msg.key);
+  if (id == kNoKeyId) co_return;
+  TaskRecord& rec = records_[id];
   // The epoch (carried in msg.bytes) guards against expiring a key that
   // was replayed and re-armed again after this deadline was set.
   if (rec.state != TaskState::kExternal || rec.rearm_epoch != msg.bytes)
@@ -857,9 +1039,9 @@ sim::Co<void> Scheduler::handle_repush_expired(SchedMsg& msg) {
   ++recovery_.repush_expired;
   obs::count("scheduler.recovery.repush_expired");
   obs::trace_instant("scheduler", "recovery", "repush_expired:" + msg.key);
-  for (auto& [client, keys] : repush_)
-    keys.erase(std::remove(keys.begin(), keys.end(), msg.key), keys.end());
-  co_await poison_task(msg.key, "external re-push timed out");
+  for (auto& [client, ids] : repush_)
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+  co_await poison_task(id, "external re-push timed out");
 }
 
 void Scheduler::notify_producer(int client) {
@@ -874,9 +1056,9 @@ void Scheduler::notify_producer(int client) {
 sim::Co<void> Scheduler::repush_deadline(Key key, std::uint64_t epoch) {
   co_await engine_->delay(params_.repush_timeout);
   if (stopping_) co_return;
-  const auto it = records_.find(key);
-  if (it == records_.end()) co_return;
-  const TaskRecord& rec = it->second;
+  const KeyId id = keys_.find(key);
+  if (id == kNoKeyId) co_return;
+  const TaskRecord& rec = records_[id];
   if (rec.state != TaskState::kExternal || rec.rearm_epoch != epoch)
     co_return;  // replayed (or re-armed again, with a fresh deadline)
   // Route the expiry through the inbox so the poisoning serializes with

@@ -48,7 +48,7 @@ sim::Co<void> Worker::run() {
         engine_->spawn(handle_compute(std::move(msg.spec), std::move(msg.deps)));
         break;
       case WorkerMsgKind::kReceiveData:
-        store_put(msg.key, std::move(msg.payload));
+        store_put(std::move(msg.key), std::move(msg.payload));
         break;
       case WorkerMsgKind::kGetData:
         engine_->spawn(handle_get_data(std::move(msg)));
@@ -91,14 +91,16 @@ bool Worker::release_key(const Key& key) {
   return true;
 }
 
-void Worker::store_put(const Key& key, Data data) {
+void Worker::store_put(Key key, Data data) {
   bytes_stored_ += data.bytes;
-  const auto old = store_.find(key);
-  if (old != store_.end()) memory_bytes_ -= old->second.bytes;
   memory_bytes_ += data.bytes;
-  store_[key] = std::move(data);
+  // Single probe: try_emplace finds-or-inserts in one hash, and the key
+  // string moves into the store instead of being copied.
+  const auto [slot, fresh] = store_.try_emplace(std::move(key));
+  if (!fresh) memory_bytes_ -= slot->second.bytes;
+  slot->second = std::move(data);
   record_memory();
-  const auto it = arrivals_.find(key);
+  const auto it = arrivals_.find(slot->first);
   if (it != arrivals_.end()) {
     it->second->set();
     arrivals_.erase(it);
@@ -188,7 +190,7 @@ sim::Co<void> Worker::handle_compute(TaskSpec spec,
     }
     done.bytes = out.bytes;
     if (span.active()) span.add_arg(obs::arg("bytes", out.bytes));
-    store_put(spec.key, std::move(out));
+    store_put(std::move(spec.key), std::move(out));  // done.key copied above
     ++tasks_executed_;
   } catch (const std::exception& e) {
     done.erred = true;
