@@ -1,0 +1,505 @@
+// Data-plane fast-path microbench: the three legs of the PR measured
+// against the pre-PR path in the same process and the same window.
+//
+//   kernels   WALL-CLOCK throughput of NDArray extract / insert /
+//             reshape_2d (contiguous-run strided copies) vs an
+//             element-wise oracle that re-creates the old per-element
+//             for_each_index + at() path. Results are asserted
+//             byte-identical before timing is reported.
+//   fetch     SIMULATED seconds for one task with 8 remote dependencies
+//             under max_concurrent_fetches = 1 (the old strictly
+//             sequential worker loop) vs 8 (overlapped fetches).
+//   push      SIMULATED seconds + scheduler registration-RPC count for a
+//             bridge-style push of many blocks: per-block scatter loop
+//             vs one coalesced scatter_batch per target worker.
+//   heat2d    End-to-end functional run (real Heat2D data, real IPCA)
+//             A/B on the fetch knob; asserts the singular values are
+//             identical, so the fast path changes time, not answers.
+//
+// Emits BENCH_dataplane.json so later PRs can track the trajectory.
+//
+// Usage: micro_dataplane [--repeat N] [--out BENCH_dataplane.json]
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "deisa/array/ndarray.hpp"
+#include "deisa/dts/runtime.hpp"
+#include "deisa/harness/scenario.hpp"
+#include "deisa/util/table.hpp"
+
+namespace arr = deisa::array;
+namespace dts = deisa::dts;
+namespace harness = deisa::harness;
+namespace net = deisa::net;
+namespace sim = deisa::sim;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------
+// Section 1: NDArray kernels, fast path vs element-wise oracle.
+// ---------------------------------------------------------------------
+
+/// Visit every index of `box` (half-open), calling f(idx). This is the
+/// shape of the pre-PR NDArray loops: one odometer step and one
+/// offset_of() bounds-checked multiply-add chain per element.
+template <typename F>
+void for_each_index(const arr::Box& box, F&& f) {
+  if (box.volume() == 0) return;
+  arr::Index idx = box.lo;
+  const std::size_t nd = idx.size();
+  while (true) {
+    f(idx);
+    std::size_t d = nd;
+    while (d-- > 0) {
+      if (++idx[d] < box.hi[d]) break;
+      idx[d] = box.lo[d];
+      if (d == 0) return;
+    }
+  }
+}
+
+arr::NDArray oracle_extract(const arr::NDArray& a, const arr::Box& box) {
+  arr::Index out_shape(box.ndim());
+  for (std::size_t d = 0; d < box.ndim(); ++d) out_shape[d] = box.extent(d);
+  arr::NDArray out(out_shape);
+  arr::Index rel(box.ndim());
+  for_each_index(box, [&](const arr::Index& idx) {
+    for (std::size_t d = 0; d < idx.size(); ++d) rel[d] = idx[d] - box.lo[d];
+    out.at(rel) = a.at(idx);
+  });
+  return out;
+}
+
+void oracle_insert(arr::NDArray& a, const arr::Box& box,
+                   const arr::NDArray& src) {
+  arr::Index rel(box.ndim());
+  for_each_index(box, [&](const arr::Index& idx) {
+    for (std::size_t d = 0; d < idx.size(); ++d) rel[d] = idx[d] - box.lo[d];
+    a.at(idx) = src.at(rel);
+  });
+}
+
+arr::NDArray oracle_reshape_2d(const arr::NDArray& a,
+                               const std::vector<std::size_t>& row_dims) {
+  std::vector<bool> is_row(a.ndim(), false);
+  for (std::size_t d : row_dims) is_row[d] = true;
+  std::vector<std::size_t> col_dims;
+  for (std::size_t d = 0; d < a.ndim(); ++d)
+    if (!is_row[d]) col_dims.push_back(d);
+  std::int64_t nrows = 1;
+  for (std::size_t d : row_dims) nrows *= a.shape()[d];
+  std::int64_t ncols = 1;
+  for (std::size_t d : col_dims) ncols *= a.shape()[d];
+  arr::NDArray out(arr::Index{nrows, ncols});
+  arr::Box all(arr::Index(a.ndim(), 0), a.shape());
+  arr::Index rc(2);
+  for_each_index(all, [&](const arr::Index& idx) {
+    std::int64_t r = 0;
+    for (std::size_t d : row_dims) r = r * a.shape()[d] + idx[d];
+    std::int64_t c = 0;
+    for (std::size_t d : col_dims) c = c * a.shape()[d] + idx[d];
+    rc[0] = r;
+    rc[1] = c;
+    out.at(rc) = a.at(idx);
+  });
+  return out;
+}
+
+bool identical(const arr::NDArray& a, const arr::NDArray& b) {
+  if (a.shape() != b.shape()) return false;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i)
+    if (fa[i] != fb[i]) return false;
+  return true;
+}
+
+struct KernelResult {
+  std::string name;
+  std::uint64_t bytes = 0;  // bytes moved per call
+  double fast_seconds = 0.0;
+  double oracle_seconds = 0.0;
+
+  double fast_mbps() const { return bytes / fast_seconds / 1e6; }
+  double oracle_mbps() const { return bytes / oracle_seconds / 1e6; }
+  double speedup() const { return oracle_seconds / fast_seconds; }
+};
+
+std::vector<KernelResult> run_kernels(int repeat) {
+  // 32 MiB source: 64 planes of 256x256 doubles. The extract/insert box
+  // is a large interior region spanning the full innermost dimension, so
+  // the fast path degenerates to row-length std::copy runs — the common
+  // shape of a contract selection over whole chunk rows.
+  const arr::Index shape{64, 256, 256};
+  arr::NDArray a(shape);
+  {
+    auto f = a.flat();
+    for (std::size_t i = 0; i < f.size(); ++i)
+      f[i] = static_cast<double>(i % 8191) * 0.5;
+  }
+  const arr::Box box(arr::Index{8, 16, 0}, arr::Index{56, 240, 256});
+  const std::uint64_t box_bytes =
+      static_cast<std::uint64_t>(box.volume()) * sizeof(double);
+
+  std::vector<KernelResult> out;
+
+  // A few untimed calls first: the first allocations of the ~21 MiB
+  // outputs go through fresh mmap'd pages (kernel zeroing + faults)
+  // until the allocator's adaptive threshold settles; both paths would
+  // pay it, but it swamps the copy being measured.
+  for (int w = 0; w < 3; ++w) {
+    (void)a.extract(box);
+    (void)oracle_extract(a, box);
+    (void)a.reshape_2d({0});
+    (void)oracle_reshape_2d(a, {0});
+  }
+
+  // extract -------------------------------------------------------------
+  {
+    KernelResult r{"extract", box_bytes};
+    r.fast_seconds = std::numeric_limits<double>::infinity();
+    r.oracle_seconds = std::numeric_limits<double>::infinity();
+    arr::NDArray fast, oracle;
+    for (int rep = 0; rep < repeat; ++rep) {
+      auto t0 = Clock::now();
+      fast = a.extract(box);
+      r.fast_seconds = std::min(r.fast_seconds, seconds_since(t0));
+      t0 = Clock::now();
+      oracle = oracle_extract(a, box);
+      r.oracle_seconds = std::min(r.oracle_seconds, seconds_since(t0));
+    }
+    DEISA_CHECK(identical(fast, oracle), "extract mismatch vs oracle");
+    out.push_back(r);
+  }
+
+  // insert --------------------------------------------------------------
+  {
+    KernelResult r{"insert", box_bytes};
+    r.fast_seconds = std::numeric_limits<double>::infinity();
+    r.oracle_seconds = std::numeric_limits<double>::infinity();
+    const arr::NDArray patch = a.extract(box);
+    arr::NDArray fast(shape), oracle(shape);
+    for (int rep = 0; rep < repeat; ++rep) {
+      auto t0 = Clock::now();
+      fast.insert(box, patch);
+      r.fast_seconds = std::min(r.fast_seconds, seconds_since(t0));
+      t0 = Clock::now();
+      oracle_insert(oracle, box, patch);
+      r.oracle_seconds = std::min(r.oracle_seconds, seconds_since(t0));
+    }
+    DEISA_CHECK(identical(fast, oracle), "insert mismatch vs oracle");
+    out.push_back(r);
+  }
+
+  // reshape_2d ----------------------------------------------------------
+  {
+    KernelResult r{"reshape_2d", a.bytes()};
+    r.fast_seconds = std::numeric_limits<double>::infinity();
+    r.oracle_seconds = std::numeric_limits<double>::infinity();
+    const std::vector<std::size_t> row_dims{0};
+    arr::NDArray fast, oracle;
+    for (int rep = 0; rep < repeat; ++rep) {
+      auto t0 = Clock::now();
+      fast = a.reshape_2d(row_dims);
+      r.fast_seconds = std::min(r.fast_seconds, seconds_since(t0));
+      t0 = Clock::now();
+      oracle = oracle_reshape_2d(a, row_dims);
+      r.oracle_seconds = std::min(r.oracle_seconds, seconds_since(t0));
+    }
+    DEISA_CHECK(identical(fast, oracle), "reshape_2d mismatch vs oracle");
+    out.push_back(r);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Section 2: overlapped dependency fetches (simulated time).
+// ---------------------------------------------------------------------
+
+constexpr int kFetchDeps = 8;
+/// Two regimes: small deps (partial reductions, IPCA factors) are
+/// latency-bound — overlap collapses 8 request round-trips into ~1.
+/// Large deps are bandwidth-bound on the consumer's ingress link, which
+/// the network model serializes — overlap must NOT make them slower.
+constexpr std::uint64_t kFetchSmallBytes = 64ull << 10;  // 64 KiB per dep
+constexpr std::uint64_t kFetchLargeBytes = 8ull << 20;   // 8 MiB per dep
+
+struct Fixture {
+  sim::Engine eng;
+  std::unique_ptr<net::Cluster> cluster;
+  std::unique_ptr<dts::Runtime> rt;
+  dts::Client* client = nullptr;
+
+  /// `paper_sched=false` zeroes the modelled Python-scheduler service so
+  /// the window isolates the worker data plane (the fetch section);
+  /// `true` keeps the paper-calibrated service model, which IS the
+  /// per-RPC overhead the coalesced push avoids (the push section).
+  Fixture(int workers, int max_concurrent_fetches, bool paper_sched = false) {
+    net::ClusterParams cp;
+    cp.physical_nodes = workers + 4;
+    cluster = std::make_unique<net::Cluster>(eng, cp);
+    std::vector<int> wn;
+    for (int i = 0; i < workers; ++i) wn.push_back(2 + i);
+    dts::RuntimeParams rp;
+    if (!paper_sched) {
+      rp.scheduler.service_base = 1e-9;
+      rp.scheduler.service_per_task = 0;
+      rp.scheduler.service_per_key = 0;
+    }
+    rp.worker.heartbeat_interval = 0;
+    rp.worker.max_concurrent_fetches = max_concurrent_fetches;
+    rt = std::make_unique<dts::Runtime>(eng, *cluster, 0, wn, rp);
+    rt->start();
+    client = &rt->make_client(1);
+  }
+};
+
+sim::Co<void> fetch_flow(Fixture& fx, std::uint64_t dep_bytes,
+                         double& fetch_seconds) {
+  // One dep per worker 0..kFetchDeps-1; the consumer is pinned to the
+  // last worker, so every dependency is a remote peer fetch.
+  std::vector<dts::Key> deps;
+  for (int i = 0; i < kFetchDeps; ++i) {
+    dts::Key k = "dep" + std::to_string(i);
+    (void)co_await fx.client->scatter(k, dts::Data::sized(dep_bytes), i);
+    deps.push_back(std::move(k));
+  }
+  const double t0 = fx.eng.now();
+  std::vector<dts::TaskSpec> tasks;
+  tasks.emplace_back("reduce", deps, dts::TaskFn{}, /*cost=*/0.0,
+                     /*out_bytes=*/64, /*preferred_worker=*/kFetchDeps);
+  co_await fx.client->submit(std::move(tasks));
+  (void)co_await fx.client->wait_key("reduce");
+  fetch_seconds = fx.eng.now() - t0;
+  co_await fx.rt->shutdown();
+}
+
+double run_fetch(std::uint64_t dep_bytes, int max_concurrent_fetches) {
+  Fixture fx(kFetchDeps + 1, max_concurrent_fetches);
+  double fetch_seconds = 0.0;
+  fx.eng.spawn(fetch_flow(fx, dep_bytes, fetch_seconds));
+  fx.eng.run();
+  return fetch_seconds;
+}
+
+struct FetchResult {
+  std::uint64_t dep_bytes = 0;
+  double sequential = 0.0;
+  double overlapped = 0.0;
+  double speedup() const { return sequential / overlapped; }
+};
+
+FetchResult run_fetch_regime(std::uint64_t dep_bytes) {
+  FetchResult r;
+  r.dep_bytes = dep_bytes;
+  r.sequential = run_fetch(dep_bytes, 1);
+  r.overlapped = run_fetch(dep_bytes, 8);
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Section 3: coalesced bridge pushes (simulated time + RPC count).
+// ---------------------------------------------------------------------
+
+constexpr int kPushWorkers = 4;
+constexpr int kPushBlocks = 64;
+constexpr std::uint64_t kPushBlockBytes = 1ull << 20;  // 1 MiB per block
+
+struct PushResult {
+  double seconds = 0.0;
+  std::uint64_t update_rpcs = 0;
+};
+
+sim::Co<void> push_flow(Fixture& fx, bool coalesced, PushResult& out) {
+  std::vector<dts::Key> keys;
+  std::vector<int> targets;
+  for (int i = 0; i < kPushBlocks; ++i) {
+    keys.push_back("blk" + std::to_string(i));
+    targets.push_back(i % kPushWorkers);
+  }
+  co_await fx.client->external_futures(keys, targets);
+  const double t0 = fx.eng.now();
+  if (coalesced) {
+    std::map<int, std::vector<std::pair<dts::Key, dts::Data>>> by_worker;
+    for (int i = 0; i < kPushBlocks; ++i)
+      by_worker[targets[i]].emplace_back(keys[i],
+                                         dts::Data::sized(kPushBlockBytes));
+    for (auto& [worker, items] : by_worker)
+      (void)co_await fx.client->scatter_batch(std::move(items), worker,
+                                              /*external=*/true);
+  } else {
+    for (int i = 0; i < kPushBlocks; ++i)
+      (void)co_await fx.client->scatter(keys[i],
+                                        dts::Data::sized(kPushBlockBytes),
+                                        targets[i], /*external=*/true);
+  }
+  out.seconds = fx.eng.now() - t0;
+  out.update_rpcs =
+      fx.rt->scheduler().messages_received(dts::SchedMsgKind::kUpdateData);
+  co_await fx.rt->shutdown();
+}
+
+PushResult run_push(bool coalesced) {
+  Fixture fx(kPushWorkers, /*max_concurrent_fetches=*/8,
+             /*paper_sched=*/true);
+  PushResult out;
+  fx.eng.spawn(push_flow(fx, coalesced, out));
+  fx.eng.run();
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Section 4: heat2d end-to-end A/B on the fetch knob (real data).
+// ---------------------------------------------------------------------
+
+struct E2eResult {
+  double analytics_seq = 0.0;      // max_concurrent_fetches = 1
+  double analytics_overlap = 0.0;  // default (8)
+  bool identical_results = false;
+};
+
+E2eResult run_heat2d() {
+  harness::ScenarioParams p;
+  p.ranks = 8;
+  p.workers = 4;
+  p.block_bytes = 32 * 32 * sizeof(double);
+  p.timesteps = 4;
+  p.real_data = true;
+  p.max_concurrent_fetches = 1;
+  const harness::RunResult seq =
+      harness::run_scenario(harness::Pipeline::kDeisa3, p);
+  p.max_concurrent_fetches = 8;
+  const harness::RunResult overlap =
+      harness::run_scenario(harness::Pipeline::kDeisa3, p);
+  E2eResult r;
+  r.analytics_seq = seq.analytics_seconds;
+  r.analytics_overlap = overlap.analytics_seconds;
+  r.identical_results = seq.singular_values == overlap.singular_values &&
+                        !seq.singular_values.empty();
+  return r;
+}
+
+// ---------------------------------------------------------------------
+
+void write_json(const std::string& path,
+                const std::vector<KernelResult>& kernels,
+                const std::vector<FetchResult>& fetches,
+                const PushResult& push_loop, const PushResult& push_batch,
+                const E2eResult& e2e, int repeat) {
+  std::ofstream f(path);
+  f << "{\n  \"bench\": \"micro_dataplane\",\n  \"repeat\": " << repeat
+    << ",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelResult& r = kernels[i];
+    f << "    {\"name\": \"" << r.name << "\", \"bytes\": " << r.bytes
+      << ", \"fast_mbps\": " << r.fast_mbps()
+      << ", \"oracle_mbps\": " << r.oracle_mbps()
+      << ", \"speedup\": " << r.speedup() << "}"
+      << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  f << "  ],\n  \"fetch\": [\n";
+  for (std::size_t i = 0; i < fetches.size(); ++i) {
+    const FetchResult& r = fetches[i];
+    f << "    {\"deps\": " << kFetchDeps << ", \"dep_bytes\": " << r.dep_bytes
+      << ", \"sequential_sim_seconds\": " << r.sequential
+      << ", \"overlapped_sim_seconds\": " << r.overlapped
+      << ", \"speedup\": " << r.speedup() << "}"
+      << (i + 1 < fetches.size() ? "," : "") << "\n";
+  }
+  f << "  ],\n";
+  f << "  \"push\": {\"blocks\": " << kPushBlocks
+    << ", \"workers\": " << kPushWorkers
+    << ", \"per_block_sim_seconds\": " << push_loop.seconds
+    << ", \"per_block_update_rpcs\": " << push_loop.update_rpcs
+    << ", \"coalesced_sim_seconds\": " << push_batch.seconds
+    << ", \"coalesced_update_rpcs\": " << push_batch.update_rpcs
+    << ", \"speedup\": " << push_loop.seconds / push_batch.seconds << "},\n";
+  f << "  \"heat2d\": {\"analytics_sequential_seconds\": " << e2e.analytics_seq
+    << ", \"analytics_overlapped_seconds\": " << e2e.analytics_overlap
+    << ", \"identical_results\": "
+    << (e2e.identical_results ? "true" : "false") << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeat = 10;
+  std::string out = "BENCH_dataplane.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--repeat" && i + 1 < argc) {
+      repeat = std::stoi(argv[++i]);
+    } else if (a == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::cerr << "usage: micro_dataplane [--repeat N] [--out file.json]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<KernelResult> kernels = run_kernels(repeat);
+  deisa::util::Table kt(
+      {"kernel", "MiB", "fast MB/s", "oracle MB/s", "speedup"});
+  for (const KernelResult& r : kernels)
+    kt.add_row({r.name,
+                deisa::util::Table::num(r.bytes / double(1 << 20), 1),
+                deisa::util::Table::num(r.fast_mbps(), 0),
+                deisa::util::Table::num(r.oracle_mbps(), 0),
+                deisa::util::Table::num(r.speedup(), 1) + "x"});
+  std::cout << "\n=== NDArray kernels: contiguous runs vs element-wise "
+               "oracle (wall-clock, byte-identical) ===\n";
+  kt.print(std::cout);
+
+  const std::vector<FetchResult> fetches = {
+      run_fetch_regime(kFetchSmallBytes), run_fetch_regime(kFetchLargeBytes)};
+  std::cout << "\n=== dependency fetches: 1 task, " << kFetchDeps
+            << " remote deps (simulated) ===\n";
+  deisa::util::Table ft(
+      {"dep size", "sequential ms", "overlapped ms", "speedup"});
+  for (const FetchResult& r : fetches)
+    ft.add_row({deisa::util::Table::num(r.dep_bytes / 1024.0, 0) + " KiB",
+                deisa::util::Table::num(r.sequential * 1e3, 3),
+                deisa::util::Table::num(r.overlapped * 1e3, 3),
+                deisa::util::Table::num(r.speedup(), 2) + "x"});
+  ft.print(std::cout);
+
+  const PushResult push_loop = run_push(/*coalesced=*/false);
+  const PushResult push_batch = run_push(/*coalesced=*/true);
+  std::cout << "\n=== bridge push: " << kPushBlocks << " blocks -> "
+            << kPushWorkers << " workers (simulated) ===\n"
+            << "per-block scatter: "
+            << deisa::util::Table::num(push_loop.seconds * 1e3, 2) << " ms, "
+            << push_loop.update_rpcs << " registration RPCs\n"
+            << "coalesced batch:   "
+            << deisa::util::Table::num(push_batch.seconds * 1e3, 2) << " ms, "
+            << push_batch.update_rpcs << " registration RPCs  ("
+            << deisa::util::Table::num(push_loop.seconds / push_batch.seconds,
+                                       2)
+            << "x)\n";
+
+  const E2eResult e2e = run_heat2d();
+  std::cout << "\n=== heat2d end-to-end (real data, DEISA3) ===\n"
+            << "analytics, sequential fetches: "
+            << deisa::util::Table::num(e2e.analytics_seq, 3) << " s\n"
+            << "analytics, overlapped fetches: "
+            << deisa::util::Table::num(e2e.analytics_overlap, 3) << " s\n"
+            << "singular values identical: "
+            << (e2e.identical_results ? "yes" : "NO — REGRESSION") << "\n";
+
+  write_json(out, kernels, fetches, push_loop, push_batch, e2e, repeat);
+  std::cout << "\nwrote " << out << "\n";
+  return e2e.identical_results ? 0 : 1;
+}

@@ -43,6 +43,13 @@ public:
   std::span<double> flat() { return data_; }
   std::span<const double> flat() const { return data_; }
 
+  /// Raw contiguous storage (row-major), for kernels that stream whole
+  /// rows/planes without per-element index arithmetic.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  /// Row-major strides, one per dimension (innermost is 1).
+  const Index& strides() const { return strides_; }
+
   /// Copy out the sub-box (box given in this array's local coordinates).
   NDArray extract(const Box& box) const;
   /// Write `src` into the sub-box (shapes must match).

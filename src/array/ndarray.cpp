@@ -62,55 +62,100 @@ double NDArray::at(std::span<const std::int64_t> idx) const {
 }
 
 namespace {
-/// Iterate all indices of a box, calling fn(local_index_in_box).
-template <typename Fn>
-void for_each_index(const Box& box, Fn&& fn) {
-  const std::size_t nd = box.ndim();
-  if (box.volume() == 0) return;
-  Index idx = box.lo;
+
+/// Strided n-d copy: move `extents`-shaped data from `src` (strides
+/// `sstr`) to `dst` (strides `dstr`). Trailing dimensions where both
+/// sides are unit-stride-contiguous are coalesced into one run copied
+/// with std::copy; the innermost remaining dimension runs as a tight
+/// two-pointer loop; outer dimensions advance by an incremental
+/// odometer. All three NDArray bulk kernels (extract/insert/reshape_2d)
+/// reduce to this, so the bounds are validated once by the caller and
+/// never per element.
+void copy_strided(const double* src, double* dst, const Index& extents,
+                  const Index& sstr, const Index& dstr) {
+  std::size_t nd = extents.size();
+  for (std::int64_t e : extents)
+    if (e == 0) return;
+  // Coalesce trailing contiguous dims (both sides) into one run.
+  std::int64_t run = 1;
+  while (nd > 0 && sstr[nd - 1] == run && dstr[nd - 1] == run) {
+    run *= extents[nd - 1];
+    --nd;
+  }
+  if (nd == 0) {
+    std::copy(src, src + run, dst);
+    return;
+  }
+  const std::int64_t inner_n = extents[nd - 1];
+  const std::int64_t inner_s = sstr[nd - 1];
+  const std::int64_t inner_d = dstr[nd - 1];
+  Index idx(nd, 0);  // odometer over dims [0, nd-1); idx[nd-1] unused
+  const double* s = src;
+  double* d = dst;
   while (true) {
-    fn(idx);
-    std::size_t d = nd;
-    while (d-- > 0) {
-      if (++idx[d] < box.hi[d]) break;
-      idx[d] = box.lo[d];
-      if (d == 0) return;
+    if (run == 1) {
+      const double* sp = s;
+      double* dp = d;
+      for (std::int64_t i = 0; i < inner_n; ++i) {
+        *dp = *sp;
+        sp += inner_s;
+        dp += inner_d;
+      }
+    } else {
+      const double* sp = s;
+      double* dp = d;
+      for (std::int64_t i = 0; i < inner_n; ++i) {
+        std::copy(sp, sp + run, dp);
+        sp += inner_s;
+        dp += inner_d;
+      }
     }
-    if (nd == 0) return;
+    if (nd == 1) return;
+    std::size_t k = nd - 1;
+    while (k-- > 0) {
+      s += sstr[k];
+      d += dstr[k];
+      if (++idx[k] < extents[k]) break;
+      s -= sstr[k] * extents[k];
+      d -= dstr[k] * extents[k];
+      idx[k] = 0;
+      if (k == 0) return;
+    }
   }
 }
+
 }  // namespace
 
 NDArray NDArray::extract(const Box& box) const {
   DEISA_CHECK(box.ndim() == ndim(), "extract box rank mismatch");
   Index out_shape(ndim());
+  std::int64_t src_off = 0;
   for (std::size_t d = 0; d < ndim(); ++d) {
     DEISA_CHECK(box.lo[d] >= 0 && box.hi[d] <= shape_[d],
                 "extract box out of range in dim " << d);
     out_shape[d] = box.extent(d);
+    src_off += box.lo[d] * strides_[d];
   }
   NDArray out(out_shape);
-  Index local(ndim());
-  for_each_index(box, [&](const Index& idx) {
-    for (std::size_t d = 0; d < idx.size(); ++d) local[d] = idx[d] - box.lo[d];
-    out.at(local) = at(idx);
-  });
+  if (out.data_.empty()) return out;
+  copy_strided(data_.data() + src_off, out.data_.data(), out_shape, strides_,
+               out.strides_);
   return out;
 }
 
 void NDArray::insert(const Box& box, const NDArray& src) {
   DEISA_CHECK(box.ndim() == ndim(), "insert box rank mismatch");
+  std::int64_t dst_off = 0;
   for (std::size_t d = 0; d < ndim(); ++d) {
     DEISA_CHECK(box.extent(d) == src.shape()[d],
                 "insert shape mismatch in dim " << d);
     DEISA_CHECK(box.lo[d] >= 0 && box.hi[d] <= shape_[d],
                 "insert box out of range in dim " << d);
+    dst_off += box.lo[d] * strides_[d];
   }
-  Index local(ndim());
-  for_each_index(box, [&](const Index& idx) {
-    for (std::size_t d = 0; d < idx.size(); ++d) local[d] = idx[d] - box.lo[d];
-    at(idx) = src.at(local);
-  });
+  if (src.data_.empty()) return;
+  copy_strided(src.data_.data(), data_.data() + dst_off, src.shape_,
+               src.strides_, strides_);
 }
 
 NDArray NDArray::reshape_2d(const std::vector<std::size_t>& row_dims) const {
@@ -129,17 +174,24 @@ NDArray NDArray::reshape_2d(const std::vector<std::size_t>& row_dims) const {
   for (std::size_t d : col_dims) ncols *= shape_[d];
 
   NDArray out(Index{nrows, ncols});
-  Box all;
-  all.lo.assign(ndim(), 0);
-  all.hi = shape_;
-  for_each_index(all, [&](const Index& idx) {
-    std::int64_t r = 0;
-    for (std::size_t d : row_dims) r = r * shape_[d] + idx[d];
-    std::int64_t c = 0;
-    for (std::size_t d : col_dims) c = c * shape_[d] + idx[d];
-    const Index rc{r, c};
-    out.at(rc) = at(idx);
-  });
+  if (out.data_.empty()) return out;
+  // Per-input-dim stride into the flat 2D output: row dims step by the
+  // remaining row extents times ncols, col dims by the remaining col
+  // extents. The input side is the full array (contiguous strides_), so
+  // the copy degenerates to a memcpy whenever row_dims is an in-order
+  // prefix of the dims and to long runs otherwise.
+  Index out_strides(ndim(), 0);
+  std::int64_t rs = ncols;
+  for (std::size_t i = row_dims.size(); i-- > 0;) {
+    out_strides[row_dims[i]] = rs;
+    rs *= shape_[row_dims[i]];
+  }
+  std::int64_t cs = 1;
+  for (std::size_t i = col_dims.size(); i-- > 0;) {
+    out_strides[col_dims[i]] = cs;
+    cs *= shape_[col_dims[i]];
+  }
+  copy_strided(data_.data(), out.data_.data(), shape_, strides_, out_strides);
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "deisa/core/bridge.hpp"
 
+#include <map>
+
 #include "deisa/obs/metrics.hpp"
 #include "deisa/obs/trace.hpp"
 
@@ -93,6 +95,64 @@ sim::Co<bool> Bridge::send_block(const VirtualArray& va,
   }
   co_await handle_ack(ack);
   co_return true;
+}
+
+sim::Co<std::size_t> Bridge::send_blocks(
+    const VirtualArray& va,
+    std::vector<std::pair<array::Index, dts::Data>> blocks) {
+  DEISA_CHECK(has_contract_, "bridges must wait for the contract first");
+  DEISA_CHECK(uses_external_tasks(mode_),
+              "send_blocks is the DEISA2/3 path; DEISA1 uses "
+              "deisa1_send_block");
+  // Filter against the contract and group the survivors by preselected
+  // worker (ordered map: deterministic push order across runs).
+  std::map<int, std::vector<std::pair<dts::Key, dts::Data>>> by_worker;
+  for (auto& [coord, data] : blocks) {
+    if (!contract_.includes(va, coord)) {
+      ++blocks_filtered_;
+      obs::count("bridge.blocks_filtered");
+      obs::trace_instant("bridge", bridge_lane(rank_), "filtered:" + va.name);
+      continue;
+    }
+    // Copy the rendered key: the builder's buffer is reused per render.
+    dts::Key key = chunk_key_for(va, coord);
+    remember_block(key, data);
+    by_worker[preselect_worker(va, coord)].emplace_back(std::move(key),
+                                                        std::move(data));
+  }
+  std::size_t sent = 0;
+  bool repush_pending = false;
+  for (auto& [worker, items] : by_worker) {
+    const std::size_t n = items.size();
+    std::uint64_t bytes = 0;
+    for (const auto& [key, data] : items) bytes += data.bytes;
+    obs::Span span = obs::trace_span("bridge", bridge_lane(rank_),
+                                     "batch->w" + std::to_string(worker));
+    if (span.active()) {
+      span.add_arg(obs::arg("blocks", static_cast<std::uint64_t>(n)));
+      span.add_arg(obs::arg("bytes", bytes));
+    }
+    const std::vector<int> acks = co_await client_->scatter_batch(
+        std::move(items), worker, /*external=*/true);
+    span.finish();
+    sent += n;
+    blocks_sent_ += n;
+    if (auto* m = obs::metrics()) {
+      m->counter("bridge.blocks_sent").add(n);
+      m->counter("bridge.bytes_sent").add(bytes);
+      m->counter("bridge.batched_pushes").add();
+    }
+    for (const int ack : acks) {
+      if (ack == dts::kAckDiscarded) {
+        ++blocks_discarded_;
+        obs::count("bridge.blocks_discarded");
+      } else if (ack == dts::kAckRepushPending) {
+        repush_pending = true;
+      }
+    }
+  }
+  if (repush_pending) co_await run_repush();
+  co_return sent;
 }
 
 void Bridge::remember_block(const dts::Key& key, const dts::Data& data) {

@@ -44,6 +44,17 @@ public:
   sim::Co<bool> send_block(const VirtualArray& va, const array::Index& coord,
                            dts::Data data);
 
+  /// Coalesced DEISA2/3 data path: filter every block this rank produced
+  /// in one timestep against the contract, group the survivors by
+  /// preselected worker, and push each group as ONE bulk transfer plus
+  /// ONE batched registration RPC — per-push control overhead is paid
+  /// once per (rank, worker, timestep) instead of once per block.
+  /// Per-key acks get the same discard/re-push handling as send_block's.
+  /// Returns the number of blocks sent (excluding filtered ones).
+  sim::Co<std::size_t> send_blocks(
+      const VirtualArray& va,
+      std::vector<std::pair<array::Index, dts::Data>> blocks);
+
   /// Heartbeat loop at the mode's interval (DEISA3: returns immediately).
   sim::Co<void> run_heartbeats(sim::Event& stop);
 

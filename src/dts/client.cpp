@@ -51,7 +51,7 @@ sim::Co<int> Client::scatter(Key key, Data data, int worker, bool external,
   DEISA_CHECK(worker >= 0 && static_cast<std::size_t>(worker) < workers_.size(),
               "scatter to unknown worker " << worker);
   const WorkerRef& ref = workers_[static_cast<std::size_t>(worker)];
-  const std::uint64_t bytes = std::max<std::uint64_t>(data.bytes, 64);
+  const std::uint64_t bytes = std::max(data.bytes, kMinTransferBytes);
   // 1) bulk payload straight to the worker ...
   co_await cluster_->transfer(node_, ref.node, bytes);
   WorkerMsg push(WorkerMsgKind::kReceiveData);
@@ -73,6 +73,35 @@ sim::Co<int> Client::scatter(Key key, Data data, int worker, bool external,
     co_return co_await ack->recv();
   }
   co_return worker;
+}
+
+sim::Co<std::vector<int>> Client::scatter_batch(
+    std::vector<std::pair<Key, Data>> items, int worker, bool external) {
+  if (items.empty()) co_return std::vector<int>();
+  DEISA_CHECK(worker >= 0 && static_cast<std::size_t>(worker) < workers_.size(),
+              "scatter to unknown worker " << worker);
+  const WorkerRef& ref = workers_[static_cast<std::size_t>(worker)];
+  // 1) One bulk transfer for the whole batch: the payloads share a single
+  // wire frame instead of paying the per-message floor each.
+  std::uint64_t total = 0;
+  for (const auto& [key, data] : items) total += data.bytes;
+  co_await cluster_->transfer(node_, ref.node, std::max(total, kMinTransferBytes));
+  SchedMsg reg(SchedMsgKind::kUpdateData);
+  reg.worker = worker;
+  reg.external = external;
+  for (const auto& [key, data] : items) {
+    reg.keys.push_back(key);
+    reg.sizes.push_back(data.bytes);
+  }
+  WorkerMsg push(WorkerMsgKind::kReceiveDataBatch);
+  push.batch = std::move(items);
+  ref.inbox->send(std::move(push));
+  // 2) One batched registration RPC; per-key acks come back together.
+  auto acks = std::make_shared<sim::Channel<std::vector<int>>>(*engine_);
+  reg.reply_acks = acks;
+  reg.notify = notify_;
+  co_await send_to_scheduler(std::move(reg));
+  co_return co_await acks->recv();
 }
 
 sim::Co<RepushList> Client::repush_keys() {
@@ -98,7 +127,8 @@ sim::Co<Data> Client::gather(const Key& key) {
   const int worker = co_await wait_key(key);
   const WorkerRef& ref = workers_[static_cast<std::size_t>(worker)];
   auto reply = std::make_shared<sim::Channel<Data>>(*engine_);
-  co_await cluster_->send_control(node_, ref.node, 128 + key.size());
+  co_await cluster_->send_control(node_, ref.node,
+                                  kControlMsgBase + key.size());
   WorkerMsg req(WorkerMsgKind::kGetData);
   req.key = key;
   req.requester_node = node_;

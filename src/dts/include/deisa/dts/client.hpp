@@ -59,6 +59,14 @@ public:
   sim::Co<int> scatter(Key key, Data data, int worker, bool external = false,
                        bool inform_scheduler = true);
 
+  /// Coalesced scatter: push several payloads to ONE worker as a single
+  /// bulk transfer plus a single batched registration RPC, instead of a
+  /// (transfer, kUpdateData, ack) round trip per block. Returns the
+  /// per-key acks in item order, same codes as scatter().
+  sim::Co<std::vector<int>> scatter_batch(
+      std::vector<std::pair<Key, Data>> items, int worker,
+      bool external = false);
+
   /// Drain this producer's pending re-push assignments: lost external
   /// keys the scheduler wants pushed again, each with its re-routed
   /// target worker. Synchronous RPC (see kAckRepushPending).

@@ -12,6 +12,24 @@
 
 namespace deisa::dts {
 
+// ---- wire-cost model constants ----
+// Shared by the workers, clients, the scheduler's metadata serialization
+// model and the bridge push path, so every actor prices the same thing
+// the same way.
+/// Floor on any bulk payload transfer (serialization framing: even an
+/// empty block occupies one frame on the wire).
+inline constexpr std::uint64_t kMinTransferBytes = 64;
+/// Base size of a small control message (request/ack envelope).
+inline constexpr std::uint64_t kControlMsgBase = 128;
+/// Scheduler-message envelope (header + routing metadata).
+inline constexpr std::uint64_t kWireEnvelopeBytes = 512;
+/// Serialized size of one TaskSpec in an update_graph batch.
+inline constexpr std::uint64_t kWirePerTaskBytes = 256;
+/// Serialized size of one dependency edge.
+inline constexpr std::uint64_t kWirePerDepBytes = 48;
+/// Serialized size of one key reference (keys/wants lists).
+inline constexpr std::uint64_t kWirePerKeyBytes = 64;
+
 /// Reference to a worker actor as seen by the scheduler/clients.
 struct WorkerRef {
   WorkerRef() = default;
@@ -97,9 +115,14 @@ struct SchedMsg {
   bool erred = false;
   std::string error;
 
-  // kCreateExternal
+  // kCreateExternal; also batched kUpdateData (coalesced bridge pushes):
+  // a kUpdateData with non-empty `keys` registers every (keys[i],
+  // sizes[i]) pair on `worker` in one message, and replies per-key acks
+  // on `reply_acks` instead of a single code on `reply_worker`.
   std::vector<Key> keys;
   std::vector<int> preferred_workers;
+  std::vector<std::uint64_t> sizes;
+  std::shared_ptr<sim::Channel<std::vector<int>>> reply_acks;
 
   // kVariable* / kQueue*
   std::string name;
@@ -132,8 +155,9 @@ std::uint64_t spec_dep_total(const SchedMsg& msg);
 /// Messages accepted by a worker inbox.
 enum class WorkerMsgKind {
   kCompute,
-  kReceiveData,  // direct push (scatter / bridge send)
-  kGetData,      // peer or client fetch
+  kReceiveData,       // direct push (scatter / bridge send)
+  kReceiveDataBatch,  // coalesced push: several blocks in one message
+  kGetData,           // peer or client fetch
   kShutdown,
 };
 
@@ -151,6 +175,9 @@ struct WorkerMsg {
   Data payload;
   int requester_node = -1;
   std::shared_ptr<sim::Channel<Data>> reply_data;
+
+  // kReceiveDataBatch
+  std::vector<std::pair<Key, Data>> batch;
 };
 
 /// Estimated wire size of a scheduler message (metadata serialization).

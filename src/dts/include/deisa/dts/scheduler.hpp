@@ -213,6 +213,11 @@ private:
   sim::Co<void> handle_update_graph(SchedMsg& msg);
   sim::Co<void> handle_task_finished(SchedMsg& msg);
   sim::Co<void> handle_update_data(SchedMsg& msg);
+  /// Register one pushed/scattered key on `worker` and return the ack
+  /// code. Shared by the single-key path and the coalesced batch path
+  /// (one kUpdateData carrying keys[]/sizes[] for a whole bridge push).
+  sim::Co<int> update_data_one(Key key, int worker, std::uint64_t bytes,
+                               bool external, int sender_client);
   void handle_create_external(SchedMsg& msg);
   sim::Co<void> handle_wait_key(SchedMsg& msg);
   sim::Co<void> handle_cancel(SchedMsg& msg);

@@ -17,6 +17,11 @@ struct WorkerParams {
   int nthreads = 1;
   /// Seconds between heartbeats to the scheduler; <= 0 disables.
   double heartbeat_interval = 1.0;
+  /// Peer dependency fetches a worker keeps in flight at once. Fetches of
+  /// a compute request overlap up to this bound (1 restores the old
+  /// strictly sequential behavior); in-flight fetches of the same key are
+  /// shared, never duplicated.
+  int max_concurrent_fetches = 8;
 };
 
 class Worker {
@@ -46,8 +51,24 @@ public:
 
   // ---- observability ----
   std::uint64_t tasks_executed() const { return tasks_executed_; }
-  /// Cumulative bytes ever stored (throughput measure).
+  /// Cumulative bytes ever stored (throughput measure). Excludes cached
+  /// copies of peer-fetched dependencies — see peer_fetch_cached_bytes().
   std::uint64_t bytes_stored() const { return bytes_stored_; }
+  /// Cumulative bytes cached locally from peer fetches. Kept separate
+  /// from bytes_stored() so dependency traffic does not inflate the
+  /// worker's apparent store throughput.
+  std::uint64_t peer_fetch_cached_bytes() const {
+    return peer_fetch_cached_bytes_;
+  }
+  /// Peer-fetch requests actually sent on the wire (cache hits and
+  /// joined in-flight fetches never issue one).
+  std::uint64_t peer_fetches() const { return peer_fetches_; }
+  /// Fetches satisfied by joining a request already in flight.
+  std::uint64_t peer_fetches_shared() const { return peer_fetches_shared_; }
+  /// Fetches satisfied by an earlier fetch's cached copy.
+  std::uint64_t peer_fetch_cache_hits() const {
+    return peer_fetch_cache_hits_;
+  }
   /// Bytes currently resident in the worker's store.
   std::uint64_t memory_bytes() const { return memory_bytes_; }
   std::size_t keys_in_memory() const { return store_.size(); }
@@ -60,10 +81,24 @@ public:
   sim::Co<Data> local_get(const Key& key);
 
 private:
+  /// One in-flight peer fetch, shared by every task waiting on the key.
+  struct InflightFetch {
+    explicit InflightFetch(sim::Engine& engine) : done(engine) {}
+    sim::Event done;
+    Data data;
+  };
+
   sim::Co<void> handle_compute(TaskSpec spec, std::vector<DepLocation> deps);
   sim::Co<Data> fetch(const DepLocation& dep);
+  /// Fetch one dependency into slot `i` of the shared input vector
+  /// (spawned per dep by handle_compute; joined with when_all).
+  sim::Co<void> fetch_one(std::shared_ptr<std::vector<Data>> inputs,
+                          std::size_t i, DepLocation dep);
   sim::Co<void> handle_get_data(WorkerMsg msg);
   void store_put(Key key, Data data);
+  /// Like store_put, but accounts the bytes as a cached peer copy
+  /// (memory_bytes_ and peer_fetch_cached_bytes_, not bytes_stored_).
+  void store_put_cached(Key key, Data data);
   sim::Co<void> notify_scheduler(
       SchedMsg msg, net::Delivery delivery = net::Delivery::kReliable);
 
@@ -85,8 +120,18 @@ private:
 
   std::unordered_map<Key, Data> store_;
   std::unordered_map<Key, std::unique_ptr<sim::Event>> arrivals_;
+  /// Peer fetches currently on the wire, keyed by the requested key.
+  /// Tasks needing a key already in flight join the existing fetch
+  /// instead of issuing a duplicate request.
+  std::unordered_map<Key, std::shared_ptr<InflightFetch>> inflight_;
+  /// Bounds the number of concurrent outbound peer fetches (NIC model).
+  sim::Semaphore fetch_slots_;
   std::uint64_t tasks_executed_ = 0;
   std::uint64_t bytes_stored_ = 0;
+  std::uint64_t peer_fetch_cached_bytes_ = 0;
+  std::uint64_t peer_fetches_ = 0;
+  std::uint64_t peer_fetches_shared_ = 0;
+  std::uint64_t peer_fetch_cache_hits_ = 0;
   std::uint64_t memory_bytes_ = 0;
   bool stopping_ = false;
   bool alive_ = true;

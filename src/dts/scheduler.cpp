@@ -78,11 +78,12 @@ std::uint64_t spec_dep_total(const SchedMsg& msg) {
 }
 
 std::uint64_t wire_bytes(const SchedMsg& msg) {
-  std::uint64_t b = 512;  // envelope
-  b += msg.tasks.size() * 256;
-  b += spec_dep_total(msg) * 48;
-  b += msg.keys.size() * 64;
-  b += msg.wants.size() * 64;
+  std::uint64_t b = kWireEnvelopeBytes;
+  b += msg.tasks.size() * kWirePerTaskBytes;
+  b += spec_dep_total(msg) * kWirePerDepBytes;
+  b += msg.keys.size() * kWirePerKeyBytes;
+  b += msg.wants.size() * kWirePerKeyBytes;
+  b += msg.sizes.size() * sizeof(std::uint64_t);  // batched push sizes
   b += msg.key.size();
   b += msg.payload.bytes;  // variables/queues carry their payload inline
   return b;
@@ -578,37 +579,37 @@ sim::Co<void> Scheduler::handle_task_finished(SchedMsg& msg) {
   co_await finish_task(id, rec, msg.worker, msg.bytes, msg.erred, msg.error);
 }
 
-sim::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
-  int ack = msg.worker;
-  if (msg.notify != nullptr) producer_notify_[msg.sender_client] = msg.notify;
-  KeyId id = keys_.find(msg.key);
+sim::Co<int> Scheduler::update_data_one(Key key, int worker,
+                                        std::uint64_t bytes, bool external,
+                                        int sender_client) {
+  int ack = worker;
+  KeyId id = keys_.find(key);
   if (id == kNoKeyId) {
-    if (worker_is_dead(msg.worker)) {
+    if (worker_is_dead(worker)) {
       // The scatter raced a worker crash: the payload landed nowhere.
       // Register the key as erred so consumers fail fast instead of
       // waiting on data that does not exist.
-      id = keys_.intern(std::move(msg.key)).first;
+      id = keys_.intern(std::move(key)).first;
       TaskRecord& rec = create_record(id);
       rec.origin = Origin::kScattered;
       rec.state = TaskState::kErred;
-      errors_[id] = "scattered to lost worker " + std::to_string(msg.worker);
+      errors_[id] = "scattered to lost worker " + std::to_string(worker);
       record_created(id, rec);
       ++recovery_.keys_lost;
       obs::count("scheduler.recovery.keys_lost");
       ack = kAckErred;
     } else {
       // Plain scatter of a fresh key: register it directly in memory.
-      id = keys_.intern(std::move(msg.key)).first;
+      id = keys_.intern(std::move(key)).first;
       TaskRecord& rec = create_record(id);
       rec.origin = Origin::kScattered;
       rec.state = TaskState::kMemory;
-      rec.worker = msg.worker;
-      rec.bytes = msg.bytes;
-      rec.pusher_client = msg.sender_client;
+      rec.worker = worker;
+      rec.bytes = bytes;
+      rec.pusher_client = sender_client;
       record_created(id, rec);
-      if (msg.worker >= 0 &&
-          static_cast<std::size_t>(msg.worker) < has_what_.size())
-        has_what_[static_cast<std::size_t>(msg.worker)].insert(id);
+      if (worker >= 0 && static_cast<std::size_t>(worker) < has_what_.size())
+        has_what_[static_cast<std::size_t>(worker)].insert(id);
     }
   } else {
     TaskRecord& rec = records_[id];
@@ -618,37 +619,36 @@ sim::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
         // acknowledge and discard so the producer keeps stepping.
         ++recovery_.stale_update_data;
         obs::count("scheduler.stale.update_data");
-        obs::trace_instant("scheduler", "recovery",
-                           "stale_push:" + msg.key);
+        obs::trace_instant("scheduler", "recovery", "stale_push:" + key);
         ack = kAckDiscarded;
         break;
       case TaskState::kExternal: {
-        DEISA_CHECK(msg.external,
-                    "key " << msg.key
+        DEISA_CHECK(external,
+                    "key " << key
                            << " is an external task; plain scatter cannot "
                               "complete it");
         rec.origin = Origin::kExternal;
-        rec.pusher_client = msg.sender_client;
-        if (worker_is_dead(msg.worker)) {
+        rec.pusher_client = sender_client;
+        if (worker_is_dead(worker)) {
           // The block was pushed at a worker that is being replaced: the
           // data never landed. Re-route the preselection and schedule a
           // re-push from this producer's replay buffer.
           ++rec.rearm_epoch;
           if (rec.preferred_worker < 0 || worker_is_dead(rec.preferred_worker))
             rec.preferred_worker = pick_live_worker();
-          repush_[msg.sender_client].push_back(id);
-          engine_->spawn(repush_deadline(msg.key, rec.rearm_epoch));
+          repush_[sender_client].push_back(id);
+          engine_->spawn(repush_deadline(key, rec.rearm_epoch));
           ++recovery_.external_rearmed;
           obs::count("scheduler.recovery.external_rearmed");
           ack = kAckRepushPending;
         } else {
           // external -> memory, then the normal finished-task cascade.
-          co_await finish_task(id, rec, msg.worker, msg.bytes, false, {});
+          co_await finish_task(id, rec, worker, bytes, false, {});
         }
         break;
       }
       case TaskState::kMemory:
-        if (msg.external) {
+        if (external) {
           // Duplicate delivery of a push that already completed the key
           // (fault duplication, or a replay racing the original).
           ++recovery_.stale_update_data;
@@ -659,18 +659,55 @@ sim::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
           if (rec.worker >= 0 &&
               static_cast<std::size_t>(rec.worker) < has_what_.size())
             has_what_[static_cast<std::size_t>(rec.worker)].erase(id);
-          rec.worker = msg.worker;
-          rec.bytes = msg.bytes;
-          if (msg.worker >= 0 &&
-              static_cast<std::size_t>(msg.worker) < has_what_.size())
-            has_what_[static_cast<std::size_t>(msg.worker)].insert(id);
+          rec.worker = worker;
+          rec.bytes = bytes;
+          if (worker >= 0 &&
+              static_cast<std::size_t>(worker) < has_what_.size())
+            has_what_[static_cast<std::size_t>(worker)].insert(id);
         }
         break;
       default:
-        DEISA_CHECK(false, "update_data on key '" << msg.key << "' in state "
+        DEISA_CHECK(false, "update_data on key '" << key << "' in state "
                                                   << to_string(rec.state));
     }
   }
+  co_return ack;
+}
+
+sim::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
+  if (msg.notify != nullptr) producer_notify_[msg.sender_client] = msg.notify;
+  if (!msg.keys.empty() || msg.reply_acks != nullptr) {
+    // Coalesced bridge push: register every (keys[i], sizes[i]) pair on
+    // `worker` in one message and reply the per-key acks together — one
+    // registration RPC per (rank, worker, timestep) instead of one per
+    // block.
+    DEISA_CHECK(msg.keys.size() == msg.sizes.size(),
+                "batched update_data keys/sizes length mismatch: "
+                    << msg.keys.size() << " vs " << msg.sizes.size());
+    std::vector<int> acks;
+    acks.reserve(msg.keys.size());
+    for (std::size_t i = 0; i < msg.keys.size(); ++i)
+      acks.push_back(co_await update_data_one(std::move(msg.keys[i]),
+                                              msg.worker, msg.sizes[i],
+                                              msg.external,
+                                              msg.sender_client));
+    // Pending re-push assignments piggyback on every non-erred ack, as
+    // on the single-key path.
+    const auto rit = repush_.find(msg.sender_client);
+    if (rit != repush_.end() && !rit->second.empty())
+      for (int& a : acks)
+        if (a != kAckErred) a = kAckRepushPending;
+    if (msg.reply_acks != nullptr) {
+      co_await cluster_->send_control(
+          node_, msg.sender_node,
+          kControlMsgBase + acks.size() * sizeof(int));
+      msg.reply_acks->send(std::move(acks));
+    }
+    co_return;
+  }
+  int ack = co_await update_data_one(std::move(msg.key), msg.worker,
+                                     msg.bytes, msg.external,
+                                     msg.sender_client);
   // Pending re-push assignments for this producer piggyback on the ack:
   // the producer must follow up with kRepushKeys and replay the blocks.
   const auto rit = repush_.find(msg.sender_client);
@@ -1023,8 +1060,9 @@ sim::Co<void> Scheduler::handle_repush_keys(SchedMsg& msg) {
     repush_.erase(it);
   }
   DEISA_ASSERT(msg.reply_repush != nullptr, "missing repush reply channel");
-  co_await cluster_->send_control(node_, msg.sender_node,
-                                  128 + list.size() * 64);
+  co_await cluster_->send_control(
+      node_, msg.sender_node,
+      kControlMsgBase + list.size() * kWirePerKeyBytes);
   msg.reply_repush->send(std::move(list));
 }
 
@@ -1073,14 +1111,14 @@ sim::Co<void> Scheduler::repush_deadline(Key key, std::uint64_t epoch) {
 sim::Co<void> Scheduler::reply_int(std::shared_ptr<sim::Channel<int>> ch,
                                    int dst_node, int value) {
   DEISA_ASSERT(ch != nullptr, "missing reply channel");
-  co_await cluster_->send_control(node_, dst_node, 128);
+  co_await cluster_->send_control(node_, dst_node, kControlMsgBase);
   ch->send(value);
 }
 
 sim::Co<void> Scheduler::reply_data(std::shared_ptr<sim::Channel<Data>> ch,
                                     int dst_node, Data value) {
   DEISA_ASSERT(ch != nullptr, "missing reply channel");
-  const std::uint64_t b = 128 + value.bytes;
+  const std::uint64_t b = kControlMsgBase + value.bytes;
   co_await cluster_->send_control(node_, dst_node, b);
   ch->send(std::move(value));
 }

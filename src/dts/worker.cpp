@@ -14,7 +14,9 @@ Worker::Worker(sim::Engine& engine, net::Cluster& cluster, int id, int node,
       actor_("worker-" + std::to_string(id)),
       params_(params),
       inbox_(engine),
-      cpu_(engine, static_cast<std::size_t>(std::max(1, params.nthreads))) {}
+      cpu_(engine, static_cast<std::size_t>(std::max(1, params.nthreads))),
+      fetch_slots_(engine, static_cast<std::size_t>(
+                               std::max(1, params.max_concurrent_fetches))) {}
 
 void Worker::record_memory() const {
   if (auto* m = obs::metrics())
@@ -49,6 +51,10 @@ sim::Co<void> Worker::run() {
         break;
       case WorkerMsgKind::kReceiveData:
         store_put(std::move(msg.key), std::move(msg.payload));
+        break;
+      case WorkerMsgKind::kReceiveDataBatch:
+        for (auto& [key, payload] : msg.batch)
+          store_put(std::move(key), std::move(payload));
         break;
       case WorkerMsgKind::kGetData:
         engine_->spawn(handle_get_data(std::move(msg)));
@@ -107,6 +113,25 @@ void Worker::store_put(Key key, Data data) {
   }
 }
 
+void Worker::store_put_cached(Key key, Data data) {
+  // A cached copy of a peer's data is resident memory, but it is not new
+  // data produced or received by this worker: account it on its own
+  // counter so bytes_stored() keeps measuring store throughput.
+  peer_fetch_cached_bytes_ += data.bytes;
+  if (auto* m = obs::metrics())
+    m->counter("worker.peer_fetch_cached_bytes").add(data.bytes);
+  memory_bytes_ += data.bytes;
+  const auto [slot, fresh] = store_.try_emplace(std::move(key));
+  if (!fresh) memory_bytes_ -= slot->second.bytes;
+  slot->second = std::move(data);
+  record_memory();
+  const auto it = arrivals_.find(slot->first);
+  if (it != arrivals_.end()) {
+    it->second->set();
+    arrivals_.erase(it);
+  }
+}
+
 sim::Co<Data> Worker::local_get(const Key& key) {
   while (true) {
     const auto it = store_.find(key);
@@ -127,49 +152,89 @@ sim::Co<Data> Worker::fetch(const DepLocation& dep) {
     // block the bridge pushes here): wait for the store.
     co_return co_await local_get(dep.key);
   }
-  // Peer fetch: request + bulk transfer back.
   DEISA_CHECK(static_cast<std::size_t>(dep.owner) < peers_.size(),
               "dep owner " << dep.owner << " unknown");
+  // Already cached from an earlier fetch: no network round trip.
+  if (const auto hit = store_.find(dep.key); hit != store_.end()) {
+    ++peer_fetch_cache_hits_;
+    obs::count("worker.peer_fetch_cache_hits");
+    co_return hit->second;
+  }
+  // The same key is already on the wire for another task: join that
+  // fetch instead of issuing a duplicate request to the peer.
+  if (const auto it = inflight_.find(dep.key); it != inflight_.end()) {
+    auto flight = it->second;  // keep alive across the await
+    ++peer_fetches_shared_;
+    obs::count("worker.peer_fetch_shared");
+    co_await flight->done.wait();
+    co_return flight->data;
+  }
+  // First requester: register the flight *before* waiting for a fetch
+  // slot so later requesters of the same key join immediately instead of
+  // queueing their own fetch behind the semaphore.
+  auto flight = std::make_shared<InflightFetch>(*engine_);
+  inflight_.emplace(dep.key, flight);
+  co_await fetch_slots_.acquire();
+  // Peer fetch: request + bulk transfer back.
   const WorkerRef& peer = peers_[static_cast<std::size_t>(dep.owner)];
   obs::Span span = obs::trace_span(actor_, "transfer", dep.key);
   if (span.active())
     span.add_arg(obs::arg("from_worker", static_cast<std::uint64_t>(dep.owner)));
   auto reply = std::make_shared<sim::Channel<Data>>(*engine_);
-  co_await cluster_->send_control(node_, peer.node, 128 + dep.key.size());
+  co_await cluster_->send_control(node_, peer.node,
+                                  kControlMsgBase + dep.key.size());
   WorkerMsg req(WorkerMsgKind::kGetData);
   req.key = dep.key;
   req.requester_node = node_;
   req.reply_data = reply;
   peer.inbox->send(std::move(req));
   Data d = co_await reply->recv();
+  fetch_slots_.release();
   if (span.active()) span.add_arg(obs::arg("bytes", d.bytes));
   span.finish();
+  ++peer_fetches_;
   if (auto* m = obs::metrics()) {
     m->counter("worker.peer_fetches").add();
     m->counter("worker.peer_fetch_bytes").add(d.bytes);
   }
-  // Cache locally, as dask workers do.
-  store_put(dep.key, d);
+  // Cache locally, as dask workers do (skip if we crashed mid-fetch:
+  // the store of a dead worker stays empty).
+  if (alive_) store_put_cached(dep.key, d);
+  flight->data = d;
+  flight->done.set();
+  inflight_.erase(dep.key);
   co_return d;
 }
 
 sim::Co<void> Worker::handle_get_data(WorkerMsg msg) {
   Data d = co_await local_get(msg.key);
   if (!alive_) co_return;  // died while the request was in flight
-  const std::uint64_t b = std::max<std::uint64_t>(d.bytes, 64);
+  const std::uint64_t b = std::max(d.bytes, kMinTransferBytes);
   co_await cluster_->transfer(node_, msg.requester_node, b);
   if (!alive_) co_return;
   msg.reply_data->send(std::move(d));
 }
 
+sim::Co<void> Worker::fetch_one(std::shared_ptr<std::vector<Data>> inputs,
+                                std::size_t i, DepLocation dep) {
+  (*inputs)[i] = co_await fetch(dep);
+}
+
 sim::Co<void> Worker::handle_compute(TaskSpec spec,
                                      std::vector<DepLocation> deps) {
-  std::vector<Data> inputs;
-  inputs.reserve(deps.size());
-  // Fetch dependencies sequentially; worker-side fetch concurrency is
-  // bounded by the NIC anyway and sequential fetches keep ordering
+  // Fetch all dependencies concurrently (each a spawned coroutine, joined
+  // below): request/transfer latencies overlap instead of summing, with
+  // total in-flight fetches bounded by fetch_slots_. Results land in
+  // dep-list order regardless of arrival order, so execution stays
   // deterministic.
-  for (const auto& dep : deps) inputs.push_back(co_await fetch(dep));
+  auto inputs = std::make_shared<std::vector<Data>>(deps.size());
+  if (!deps.empty()) {
+    std::vector<sim::Co<void>> fetches;
+    fetches.reserve(deps.size());
+    for (std::size_t i = 0; i < deps.size(); ++i)
+      fetches.push_back(fetch_one(inputs, i, deps[i]));
+    co_await sim::when_all(*engine_, std::move(fetches));
+  }
   if (!alive_) co_return;  // crashed while fetching inputs
 
   SchedMsg done(SchedMsgKind::kTaskFinished);
@@ -184,7 +249,7 @@ sim::Co<void> Worker::handle_compute(TaskSpec spec,
     if (!alive_) co_return;  // crashed mid-execution: drop the result
     Data out;
     if (spec.fn) {
-      out = spec.fn(inputs);
+      out = spec.fn(*inputs);
     } else {
       out = Data::sized(spec.out_bytes);
     }

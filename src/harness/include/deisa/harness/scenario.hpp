@@ -57,6 +57,9 @@ struct ScenarioParams {
   /// 128 MiB block costs ≈ 2.4 s per iteration as in Figure 2a.
   double sim_cell_rate = 7.0e6;
   double worker_heartbeat_interval = 1.0;
+  /// Worker-side bound on concurrent peer dependency fetches (1 = the
+  /// pre-overlap strictly sequential behavior; see WorkerParams).
+  int max_concurrent_fetches = 8;
 
   /// Allocation seed: different submissions get different node placements
   /// (the run-to-run variability axis of Figure 5).

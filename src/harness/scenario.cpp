@@ -145,6 +145,7 @@ struct World {
     if (!p.faults.empty() && rp.scheduler.heartbeat_timeout <= 0.0)
       rp.scheduler.heartbeat_timeout = 3.5 * p.worker_heartbeat_interval;
     rp.worker.heartbeat_interval = p.worker_heartbeat_interval;
+    rp.worker.max_concurrent_fetches = p.max_concurrent_fetches;
     runtime = std::make_unique<dts::Runtime>(engine, cluster, scheduler_node,
                                              worker_nodes, rp);
     injector = std::make_unique<fault::FaultInjector>(engine, cluster,
@@ -320,7 +321,12 @@ sim::Co<void> deisa_rank_actor(World& w, SharedState& st, Pipeline pipeline,
     if (pipeline == Pipeline::kDeisa1) {
       (void)co_await bridge.deisa1_send_block(va, coord, std::move(payload));
     } else {
-      (void)co_await bridge.send_block(va, coord, std::move(payload));
+      // Coalesced push path: with one block per rank-step this is a batch
+      // of one, but it keeps the heat2d scenario on the same bridge code
+      // the multi-block producers (PDI, multi-array twins) exercise.
+      std::vector<std::pair<arr::Index, dts::Data>> blocks;
+      blocks.emplace_back(coord, std::move(payload));
+      (void)co_await bridge.send_blocks(va, std::move(blocks));
     }
     res.sim_io[static_cast<std::size_t>(rank)][static_cast<std::size_t>(t)] =
         w.engine.now() - t0;

@@ -18,6 +18,11 @@ public:
   static Matrix from_rows(
       std::initializer_list<std::initializer_list<double>> rows);
   static Matrix identity(std::size_t n);
+  /// Build from a contiguous row-major buffer of rows*cols doubles (the
+  /// NDArray layout): transposes into column-major storage column by
+  /// column, without per-element index vectors.
+  static Matrix from_row_major(std::size_t rows, std::size_t cols,
+                               std::span<const double> values);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }

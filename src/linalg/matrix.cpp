@@ -31,10 +31,32 @@ Matrix Matrix::identity(std::size_t n) {
   return m;
 }
 
+Matrix Matrix::from_row_major(std::size_t rows, std::size_t cols,
+                              std::span<const double> values) {
+  DEISA_CHECK(values.size() == rows * cols,
+              "from_row_major size mismatch: " << values.size() << " values "
+                                               << "for " << rows << "x"
+                                               << cols);
+  Matrix m(rows, cols);
+  const double* src = values.data();
+  for (std::size_t j = 0; j < cols; ++j) {
+    const auto mj = m.col(j);
+    const double* sp = src + j;
+    for (std::size_t i = 0; i < rows; ++i) {
+      mj[i] = *sp;
+      sp += cols;
+    }
+  }
+  return m;
+}
+
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
-  for (std::size_t j = 0; j < cols_; ++j)
-    for (std::size_t i = 0; i < rows_; ++i) t(j, i) = (*this)(i, j);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const auto src = col(j);
+    double* dst = t.data().data() + j;
+    for (std::size_t i = 0; i < rows_; ++i) dst[i * cols_] = src[i];
+  }
   return t;
 }
 
@@ -45,9 +67,12 @@ Matrix Matrix::vstack(const Matrix& below) const {
                                         << cols_ << " vs " << below.cols_);
   Matrix out(rows_ + below.rows_, cols_);
   for (std::size_t j = 0; j < cols_; ++j) {
-    for (std::size_t i = 0; i < rows_; ++i) out(i, j) = (*this)(i, j);
-    for (std::size_t i = 0; i < below.rows_; ++i)
-      out(rows_ + i, j) = below(i, j);
+    const auto a = col(j);
+    const auto b = below.col(j);
+    const auto o = out.col(j);
+    std::copy(a.begin(), a.end(), o.begin());
+    std::copy(b.begin(), b.end(),
+              o.begin() + static_cast<std::ptrdiff_t>(rows_));
   }
   return out;
 }
@@ -59,8 +84,10 @@ Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
                                       << nc << ") in " << rows_ << "x"
                                       << cols_);
   Matrix out(nr, nc);
-  for (std::size_t j = 0; j < nc; ++j)
-    for (std::size_t i = 0; i < nr; ++i) out(i, j) = (*this)(r0 + i, c0 + j);
+  for (std::size_t j = 0; j < nc; ++j) {
+    const auto src = col(c0 + j).subspan(r0, nr);
+    std::copy(src.begin(), src.end(), out.col(j).begin());
+  }
   return out;
 }
 
@@ -75,14 +102,26 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
                                         << a.rows() << "x" << a.cols() << " * "
                                         << b.rows() << "x" << b.cols());
   Matrix c(a.rows(), b.cols());
-  // j-k-i loop order: streams through columns of A (column-major friendly).
+  // j-i-tiled-k loops over the raw column spans: for each output column,
+  // a tile of c's rows stays register/L1-resident while the whole k sweep
+  // runs over it. Per output element the k additions still happen in
+  // ascending k order (and zero b(k,j) terms are still skipped), so the
+  // result is bit-identical to the untiled j-k-i kernel.
+  constexpr std::size_t kRowTile = 256;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const double* ad = a.data().data();
   for (std::size_t j = 0; j < b.cols(); ++j) {
-    auto cj = c.col(j);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double bkj = b(k, j);
-      if (bkj == 0.0) continue;
-      const auto ak = a.col(k);
-      for (std::size_t i = 0; i < a.rows(); ++i) cj[i] += ak[i] * bkj;
+    double* cj = c.col(j).data();
+    const double* bj = b.col(j).data();
+    for (std::size_t i0 = 0; i0 < m; i0 += kRowTile) {
+      const std::size_t i1 = std::min(m, i0 + kRowTile);
+      for (std::size_t k = 0; k < n; ++k) {
+        const double bkj = bj[k];
+        if (bkj == 0.0) continue;
+        const double* ak = ad + k * m;
+        for (std::size_t i = i0; i < i1; ++i) cj[i] += ak[i] * bkj;
+      }
     }
   }
   return c;
@@ -91,10 +130,12 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   DEISA_CHECK(a.rows() == b.rows(), "matmul_tn shape mismatch");
   Matrix c(a.cols(), b.cols());
+  // Both operands are read column-wise (contiguous spans); each output
+  // element is one sequential dot, so accumulation order is unchanged.
   for (std::size_t j = 0; j < b.cols(); ++j) {
     const auto bj = b.col(j);
-    for (std::size_t i = 0; i < a.cols(); ++i)
-      c(i, j) = dot(a.col(i), bj);
+    double* cj = c.col(j).data();
+    for (std::size_t i = 0; i < a.cols(); ++i) cj[i] = dot(a.col(i), bj);
   }
   return c;
 }

@@ -107,14 +107,10 @@ dts::TaskFn make_fit_fn(PcaOptions pca_opts,
     const arr::NDArray& slab = slab_data.as<arr::NDArray>();
     const arr::NDArray m2d = slab.reshape_2d(row_dims);
     // NDArray (rows x cols, row-major) -> column-major Matrix.
-    linalg::Matrix x(static_cast<std::size_t>(m2d.shape()[0]),
-                     static_cast<std::size_t>(m2d.shape()[1]));
-    for (std::int64_t r = 0; r < m2d.shape()[0]; ++r)
-      for (std::int64_t c = 0; c < m2d.shape()[1]; ++c) {
-        const arr::Index rc{r, c};
-        x(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
-            m2d.at(rc);
-      }
+    const linalg::Matrix x =
+        linalg::Matrix::from_row_major(static_cast<std::size_t>(m2d.shape()[0]),
+                                       static_cast<std::size_t>(m2d.shape()[1]),
+                                       m2d.flat());
     model.partial_fit(x);
     const std::uint64_t b = model.state_bytes();
     return dts::Data::make<IncrementalPca>(std::move(model), b);
@@ -334,12 +330,9 @@ sim::Co<std::vector<dts::Key>> InSituIncrementalPca::transform_steps(
         return dts::Data::sized(out_bytes);
       const auto& model = in[0].as<IncrementalPca>();
       const arr::NDArray m2d = in[1].as<arr::NDArray>().reshape_2d(row_dims);
-      linalg::Matrix x(static_cast<std::size_t>(m2d.shape()[0]),
-                       static_cast<std::size_t>(m2d.shape()[1]));
-      for (std::int64_t r = 0; r < m2d.shape()[0]; ++r)
-        for (std::int64_t c = 0; c < m2d.shape()[1]; ++c)
-          x(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
-              m2d.at(arr::Index{r, c});
+      const linalg::Matrix x = linalg::Matrix::from_row_major(
+          static_cast<std::size_t>(m2d.shape()[0]),
+          static_cast<std::size_t>(m2d.shape()[1]), m2d.flat());
       linalg::Matrix reduced = model.transform(x);
       const std::uint64_t b = reduced.size() * sizeof(double);
       return dts::Data::make<linalg::Matrix>(std::move(reduced), b);

@@ -41,9 +41,12 @@ la::SvdResult solve_svd(const la::Matrix& a, const PcaOptions& opts) {
 
 std::vector<double> column_means(const la::Matrix& x) {
   std::vector<double> mean(x.cols(), 0.0);
+  // One sequential pass over each contiguous column span; same ascending
+  // accumulation order as the element-wise version (bit-identical).
   for (std::size_t j = 0; j < x.cols(); ++j) {
+    const auto xj = x.col(j);
     double s = 0.0;
-    for (std::size_t i = 0; i < x.rows(); ++i) s += x(i, j);
+    for (double v : xj) s += v;
     mean[j] = s / static_cast<double>(x.rows());
   }
   return mean;
@@ -51,8 +54,11 @@ std::vector<double> column_means(const la::Matrix& x) {
 
 la::Matrix center(const la::Matrix& x, const std::vector<double>& mean) {
   la::Matrix c = x;
-  for (std::size_t j = 0; j < c.cols(); ++j)
-    for (std::size_t i = 0; i < c.rows(); ++i) c(i, j) -= mean[j];
+  for (std::size_t j = 0; j < c.cols(); ++j) {
+    const auto cj = c.col(j);
+    const double mj = mean[j];
+    for (double& v : cj) v -= mj;
+  }
   return c;
 }
 
@@ -121,9 +127,11 @@ void IncrementalPca::partial_fit(const la::Matrix& x) {
   const std::vector<double> batch_mean = column_means(x);
   std::vector<double> batch_var(f, 0.0);
   for (std::size_t j = 0; j < f; ++j) {
+    const auto xj = x.col(j);
+    const double mu = batch_mean[j];
     double s2 = 0.0;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double d = x(i, j) - batch_mean[j];
+    for (double v : xj) {
+      const double d = v - mu;
       s2 += d * d;
     }
     batch_var[j] = s2 / n_new;  // population variance of the batch
@@ -146,9 +154,12 @@ void IncrementalPca::partial_fit(const la::Matrix& x) {
   } else {
     const std::size_t k = components_.rows();
     la::Matrix sv(k, f);
-    for (std::size_t r = 0; r < k; ++r)
-      for (std::size_t c = 0; c < f; ++c)
-        sv(r, c) = singular_values_[r] * components_(r, c);
+    for (std::size_t c = 0; c < f; ++c) {
+      const auto comp = components_.col(c);
+      const auto svc = sv.col(c);
+      for (std::size_t r = 0; r < k; ++r)
+        svc[r] = singular_values_[r] * comp[r];
+    }
     la::Matrix xc = center(x, batch_mean);
     la::Matrix corr(1, f);
     const double scale = std::sqrt(n_old * n_new / n_tot);

@@ -20,20 +20,34 @@ FieldStats FieldStats::of(std::span<const double> samples, std::size_t bins,
   s.hist_lo = lo;
   s.hist_hi = hi;
   if (samples.empty()) return s;
-  s.min = s.max = samples[0];
+  // Single streaming pass with the Welford accumulators held in locals
+  // (registers) instead of struct members, and the histogram written
+  // through a raw pointer; the update sequence per sample is unchanged,
+  // so the moments are bit-identical to the member-accumulator version.
+  double mn = samples[0];
+  double mx = samples[0];
+  double mean = 0.0;
+  double m2 = 0.0;
+  std::uint64_t count = 0;
+  std::uint64_t* histo = s.histogram.data();
+  const auto last_bin = static_cast<std::int64_t>(bins) - 1;
   const double width = (hi - lo) / static_cast<double>(bins);
   for (double x : samples) {
-    ++s.count;
-    s.min = std::min(s.min, x);
-    s.max = std::max(s.max, x);
-    const double delta = x - s.mean;
-    s.mean += delta / static_cast<double>(s.count);
-    s.m2 += delta * (x - s.mean);
+    ++count;
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (x - mean);
     auto bin = static_cast<std::int64_t>((x - lo) / width);
-    bin = std::clamp<std::int64_t>(bin, 0,
-                                   static_cast<std::int64_t>(bins) - 1);
-    ++s.histogram[static_cast<std::size_t>(bin)];
+    bin = std::clamp<std::int64_t>(bin, 0, last_bin);
+    ++histo[static_cast<std::size_t>(bin)];
   }
+  s.count = count;
+  s.min = mn;
+  s.max = mx;
+  s.mean = mean;
+  s.m2 = m2;
   return s;
 }
 

@@ -74,6 +74,168 @@ TEST(NDArray, Reshape2dStacksDims) {
   EXPECT_DOUBLE_EQ(m2.at(idx({3, 2})), 11);
 }
 
+// ---- property tests: bulk kernels vs an element-wise oracle ----
+//
+// extract/insert/reshape_2d are contiguous-run strided copies; the oracle
+// below recomputes each element independently through bounds-checked
+// at(), so any stride/offset/coalescing bug in the fast path shows up as
+// a value mismatch. Shapes cross ranks 0..4 and include zero extents,
+// empty boxes, and full-array boxes.
+
+std::uint64_t lcg(std::uint64_t& s) {
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  return s >> 33;
+}
+
+template <typename Fn>
+void oracle_for_each(const arr::Box& box, Fn&& fn) {
+  if (box.volume() == 0) return;
+  arr::Index i = box.lo;
+  const std::size_t nd = i.size();
+  while (true) {
+    fn(i);
+    if (nd == 0) return;
+    std::size_t d = nd;
+    while (d-- > 0) {
+      if (++i[d] < box.hi[d]) break;
+      i[d] = box.lo[d];
+      if (d == 0) return;
+    }
+  }
+}
+
+arr::NDArray oracle_extract(const arr::NDArray& a, const arr::Box& box) {
+  arr::Index shape(box.ndim());
+  for (std::size_t d = 0; d < box.ndim(); ++d) shape[d] = box.extent(d);
+  arr::NDArray out(shape);
+  arr::Index rel(box.ndim());
+  oracle_for_each(box, [&](const arr::Index& i) {
+    for (std::size_t d = 0; d < i.size(); ++d) rel[d] = i[d] - box.lo[d];
+    out.at(rel) = a.at(i);
+  });
+  return out;
+}
+
+void oracle_insert(arr::NDArray& a, const arr::Box& box,
+                   const arr::NDArray& src) {
+  arr::Index rel(box.ndim());
+  oracle_for_each(box, [&](const arr::Index& i) {
+    for (std::size_t d = 0; d < i.size(); ++d) rel[d] = i[d] - box.lo[d];
+    a.at(i) = src.at(rel);
+  });
+}
+
+arr::NDArray oracle_reshape_2d(const arr::NDArray& a,
+                               const std::vector<std::size_t>& row_dims) {
+  std::vector<bool> is_row(a.ndim(), false);
+  for (std::size_t d : row_dims) is_row[d] = true;
+  std::vector<std::size_t> col_dims;
+  for (std::size_t d = 0; d < a.ndim(); ++d)
+    if (!is_row[d]) col_dims.push_back(d);
+  std::int64_t nrows = 1;
+  for (std::size_t d : row_dims) nrows *= a.shape()[d];
+  std::int64_t ncols = 1;
+  for (std::size_t d : col_dims) ncols *= a.shape()[d];
+  arr::NDArray out(arr::Index{nrows, ncols});
+  arr::Index rc(2);
+  oracle_for_each(arr::Box(arr::Index(a.ndim(), 0), a.shape()),
+                  [&](const arr::Index& i) {
+                    std::int64_t r = 0;
+                    for (std::size_t d : row_dims)
+                      r = r * a.shape()[d] + i[d];
+                    std::int64_t c = 0;
+                    for (std::size_t d : col_dims)
+                      c = c * a.shape()[d] + i[d];
+                    rc[0] = r;
+                    rc[1] = c;
+                    out.at(rc) = a.at(i);
+                  });
+  return out;
+}
+
+void expect_identical(const arr::NDArray& got, const arr::NDArray& want,
+                      const char* what, std::uint64_t seed) {
+  ASSERT_EQ(got.shape(), want.shape()) << what << " seed=" << seed;
+  const auto g = got.flat();
+  const auto w = want.flat();
+  ASSERT_EQ(g.size(), w.size()) << what << " seed=" << seed;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    ASSERT_EQ(g[i], w[i]) << what << " seed=" << seed << " flat " << i;
+}
+
+TEST(NDArrayProperty, ExtractInsertMatchOracle) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    std::uint64_t s = seed * 0x9e3779b97f4a7c15ull;
+    const std::size_t rank = lcg(s) % 5;  // 0..4, incl. rank-0 and rank-1
+    arr::Index shape(rank);
+    for (auto& e : shape) e = static_cast<std::int64_t>(lcg(s) % 7);  // 0..6
+    arr::NDArray a(shape);
+    {
+      auto f = a.flat();
+      for (std::size_t i = 0; i < f.size(); ++i)
+        f[i] = static_cast<double>(lcg(s) % 1000) - 500.0;
+    }
+    arr::Box box;
+    box.lo.resize(rank);
+    box.hi.resize(rank);
+    const std::uint64_t kind = lcg(s) % 4;
+    for (std::size_t d = 0; d < rank; ++d) {
+      if (kind == 0) {  // full-array box
+        box.lo[d] = 0;
+        box.hi[d] = shape[d];
+      } else if (kind == 1) {  // definitely-empty box
+        box.lo[d] = shape[d] / 2;
+        box.hi[d] = box.lo[d];
+      } else {  // random sub-box (may be empty in some dims)
+        box.lo[d] = static_cast<std::int64_t>(lcg(s)) % (shape[d] + 1);
+        box.hi[d] =
+            box.lo[d] +
+            static_cast<std::int64_t>(lcg(s)) % (shape[d] - box.lo[d] + 1);
+      }
+    }
+    const arr::NDArray got = a.extract(box);
+    const arr::NDArray want = oracle_extract(a, box);
+    expect_identical(got, want, "extract", seed);
+
+    // Insert a fresh random patch of the box's shape into two copies of
+    // a second array — fast path vs oracle — and compare everything,
+    // inside and outside the box.
+    arr::NDArray patch(want.shape());
+    {
+      auto f = patch.flat();
+      for (std::size_t i = 0; i < f.size(); ++i)
+        f[i] = static_cast<double>(lcg(s) % 1000) + 1000.0;
+    }
+    arr::NDArray fast(shape, -7.0);
+    arr::NDArray oracle(shape, -7.0);
+    fast.insert(box, patch);
+    oracle_insert(oracle, box, patch);
+    expect_identical(fast, oracle, "insert", seed);
+  }
+}
+
+TEST(NDArrayProperty, Reshape2dMatchesOracle) {
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    std::uint64_t s = seed * 0xda942042e4dd58b5ull;
+    const std::size_t rank = lcg(s) % 5;
+    arr::Index shape(rank);
+    for (auto& e : shape) e = static_cast<std::int64_t>(lcg(s) % 6);  // 0..5
+    arr::NDArray a(shape);
+    {
+      auto f = a.flat();
+      for (std::size_t i = 0; i < f.size(); ++i)
+        f[i] = static_cast<double>(lcg(s) % 1000) * 0.25;
+    }
+    // Random subset of dims as row dims (in index order, incl. empty and
+    // all-dims subsets).
+    std::vector<std::size_t> row_dims;
+    for (std::size_t d = 0; d < rank; ++d)
+      if (lcg(s) % 2 == 0) row_dims.push_back(d);
+    expect_identical(a.reshape_2d(row_dims), oracle_reshape_2d(a, row_dims),
+                     "reshape_2d", seed);
+  }
+}
+
 TEST(Box, IntersectAndVolume) {
   const arr::Box a(idx({0, 0}), idx({4, 4}));
   const arr::Box b(idx({2, 3}), idx({6, 8}));

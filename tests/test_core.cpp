@@ -241,4 +241,70 @@ TEST(Bridge, SendBeforeContractThrows) {
   EXPECT_THROW((void)bridge.contract(), deisa::util::Error);
 }
 
+sim::Co<void> coalesced_bridge(core::Bridge& bridge, std::size_t& sent,
+                               sim::Event& pushes_done) {
+  const auto va = temp_array(2);
+  std::vector<core::VirtualArray> arrays;
+  arrays.push_back(va);
+  co_await bridge.publish_arrays(std::move(arrays));
+  co_await bridge.wait_contract();
+  // One rank owns the whole step: all 8 blocks go through one
+  // send_blocks call per timestep.
+  for (std::int64_t t = 0; t < 2; ++t) {
+    std::vector<std::pair<arr::Index, dts::Data>> blocks;
+    for (std::int64_t x = 0; x < 2; ++x)
+      for (std::int64_t y = 0; y < 4; ++y)
+        blocks.emplace_back(ix(t, x, y), dts::Data::sized(va.block_bytes()));
+    sent += co_await bridge.send_blocks(va, std::move(blocks));
+  }
+  pushes_done.set();
+}
+
+sim::Co<void> coalesced_adaptor(World& w, core::Adaptor& adaptor,
+                                sim::Event& pushes_done) {
+  (void)co_await adaptor.get_deisa_arrays();
+  // Half the Y extent: per step, 4 of the 8 blocks are in-contract.
+  adaptor.select("G_temp", arr::Selection(arr::Box(ix(0, 0, 0), ix(2, 8, 8))));
+  (void)co_await adaptor.validate_contract();
+  // scatter_batch awaits the batched registration ack, so once the bridge
+  // finished its pushes every surviving block is registered.
+  co_await pushes_done.wait();
+  co_await w.rt->shutdown();
+}
+
+TEST(Bridge, SendBlocksFiltersGroupsAndRegistersOnce) {
+  World w;
+  core::Bridge bridge(w.rt->make_client(4), core::Mode::kDeisa3, 0, 1);
+  core::Adaptor adaptor(w.rt->make_client(1), core::Mode::kDeisa3);
+  std::size_t sent = 0;
+  sim::Event pushes_done(w.eng);
+  w.eng.spawn(coalesced_adaptor(w, adaptor, pushes_done));
+  w.eng.spawn(coalesced_bridge(bridge, sent, pushes_done));
+  w.eng.run();
+  EXPECT_EQ(sent, 8u);                      // 4 in-contract blocks x 2 steps
+  EXPECT_EQ(bridge.blocks_sent(), 8u);
+  EXPECT_EQ(bridge.blocks_filtered(), 8u);  // the other half of each step
+  EXPECT_EQ(bridge.blocks_discarded(), 0u);
+  // The selected blocks of each step round-robin over both workers, so a
+  // step's push coalesces into exactly two registration RPCs — one per
+  // target worker — instead of four.
+  EXPECT_EQ(w.rt->scheduler().messages_received(dts::SchedMsgKind::kUpdateData),
+            4u);
+  // Brute force over the whole grid: exactly the in-contract coords ended
+  // up registered and in memory.
+  const auto va = temp_array(2);
+  const arr::Box selection(ix(0, 0, 0), ix(2, 8, 8));
+  for (std::int64_t i = 0; i < va.grid().num_chunks(); ++i) {
+    const arr::Index coord = va.grid().coord_of(i);
+    const std::string key =
+        arr::chunk_key(arr::kDeisaPrefix, va.name, coord);
+    const bool included =
+        !va.grid().box_of(coord).intersect(selection).empty();
+    EXPECT_EQ(w.rt->scheduler().knows(key), included) << key;
+    if (included)
+      EXPECT_EQ(w.rt->scheduler().state_of(key), dts::TaskState::kMemory)
+          << key;
+  }
+}
+
 }  // namespace

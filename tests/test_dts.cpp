@@ -436,4 +436,113 @@ TEST(Dts, SchedulerCountsMessageKinds) {
   EXPECT_GT(s.total_service_time(), 0.0);
 }
 
+sim::Co<void> shared_dep_flow(TestCluster& tc) {
+  // A sizeable payload so the peer transfer spans simulated time and the
+  // second task's fetch provably starts while the first is on the wire.
+  co_await tc.client->scatter("shared", dts::Data::sized(1u << 20),
+                              /*worker=*/0);
+  std::vector<dts::TaskSpec> tasks;
+  tasks.push_back(dts::TaskSpec("a", keys("shared"), dts::TaskFn{},
+                                /*cost=*/0.0, /*out_bytes=*/64,
+                                /*preferred_worker=*/1));
+  tasks.push_back(dts::TaskSpec("b", keys("shared"), dts::TaskFn{},
+                                /*cost=*/0.0, /*out_bytes=*/64,
+                                /*preferred_worker=*/1));
+  co_await tc.client->submit(std::move(tasks));
+  (void)co_await tc.client->wait_key("a");
+  (void)co_await tc.client->wait_key("b");
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, ConcurrentTasksSharingRemoteDepFetchOnce) {
+  // Two tasks on worker 1 both need "shared", which lives on worker 0.
+  // The in-flight table must collapse them into ONE kGetData transfer:
+  // the second task joins the first fetch instead of issuing its own.
+  TestCluster tc(2);
+  tc.run(shared_dep_flow(tc));
+  const auto& w1 = tc.rt->worker(1);
+  EXPECT_EQ(w1.peer_fetches(), 1u);
+  EXPECT_EQ(w1.peer_fetches_shared(), 1u);
+  EXPECT_EQ(w1.peer_fetch_cache_hits(), 0u);
+  EXPECT_EQ(tc.rt->worker(0).peer_fetches(), 0u);
+}
+
+sim::Co<void> cached_dep_flow(TestCluster& tc) {
+  co_await tc.client->scatter("shared", dts::Data::sized(1u << 20),
+                              /*worker=*/0);
+  std::vector<dts::TaskSpec> first;
+  first.push_back(dts::TaskSpec("a", keys("shared"), dts::TaskFn{}, 0.0, 64,
+                                /*preferred_worker=*/1));
+  co_await tc.client->submit(std::move(first));
+  (void)co_await tc.client->wait_key("a");
+  // Fetch finished and was cached locally; a later task on the same
+  // worker must hit the cache, not the wire.
+  std::vector<dts::TaskSpec> second;
+  second.push_back(dts::TaskSpec("c", keys("shared"), dts::TaskFn{}, 0.0, 64,
+                                 /*preferred_worker=*/1));
+  co_await tc.client->submit(std::move(second));
+  (void)co_await tc.client->wait_key("c");
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, FetchedDepCachedForLaterTasks) {
+  TestCluster tc(2);
+  tc.run(cached_dep_flow(tc));
+  const auto& w1 = tc.rt->worker(1);
+  EXPECT_EQ(w1.peer_fetches(), 1u);
+  EXPECT_EQ(w1.peer_fetches_shared(), 0u);
+  EXPECT_EQ(w1.peer_fetch_cache_hits(), 1u);
+}
+
+sim::Co<void> scatter_batch_flow(TestCluster& tc, std::vector<int>& acks) {
+  co_await tc.client->external_futures(keys("e1", "e2", "e3"),
+                                       ints(0, 0, 0));
+  // Poison e2 before the push: its slot of the batched ack must come back
+  // kAckDiscarded while its neighbors register normally.
+  co_await tc.client->cancel("e2");
+  std::vector<std::pair<dts::Key, dts::Data>> items;
+  items.emplace_back("e1", dts::Data::sized(256));
+  items.emplace_back("e2", dts::Data::sized(256));
+  items.emplace_back("e3", dts::Data::sized(256));
+  acks = co_await tc.client->scatter_batch(std::move(items), /*worker=*/0,
+                                           /*external=*/true);
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, ScatterBatchReturnsPerKeyAcks) {
+  TestCluster tc(2);
+  std::vector<int> acks;
+  tc.run(scatter_batch_flow(tc, acks));
+  ASSERT_EQ(acks.size(), 3u);
+  EXPECT_EQ(acks[0], 0);  // registered on worker 0
+  EXPECT_EQ(acks[1], dts::kAckDiscarded);
+  EXPECT_EQ(acks[2], 0);
+  EXPECT_EQ(tc.rt->scheduler().state_of("e1"), dts::TaskState::kMemory);
+  EXPECT_EQ(tc.rt->scheduler().state_of("e3"), dts::TaskState::kMemory);
+}
+
+sim::Co<void> batch_one_rpc_flow(TestCluster& tc) {
+  co_await tc.client->external_futures(keys("b0", "b1", "b2", "b3"),
+                                       ints(1, 1, 1, 1));
+  std::vector<std::pair<dts::Key, dts::Data>> items;
+  items.emplace_back("b0", dts::Data::sized(512));
+  items.emplace_back("b1", dts::Data::sized(512));
+  items.emplace_back("b2", dts::Data::sized(512));
+  items.emplace_back("b3", dts::Data::sized(512));
+  (void)co_await tc.client->scatter_batch(std::move(items), /*worker=*/1,
+                                          /*external=*/true);
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, ScatterBatchIsOneRegistrationRpc) {
+  TestCluster tc(2);
+  tc.run(batch_one_rpc_flow(tc));
+  // Four blocks, one kUpdateData: the batch path pays the registration
+  // round trip once per (producer, worker) push, not once per block.
+  EXPECT_EQ(tc.rt->scheduler().messages_received(dts::SchedMsgKind::kUpdateData),
+            1u);
+  for (const char* k : {"b0", "b1", "b2", "b3"})
+    EXPECT_EQ(tc.rt->scheduler().state_of(k), dts::TaskState::kMemory);
+}
+
 }  // namespace
