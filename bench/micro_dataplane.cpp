@@ -31,6 +31,7 @@
 
 #include "deisa/array/ndarray.hpp"
 #include "deisa/dts/runtime.hpp"
+#include "deisa/net/cluster.hpp"
 #include "deisa/harness/scenario.hpp"
 #include "deisa/util/table.hpp"
 

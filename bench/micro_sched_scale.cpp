@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "deisa/dts/runtime.hpp"
+#include "deisa/net/cluster.hpp"
 #include "deisa/util/table.hpp"
 
 namespace dts = deisa::dts;

@@ -1,13 +1,19 @@
 // Substrate microbenchmarks (google-benchmark): wall-clock throughput of
 // the building blocks — event engine, channels, scheduler pipeline,
-// linear algebra kernels, IPCA update, YAML parsing.
+// linear algebra kernels, IPCA update, YAML parsing — plus sim-vs-threads
+// A/B pairs for the executor primitives (channel roundtrip, spawn
+// throughput, transport transfer) so CI tracks the overhead of the real
+// threaded substrate against the modeled one.
 #include <benchmark/benchmark.h>
 
+#include "deisa/net/cluster.hpp"
 #include "deisa/config/yaml.hpp"
 #include "deisa/dts/runtime.hpp"
 #include "deisa/linalg/decomp.hpp"
 #include "deisa/ml/pca.hpp"
 #include "deisa/obs/observation.hpp"
+#include "deisa/rt/threaded_executor.hpp"
+#include "deisa/rt/threaded_transport.hpp"
 #include "deisa/sim/engine.hpp"
 #include "deisa/sim/primitives.hpp"
 #include "deisa/util/rng.hpp"
@@ -15,12 +21,14 @@
 namespace {
 
 namespace dts = deisa::dts;
+namespace exec = deisa::exec;
 namespace la = deisa::linalg;
 namespace ml = deisa::ml;
 namespace net = deisa::net;
+namespace rt = deisa::rt;
 namespace sim = deisa::sim;
 
-sim::Co<void> ping_pong(sim::Engine& eng, sim::Channel<int>& a,
+sim::Co<void> ping_pong(exec::Executor& eng, sim::Channel<int>& a,
                         sim::Channel<int>& b, int n) {
   for (int i = 0; i < n; ++i) {
     a.send(i);
@@ -62,6 +70,82 @@ void BM_EngineTimerWheel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EngineTimerWheel)->Arg(10000);
+
+// A/B counterpart of BM_EngineChannelRoundtrip on real threads: the two
+// actors live on distinct strands, so every message really crosses a
+// thread boundary. The executor is reused across iterations (run() waits
+// for quiescence and the pool stays up) so thread startup is not timed.
+void BM_ThreadedChannelRoundtrip(benchmark::State& state) {
+  rt::ThreadedExecutor ex(rt::ThreadedExecutorParams{2, 1.0});
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    exec::Channel<int> a(ex);
+    exec::Channel<int> b(ex);
+    ex.spawn_on(ex.new_strand(), ping_pong(ex, a, b, n));
+    ex.spawn_on(ex.new_strand(), echo(a, b, n));
+    ex.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ThreadedChannelRoundtrip)->Arg(1000);
+
+sim::Co<void> noop_actor() { co_return; }
+
+void BM_EngineSpawnThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < n; ++i) eng.spawn(noop_actor());
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineSpawnThroughput)->Arg(10000);
+
+void BM_ThreadedSpawnThroughput(benchmark::State& state) {
+  rt::ThreadedExecutor ex(rt::ThreadedExecutorParams{0, 1.0});
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) ex.spawn(noop_actor());
+    ex.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ThreadedSpawnThroughput)->Arg(10000);
+
+sim::Co<void> transfer_actor(exec::Transport& tp, int count,
+                             std::uint64_t bytes) {
+  for (int i = 0; i < count; ++i) co_await tp.transfer(0, 1, bytes);
+}
+
+// Sim transfers advance virtual time only; threaded transfers memcpy the
+// bytes through the NIC scratch buffers. The pair bounds what "real data
+// movement" costs over the modeled one.
+void BM_SimTransfer(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::ClusterParams cp;
+    cp.physical_nodes = 2;
+    net::Cluster cluster(eng, cp);
+    eng.spawn(transfer_actor(cluster, 64, bytes));
+    eng.run();
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * state.range(0));
+}
+BENCHMARK(BM_SimTransfer)->Arg(1 << 20);
+
+void BM_ThreadedTransfer(benchmark::State& state) {
+  rt::ThreadedExecutor ex(rt::ThreadedExecutorParams{2, 1.0});
+  rt::ThreadedTransport transport(ex, rt::ThreadedTransportParams{2});
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    ex.spawn(transfer_actor(transport, 64, bytes));
+    ex.run();
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * state.range(0));
+}
+BENCHMARK(BM_ThreadedTransfer)->Arg(1 << 20);
 
 la::Matrix random_matrix(std::size_t m, std::size_t n) {
   deisa::util::Rng rng(42);

@@ -6,6 +6,8 @@
 // landing on the same worker share one transfer + one registration RPC.
 #include <iostream>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/core/adaptor.hpp"
 #include "deisa/core/bridge.hpp"
 #include "deisa/dts/runtime.hpp"

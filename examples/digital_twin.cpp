@@ -7,6 +7,8 @@
 // sensed reality.
 #include <iostream>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/apps/heat2d.hpp"
 #include "deisa/dts/runtime.hpp"
 #include "deisa/ml/streaming.hpp"

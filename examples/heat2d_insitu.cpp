@@ -6,6 +6,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/apps/heat2d.hpp"
 #include "deisa/config/yaml.hpp"
 #include "deisa/core/adaptor.hpp"

@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <iostream>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/apps/heat2d.hpp"
 #include "deisa/dts/runtime.hpp"
 #include "deisa/io/posthoc.hpp"

@@ -10,6 +10,8 @@
 // Build & run:  ./quickstart
 #include <iostream>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/array/darray.hpp"
 #include "deisa/dts/runtime.hpp"
 

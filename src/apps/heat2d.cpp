@@ -60,7 +60,7 @@ int Heat2d::neighbor(int dx_, int dy_) const {
   return ny * cfg_.proc_x + nx;
 }
 
-sim::Co<void> Heat2d::step(mpix::Comm& comm) {
+exec::Co<void> Heat2d::step(mpix::Comm& comm) {
   const std::int64_t nx = cfg_.local_nx;
   const std::int64_t ny = cfg_.local_ny;
   const int west = neighbor(-1, 0);
@@ -85,7 +85,7 @@ sim::Co<void> Heat2d::step(mpix::Comm& comm) {
   // Halo exchange: send our boundary, receive the neighbour's. Tags name
   // the direction of travel as seen by the RECEIVER.
   const auto send_strip = [&](int to, int tag,
-                              std::vector<double> strip) -> sim::Co<void> {
+                              std::vector<double> strip) -> exec::Co<void> {
     const std::uint64_t bytes = strip.size() * sizeof(double);
     co_await comm.send_value<std::vector<double>>(rank_, to, tag,
                                                   std::move(strip), bytes);

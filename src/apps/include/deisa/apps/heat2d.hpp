@@ -45,7 +45,7 @@ public:
 
   /// One explicit step: halo exchange with the four neighbours over the
   /// communicator, then the stencil update.
-  sim::Co<void> step(mpix::Comm& comm);
+  exec::Co<void> step(mpix::Comm& comm);
 
   /// Total heat in the local block (for conservation tests).
   double local_heat() const;

@@ -40,7 +40,7 @@ DArray DArray::descriptor(dts::Client& client, std::string name, Index shape,
   return a;
 }
 
-sim::Co<DArray> DArray::from_external(dts::Client& client, std::string name,
+exec::Co<DArray> DArray::from_external(dts::Client& client, std::string name,
                                       Index shape, Index chunk_shape) {
   DArray a = descriptor(client, std::move(name), std::move(shape),
                         std::move(chunk_shape));
@@ -48,7 +48,7 @@ sim::Co<DArray> DArray::from_external(dts::Client& client, std::string name,
   co_return a;
 }
 
-sim::Co<DArray> DArray::map_chunks(
+exec::Co<DArray> DArray::map_chunks(
     const DArray& src, std::string name,
     std::function<dts::Data(const dts::Data&)> fn, double cost_per_chunk,
     std::uint64_t out_bytes_per_chunk) {
@@ -69,7 +69,7 @@ sim::Co<DArray> DArray::map_chunks(
   co_return out;
 }
 
-sim::Co<DArray> DArray::rechunk(Index new_chunk_shape,
+exec::Co<DArray> DArray::rechunk(Index new_chunk_shape,
                                 std::string name) const {
   DArray out(*client_, std::move(name),
              ChunkGrid(grid_.shape(), std::move(new_chunk_shape)));
@@ -138,7 +138,7 @@ sim::Co<DArray> DArray::rechunk(Index new_chunk_shape,
   co_return out;
 }
 
-sim::Co<NDArray> DArray::gather_box(const Selection& sel) const {
+exec::Co<NDArray> DArray::gather_box(const Selection& sel) const {
   Index out_shape(sel.box.ndim());
   for (std::size_t d = 0; d < out_shape.size(); ++d)
     out_shape[d] = sel.box.extent(d);

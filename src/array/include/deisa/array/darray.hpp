@@ -36,7 +36,7 @@ public:
   /// named by the deisa scheme and pinned round-robin onto workers. The
   /// whole multi-timestep analytics graph can then be submitted before
   /// any simulation data exists (paper §2.2/§2.4.2).
-  static sim::Co<DArray> from_external(dts::Client& client, std::string name,
+  static exec::Co<DArray> from_external(dts::Client& client, std::string name,
                                        Index shape, Index chunk_shape);
 
   /// Descriptor-only variant: same keys/placement, but does NOT contact
@@ -47,7 +47,7 @@ public:
 
   /// Build a derived array by mapping a function over every chunk of
   /// `src` (one task per chunk, same grid). Submits the graph.
-  static sim::Co<DArray> map_chunks(
+  static exec::Co<DArray> map_chunks(
       const DArray& src, std::string name,
       std::function<dts::Data(const dts::Data&)> fn, double cost_per_chunk,
       std::uint64_t out_bytes_per_chunk);
@@ -55,11 +55,11 @@ public:
   /// Rechunk into a new chunk shape: each target chunk depends on the
   /// overlapping source chunks and assembles its box from them (real
   /// payloads are NDArrays; synthetic payloads carry sizes only).
-  sim::Co<DArray> rechunk(Index new_chunk_shape, std::string name) const;
+  exec::Co<DArray> rechunk(Index new_chunk_shape, std::string name) const;
 
   /// Gather the chunks overlapping `sel` and assemble the sub-array
   /// covering sel.box (functional mode only).
-  sim::Co<NDArray> gather_box(const Selection& sel) const;
+  exec::Co<NDArray> gather_box(const Selection& sel) const;
 
   /// Chunks overlapping a selection (contract support).
   std::vector<Index> chunks_in(const Selection& sel) const {

@@ -8,7 +8,7 @@ namespace deisa::core {
 Adaptor::Adaptor(dts::Client& client, Mode mode)
     : client_(&client), mode_(mode) {}
 
-sim::Co<std::vector<VirtualArray>> Adaptor::get_deisa_arrays() {
+exec::Co<std::vector<VirtualArray>> Adaptor::get_deisa_arrays() {
   obs::Span span = obs::trace_span("adaptor", "contract", "get_deisa_arrays");
   const dts::Data d = co_await client_->variable_get(kArraysVariable);
   offered_ = d.as<std::vector<VirtualArray>>();
@@ -49,7 +49,7 @@ std::pair<std::vector<dts::Key>, std::vector<int>> selected_chunks(
 
 }  // namespace
 
-sim::Co<std::map<std::string, array::DArray>> Adaptor::validate_contract() {
+exec::Co<std::map<std::string, array::DArray>> Adaptor::validate_contract() {
   obs::Span span = obs::trace_span("adaptor", "contract", "validate_contract");
   DEISA_CHECK(got_arrays_, "no arrays received yet");
   DEISA_CHECK(!contract_.selections.empty(), "no selection recorded");
@@ -85,7 +85,7 @@ sim::Co<std::map<std::string, array::DArray>> Adaptor::validate_contract() {
   co_return out;
 }
 
-sim::Co<std::map<std::string, array::DArray>> Adaptor::deisa1_publish_selection(
+exec::Co<std::map<std::string, array::DArray>> Adaptor::deisa1_publish_selection(
     int nranks) {
   obs::Span span =
       obs::trace_span("adaptor", "contract", "deisa1_publish_selection");
@@ -114,7 +114,7 @@ sim::Co<std::map<std::string, array::DArray>> Adaptor::deisa1_publish_selection(
   co_return out;
 }
 
-sim::Co<void> Adaptor::deisa1_wait_step(int nranks) {
+exec::Co<void> Adaptor::deisa1_wait_step(int nranks) {
   for (int r = 0; r < nranks; ++r)
     (void)co_await client_->queue_get(kDeisa1ReadyQueue);
 }

@@ -17,20 +17,20 @@ Bridge::Bridge(dts::Client& client, Mode mode, int rank, int nranks)
     : client_(&client), mode_(mode), rank_(rank), nranks_(nranks) {
   DEISA_CHECK(rank >= 0 && rank < nranks, "bridge rank out of range");
   if (uses_external_tasks(mode_)) {
-    notify_ = std::make_shared<sim::Channel<int>>(client.engine());
+    notify_ = std::make_shared<exec::Channel<int>>(client.engine());
     client_->set_notify_channel(notify_);
     client_->engine().spawn(run_repush_listener());
   }
 }
 
-sim::Co<void> Bridge::run_repush_listener() {
+exec::Co<void> Bridge::run_repush_listener() {
   while (true) {
     (void)co_await notify_->recv();
     co_await run_repush();
   }
 }
 
-sim::Co<void> Bridge::publish_arrays(std::vector<VirtualArray> arrays) {
+exec::Co<void> Bridge::publish_arrays(std::vector<VirtualArray> arrays) {
   DEISA_CHECK(rank_ == 0, "only the rank-0 bridge publishes the arrays");
   std::uint64_t bytes = 256;
   for (const auto& a : arrays) bytes += 64 + a.shape.size() * 48;
@@ -39,7 +39,7 @@ sim::Co<void> Bridge::publish_arrays(std::vector<VirtualArray> arrays) {
   co_await client_->variable_set(kArraysVariable, std::move(payload));
 }
 
-sim::Co<void> Bridge::wait_contract() {
+exec::Co<void> Bridge::wait_contract() {
   obs::Span span = obs::trace_span("bridge", bridge_lane(rank_),
                                    "wait_contract");
   const dts::Data d = co_await client_->variable_get(kContractVariable);
@@ -69,7 +69,7 @@ int Bridge::preselect_worker(const VirtualArray& va,
   return array::preselected_worker(va.grid().linear_of(coord), workers);
 }
 
-sim::Co<bool> Bridge::send_block(const VirtualArray& va,
+exec::Co<bool> Bridge::send_block(const VirtualArray& va,
                                  const array::Index& coord, dts::Data data) {
   DEISA_CHECK(has_contract_, "bridges must wait for the contract first");
   DEISA_CHECK(uses_external_tasks(mode_),
@@ -97,7 +97,7 @@ sim::Co<bool> Bridge::send_block(const VirtualArray& va,
   co_return true;
 }
 
-sim::Co<std::size_t> Bridge::send_blocks(
+exec::Co<std::size_t> Bridge::send_blocks(
     const VirtualArray& va,
     std::vector<std::pair<array::Index, dts::Data>> blocks) {
   DEISA_CHECK(has_contract_, "bridges must wait for the contract first");
@@ -165,7 +165,7 @@ void Bridge::remember_block(const dts::Key& key, const dts::Data& data) {
   }
 }
 
-sim::Co<void> Bridge::handle_ack(int ack) {
+exec::Co<void> Bridge::handle_ack(int ack) {
   if (ack == dts::kAckDiscarded) {
     // The key was cancelled/poisoned scheduler-side; the block is moot.
     ++blocks_discarded_;
@@ -175,7 +175,7 @@ sim::Co<void> Bridge::handle_ack(int ack) {
   if (ack == dts::kAckRepushPending) co_await run_repush();
 }
 
-sim::Co<void> Bridge::run_repush() {
+exec::Co<void> Bridge::run_repush() {
   if (repushing_) co_return;  // the active loop will pick new work up
   repushing_ = true;
   // Exponential backoff between rounds: a replacement worker may itself
@@ -210,11 +210,11 @@ sim::Co<void> Bridge::run_repush() {
   repushing_ = false;
 }
 
-sim::Co<void> Bridge::run_heartbeats(sim::Event& stop) {
+exec::Co<void> Bridge::run_heartbeats(exec::Event& stop) {
   co_await client_->run_heartbeats(bridge_heartbeat_interval(mode_), stop);
 }
 
-sim::Co<void> Bridge::deisa1_fetch_selection() {
+exec::Co<void> Bridge::deisa1_fetch_selection() {
   obs::Span span = obs::trace_span("bridge", bridge_lane(rank_),
                                    "deisa1_fetch_selection");
   const dts::Data d = co_await client_->queue_get(deisa1_selection_queue(rank_));
@@ -222,7 +222,7 @@ sim::Co<void> Bridge::deisa1_fetch_selection() {
   has_contract_ = true;
 }
 
-sim::Co<bool> Bridge::deisa1_send_block(const VirtualArray& va,
+exec::Co<bool> Bridge::deisa1_send_block(const VirtualArray& va,
                                         const array::Index& coord,
                                         dts::Data data) {
   DEISA_CHECK(mode_ == Mode::kDeisa1, "deisa1_send_block requires DEISA1");

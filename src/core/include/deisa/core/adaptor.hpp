@@ -22,7 +22,7 @@ public:
 
   /// Wait for the rank-0 bridge to publish the deisa virtual arrays
   /// (Listing 2: Deisa.get_deisa_arrays()).
-  sim::Co<std::vector<VirtualArray>> get_deisa_arrays();
+  exec::Co<std::vector<VirtualArray>> get_deisa_arrays();
 
   /// Record a selection on array `name` (Listing 2's `arrays["global_t"]
   /// [...]` — the [] operator). Must be called between get_deisa_arrays()
@@ -35,15 +35,15 @@ public:
   /// external tasks (DEISA2/3), and send the filters back to the bridges
   /// (step 1 of Figure 1, "Sign contracts"). Returns one distributed
   /// array per selected virtual array.
-  sim::Co<std::map<std::string, array::DArray>> validate_contract();
+  exec::Co<std::map<std::string, array::DArray>> validate_contract();
 
   // ---- DEISA1 legacy path ----
   /// Push the per-rank selections into the per-rank distributed queues
   /// (nbr_ranks messages, unlike the single contract variable).
-  sim::Co<std::map<std::string, array::DArray>> deisa1_publish_selection(
+  exec::Co<std::map<std::string, array::DArray>> deisa1_publish_selection(
       int nranks);
   /// Wait until every rank reported completion of the current step.
-  sim::Co<void> deisa1_wait_step(int nranks);
+  exec::Co<void> deisa1_wait_step(int nranks);
 
   const Contract& contract() const { return contract_; }
 

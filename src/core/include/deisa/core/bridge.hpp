@@ -26,11 +26,11 @@ public:
 
   /// Rank 0: make the deisa virtual arrays available to the adaptor
   /// (step 1 of Figure 1, first half). One message.
-  sim::Co<void> publish_arrays(std::vector<VirtualArray> arrays);
+  exec::Co<void> publish_arrays(std::vector<VirtualArray> arrays);
 
   /// Block until the adaptor signs the contract (step 1, second half).
   /// All bridges, including rank 0, wait here before sending any data.
-  sim::Co<void> wait_contract();
+  exec::Co<void> wait_contract();
   const Contract& contract() const;
   bool has_contract() const { return has_contract_; }
 
@@ -41,7 +41,7 @@ public:
   /// with kAckRepushPending (the target worker is being replaced), the
   /// bridge drains its re-push assignments and replays the lost blocks at
   /// the re-routed workers, retrying with exponential backoff.
-  sim::Co<bool> send_block(const VirtualArray& va, const array::Index& coord,
+  exec::Co<bool> send_block(const VirtualArray& va, const array::Index& coord,
                            dts::Data data);
 
   /// Coalesced DEISA2/3 data path: filter every block this rank produced
@@ -51,19 +51,19 @@ public:
   /// once per (rank, worker, timestep) instead of once per block.
   /// Per-key acks get the same discard/re-push handling as send_block's.
   /// Returns the number of blocks sent (excluding filtered ones).
-  sim::Co<std::size_t> send_blocks(
+  exec::Co<std::size_t> send_blocks(
       const VirtualArray& va,
       std::vector<std::pair<array::Index, dts::Data>> blocks);
 
   /// Heartbeat loop at the mode's interval (DEISA3: returns immediately).
-  sim::Co<void> run_heartbeats(sim::Event& stop);
+  exec::Co<void> run_heartbeats(exec::Event& stop);
 
   // ---- DEISA1 legacy path ----
   /// Fetch this rank's selection from its dedicated distributed queue.
-  sim::Co<void> deisa1_fetch_selection();
+  exec::Co<void> deisa1_fetch_selection();
   /// Plain scatter of a block (no external state), then notify the
   /// adaptor through the shared ready-queue. Returns whether sent.
-  sim::Co<bool> deisa1_send_block(const VirtualArray& va,
+  exec::Co<bool> deisa1_send_block(const VirtualArray& va,
                                   const array::Index& coord, dts::Data data);
 
   std::uint64_t blocks_sent() const { return blocks_sent_; }
@@ -83,13 +83,13 @@ private:
   void remember_block(const dts::Key& key, const dts::Data& data);
   /// React to a scatter acknowledgement: on kAckRepushPending, drain the
   /// scheduler's re-push assignments and replay from the buffer.
-  sim::Co<void> handle_ack(int ack);
-  sim::Co<void> run_repush();
+  exec::Co<void> handle_ack(int ack);
+  exec::Co<void> run_repush();
   /// Waits on the notify channel the client registers with the scheduler:
   /// a poke means re-push work appeared after this rank's last push (a
   /// crash detected late), so no ack could carry the request. Runs for
   /// the bridge's lifetime; the engine reaps it at teardown.
-  sim::Co<void> run_repush_listener();
+  exec::Co<void> run_repush_listener();
 
   dts::Client* client_;
   Mode mode_;
@@ -110,7 +110,7 @@ private:
   std::unordered_map<std::string, array::ChunkKeyBuilder> key_builders_;
   std::unordered_map<dts::Key, dts::Data> replay_;
   std::deque<dts::Key> replay_order_;
-  std::shared_ptr<sim::Channel<int>> notify_;
+  std::shared_ptr<exec::Channel<int>> notify_;
   bool repushing_ = false;  // re-entrancy guard for run_repush()
 };
 

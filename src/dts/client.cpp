@@ -2,8 +2,8 @@
 
 namespace deisa::dts {
 
-Client::Client(sim::Engine& engine, net::Cluster& cluster, int id, int node,
-               int scheduler_node, sim::Channel<SchedMsg>* scheduler_inbox,
+Client::Client(exec::Executor& engine, exec::Transport& cluster, int id, int node,
+               int scheduler_node, exec::Channel<SchedMsg>* scheduler_inbox,
                std::vector<WorkerRef> workers)
     : engine_(&engine),
       cluster_(&cluster),
@@ -13,12 +13,12 @@ Client::Client(sim::Engine& engine, net::Cluster& cluster, int id, int node,
       scheduler_inbox_(scheduler_inbox),
       workers_(std::move(workers)) {}
 
-sim::Co<void> Client::send_to_scheduler(SchedMsg msg,
-                                        net::Delivery delivery) {
+exec::Co<void> Client::send_to_scheduler(SchedMsg msg,
+                                        exec::Delivery delivery) {
   ++messages_sent_;
   msg.sender_node = node_;
   msg.sender_client = id_;
-  const net::SendResult res = co_await cluster_->send_control(
+  const exec::SendResult res = co_await cluster_->send_control(
       node_, scheduler_node_, wire_bytes(msg), delivery);
   // Fault injection decides delivery; the caller enqueues the copies
   // (0 = dropped, 2 = duplicated — only for non-reliable traffic).
@@ -26,7 +26,7 @@ sim::Co<void> Client::send_to_scheduler(SchedMsg msg,
   if (res.copies > 0) scheduler_inbox_->send(std::move(msg));
 }
 
-sim::Co<void> Client::submit(std::vector<TaskSpec> tasks,
+exec::Co<void> Client::submit(std::vector<TaskSpec> tasks,
                              std::vector<Key> wants) {
   SchedMsg msg(SchedMsgKind::kUpdateGraph);
   msg.tasks = std::move(tasks);
@@ -34,7 +34,7 @@ sim::Co<void> Client::submit(std::vector<TaskSpec> tasks,
   co_await send_to_scheduler(std::move(msg));
 }
 
-sim::Co<std::vector<Future>> Client::external_futures(
+exec::Co<std::vector<Future>> Client::external_futures(
     std::vector<Key> keys, std::vector<int> preferred_workers) {
   std::vector<Future> futures;
   futures.reserve(keys.size());
@@ -46,7 +46,7 @@ sim::Co<std::vector<Future>> Client::external_futures(
   co_return futures;
 }
 
-sim::Co<int> Client::scatter(Key key, Data data, int worker, bool external,
+exec::Co<int> Client::scatter(Key key, Data data, int worker, bool external,
                              bool inform_scheduler) {
   DEISA_CHECK(worker >= 0 && static_cast<std::size_t>(worker) < workers_.size(),
               "scatter to unknown worker " << worker);
@@ -61,7 +61,7 @@ sim::Co<int> Client::scatter(Key key, Data data, int worker, bool external,
   // 2) ... and the metadata registration to the scheduler — a
   // synchronous RPC, as dask's scatter is: wait for the acknowledgement.
   if (inform_scheduler) {
-    auto ack = std::make_shared<sim::Channel<int>>(*engine_);
+    auto ack = std::make_shared<exec::Channel<int>>(*engine_);
     SchedMsg reg(SchedMsgKind::kUpdateData);
     reg.key = std::move(key);  // last use; the worker push copied above
     reg.worker = worker;
@@ -75,7 +75,7 @@ sim::Co<int> Client::scatter(Key key, Data data, int worker, bool external,
   co_return worker;
 }
 
-sim::Co<std::vector<int>> Client::scatter_batch(
+exec::Co<std::vector<int>> Client::scatter_batch(
     std::vector<std::pair<Key, Data>> items, int worker, bool external) {
   if (items.empty()) co_return std::vector<int>();
   DEISA_CHECK(worker >= 0 && static_cast<std::size_t>(worker) < workers_.size(),
@@ -97,23 +97,23 @@ sim::Co<std::vector<int>> Client::scatter_batch(
   push.batch = std::move(items);
   ref.inbox->send(std::move(push));
   // 2) One batched registration RPC; per-key acks come back together.
-  auto acks = std::make_shared<sim::Channel<std::vector<int>>>(*engine_);
+  auto acks = std::make_shared<exec::Channel<std::vector<int>>>(*engine_);
   reg.reply_acks = acks;
   reg.notify = notify_;
   co_await send_to_scheduler(std::move(reg));
   co_return co_await acks->recv();
 }
 
-sim::Co<RepushList> Client::repush_keys() {
-  auto reply = std::make_shared<sim::Channel<RepushList>>(*engine_);
+exec::Co<RepushList> Client::repush_keys() {
+  auto reply = std::make_shared<exec::Channel<RepushList>>(*engine_);
   SchedMsg msg(SchedMsgKind::kRepushKeys);
   msg.reply_repush = reply;
   co_await send_to_scheduler(std::move(msg));
   co_return co_await reply->recv();
 }
 
-sim::Co<int> Client::wait_key(const Key& key) {
-  auto reply = std::make_shared<sim::Channel<int>>(*engine_);
+exec::Co<int> Client::wait_key(const Key& key) {
+  auto reply = std::make_shared<exec::Channel<int>>(*engine_);
   SchedMsg msg(SchedMsgKind::kWaitKey);
   msg.key = key;
   msg.reply_worker = reply;
@@ -123,10 +123,10 @@ sim::Co<int> Client::wait_key(const Key& key) {
   co_return worker;
 }
 
-sim::Co<Data> Client::gather(const Key& key) {
+exec::Co<Data> Client::gather(const Key& key) {
   const int worker = co_await wait_key(key);
   const WorkerRef& ref = workers_[static_cast<std::size_t>(worker)];
-  auto reply = std::make_shared<sim::Channel<Data>>(*engine_);
+  auto reply = std::make_shared<exec::Channel<Data>>(*engine_);
   co_await cluster_->send_control(node_, ref.node,
                                   kControlMsgBase + key.size());
   WorkerMsg req(WorkerMsgKind::kGetData);
@@ -137,15 +137,15 @@ sim::Co<Data> Client::gather(const Key& key) {
   co_return co_await reply->recv();
 }
 
-sim::Co<void> Client::variable_set(const std::string& name, Data value) {
+exec::Co<void> Client::variable_set(const std::string& name, Data value) {
   SchedMsg msg(SchedMsgKind::kVariableSet);
   msg.name = name;
   msg.payload = std::move(value);
   co_await send_to_scheduler(std::move(msg));
 }
 
-sim::Co<Data> Client::variable_get(const std::string& name) {
-  auto reply = std::make_shared<sim::Channel<Data>>(*engine_);
+exec::Co<Data> Client::variable_get(const std::string& name) {
+  auto reply = std::make_shared<exec::Channel<Data>>(*engine_);
   SchedMsg msg(SchedMsgKind::kVariableGet);
   msg.name = name;
   msg.reply_data = reply;
@@ -153,8 +153,8 @@ sim::Co<Data> Client::variable_get(const std::string& name) {
   co_return co_await reply->recv();
 }
 
-sim::Co<void> Client::queue_put(const std::string& name, Data value) {
-  auto ack = std::make_shared<sim::Channel<int>>(*engine_);
+exec::Co<void> Client::queue_put(const std::string& name, Data value) {
+  auto ack = std::make_shared<exec::Channel<int>>(*engine_);
   SchedMsg msg(SchedMsgKind::kQueuePut);
   msg.name = name;
   msg.payload = std::move(value);
@@ -163,8 +163,8 @@ sim::Co<void> Client::queue_put(const std::string& name, Data value) {
   (void)co_await ack->recv();
 }
 
-sim::Co<Data> Client::queue_get(const std::string& name) {
-  auto reply = std::make_shared<sim::Channel<Data>>(*engine_);
+exec::Co<Data> Client::queue_get(const std::string& name) {
+  auto reply = std::make_shared<exec::Channel<Data>>(*engine_);
   SchedMsg msg(SchedMsgKind::kQueueGet);
   msg.name = name;
   msg.reply_data = reply;
@@ -172,19 +172,19 @@ sim::Co<Data> Client::queue_get(const std::string& name) {
   co_return co_await reply->recv();
 }
 
-sim::Co<void> Client::run_heartbeats(double interval, sim::Event& stop) {
+exec::Co<void> Client::run_heartbeats(double interval, exec::Event& stop) {
   if (interval <= 0.0) co_return;  // the paper's "infinite interval"
   while (!stop.is_set()) {
     co_await engine_->delay(interval);
     if (stop.is_set()) co_return;
     SchedMsg hb(SchedMsgKind::kHeartbeatBridge);
     hb.worker = id_;
-    co_await send_to_scheduler(std::move(hb), net::Delivery::kDroppable);
+    co_await send_to_scheduler(std::move(hb), exec::Delivery::kDroppable);
   }
 }
 
-sim::Co<void> Client::cancel(const Key& key) {
-  auto ack = std::make_shared<sim::Channel<int>>(*engine_);
+exec::Co<void> Client::cancel(const Key& key) {
+  auto ack = std::make_shared<exec::Channel<int>>(*engine_);
   SchedMsg msg(SchedMsgKind::kCancelKey);
   msg.key = key;
   msg.reply_worker = ack;
@@ -192,7 +192,7 @@ sim::Co<void> Client::cancel(const Key& key) {
   (void)co_await ack->recv();
 }
 
-sim::Co<void> Client::send_shutdown() {
+exec::Co<void> Client::send_shutdown() {
   SchedMsg msg(SchedMsgKind::kShutdown);
   co_await send_to_scheduler(std::move(msg));
 }

@@ -30,22 +30,22 @@ private:
 
 class Client {
 public:
-  Client(sim::Engine& engine, net::Cluster& cluster, int id, int node,
-         int scheduler_node, sim::Channel<SchedMsg>* scheduler_inbox,
+  Client(exec::Executor& engine, exec::Transport& cluster, int id, int node,
+         int scheduler_node, exec::Channel<SchedMsg>* scheduler_inbox,
          std::vector<WorkerRef> workers);
 
   int id() const { return id_; }
   int node() const { return node_; }
   int num_workers() const { return static_cast<int>(workers_.size()); }
-  sim::Engine& engine() { return *engine_; }
+  exec::Executor& engine() { return *engine_; }
 
   /// Submit a task graph; `wants` marks the keys this client will gather.
-  sim::Co<void> submit(std::vector<TaskSpec> tasks,
+  exec::Co<void> submit(std::vector<TaskSpec> tasks,
                        std::vector<Key> wants = {});
 
   /// Create external tasks (paper §2.2): keyed, unschedulable, completed
   /// later by an external environment. One batched RPC.
-  sim::Co<std::vector<Future>> external_futures(
+  exec::Co<std::vector<Future>> external_futures(
       std::vector<Key> keys, std::vector<int> preferred_workers = {});
 
   /// Scatter one payload to a worker. With `external=true` this completes
@@ -56,75 +56,75 @@ public:
   /// acknowledgement: the worker id normally, or one of the negative ack
   /// codes (kAckErred / kAckDiscarded / kAckRepushPending) under faults —
   /// kAckRepushPending asks the caller to follow up with repush_keys().
-  sim::Co<int> scatter(Key key, Data data, int worker, bool external = false,
+  exec::Co<int> scatter(Key key, Data data, int worker, bool external = false,
                        bool inform_scheduler = true);
 
   /// Coalesced scatter: push several payloads to ONE worker as a single
   /// bulk transfer plus a single batched registration RPC, instead of a
   /// (transfer, kUpdateData, ack) round trip per block. Returns the
   /// per-key acks in item order, same codes as scatter().
-  sim::Co<std::vector<int>> scatter_batch(
+  exec::Co<std::vector<int>> scatter_batch(
       std::vector<std::pair<Key, Data>> items, int worker,
       bool external = false);
 
   /// Drain this producer's pending re-push assignments: lost external
   /// keys the scheduler wants pushed again, each with its re-routed
   /// target worker. Synchronous RPC (see kAckRepushPending).
-  sim::Co<RepushList> repush_keys();
+  exec::Co<RepushList> repush_keys();
 
   /// Register a wake-up channel carried on every scatter registration.
   /// The scheduler pokes it with kAckRepushPending when re-push work
   /// appears for this producer after its last push — the only path by
   /// which a crash detected late (after the final block went out) still
   /// reaches the producer's replay buffer.
-  void set_notify_channel(std::shared_ptr<sim::Channel<int>> ch) {
+  void set_notify_channel(std::shared_ptr<exec::Channel<int>> ch) {
     notify_ = std::move(ch);
   }
 
   /// Block until `key` is finished; returns the worker holding it.
   /// Throws util::Error if the task erred.
-  sim::Co<int> wait_key(const Key& key);
+  exec::Co<int> wait_key(const Key& key);
 
   /// wait_key + fetch the payload from the owning worker.
-  sim::Co<Data> gather(const Key& key);
+  exec::Co<Data> gather(const Key& key);
 
   // Dask Variables: named single-slot broadcast values (used for the
   // contract exchange in DEISA2/3 — two variables instead of the
   // nbr_ranks queues of DEISA1).
-  sim::Co<void> variable_set(const std::string& name, Data value);
-  sim::Co<Data> variable_get(const std::string& name);
+  exec::Co<void> variable_set(const std::string& name, Data value);
+  exec::Co<Data> variable_get(const std::string& name);
 
   // Dask Queues (the DEISA1 mechanism).
-  sim::Co<void> queue_put(const std::string& name, Data value);
-  sim::Co<Data> queue_get(const std::string& name);
+  exec::Co<void> queue_put(const std::string& name, Data value);
+  exec::Co<Data> queue_get(const std::string& name);
 
   /// Periodic client heartbeat to the scheduler. DEISA1 keeps the default
   /// interval, DEISA2 raises it to 60 s, DEISA3 sets it to infinity
   /// (interval <= 0 here). Runs until `stop` is set.
-  sim::Co<void> run_heartbeats(double interval, sim::Event& stop);
+  exec::Co<void> run_heartbeats(double interval, exec::Event& stop);
 
   /// Cancel a not-yet-finished task: it (and its downstream cone) moves
   /// to the erred state with a "cancelled" message. Completed results
   /// are left untouched. Synchronous.
-  sim::Co<void> cancel(const Key& key);
+  exec::Co<void> cancel(const Key& key);
 
   /// Ask the scheduler to shut down (tests/teardown).
-  sim::Co<void> send_shutdown();
+  exec::Co<void> send_shutdown();
 
   std::uint64_t messages_sent() const { return messages_sent_; }
 
 private:
-  sim::Co<void> send_to_scheduler(
-      SchedMsg msg, net::Delivery delivery = net::Delivery::kReliable);
+  exec::Co<void> send_to_scheduler(
+      SchedMsg msg, exec::Delivery delivery = exec::Delivery::kReliable);
 
-  sim::Engine* engine_;
-  net::Cluster* cluster_;
+  exec::Executor* engine_;
+  exec::Transport* cluster_;
   int id_;
   int node_;
   int scheduler_node_;
-  sim::Channel<SchedMsg>* scheduler_inbox_;
+  exec::Channel<SchedMsg>* scheduler_inbox_;
   std::vector<WorkerRef> workers_;
-  std::shared_ptr<sim::Channel<int>> notify_;
+  std::shared_ptr<exec::Channel<int>> notify_;
   std::uint64_t messages_sent_ = 0;
 };
 

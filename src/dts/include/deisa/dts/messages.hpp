@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "deisa/dts/task.hpp"
-#include "deisa/sim/primitives.hpp"
+#include "deisa/exec/primitives.hpp"
 
 namespace deisa::dts {
 
@@ -33,11 +33,11 @@ inline constexpr std::uint64_t kWirePerKeyBytes = 64;
 /// Reference to a worker actor as seen by the scheduler/clients.
 struct WorkerRef {
   WorkerRef() = default;
-  WorkerRef(int id_, int node_, sim::Channel<struct WorkerMsg>* inbox_)
+  WorkerRef(int id_, int node_, exec::Channel<struct WorkerMsg>* inbox_)
       : id(id_), node(node_), inbox(inbox_) {}
   int id = -1;
   int node = -1;
-  sim::Channel<struct WorkerMsg>* inbox = nullptr;
+  exec::Channel<struct WorkerMsg>* inbox = nullptr;
 };
 
 /// Dependency location handed to a worker with a compute request.
@@ -122,7 +122,7 @@ struct SchedMsg {
   std::vector<Key> keys;
   std::vector<int> preferred_workers;
   std::vector<std::uint64_t> sizes;
-  std::shared_ptr<sim::Channel<std::vector<int>>> reply_acks;
+  std::shared_ptr<exec::Channel<std::vector<int>>> reply_acks;
 
   // kVariable* / kQueue*
   std::string name;
@@ -130,16 +130,16 @@ struct SchedMsg {
 
   // Replies (WaitKey -> worker id or -2 on error; VariableGet/QueueGet ->
   // payload). Channels are engine-bound and shared with the requester.
-  std::shared_ptr<sim::Channel<int>> reply_worker;
-  std::shared_ptr<sim::Channel<Data>> reply_data;
-  std::shared_ptr<sim::Channel<RepushList>> reply_repush;  // kRepushKeys
+  std::shared_ptr<exec::Channel<int>> reply_worker;
+  std::shared_ptr<exec::Channel<Data>> reply_data;
+  std::shared_ptr<exec::Channel<RepushList>> reply_repush;  // kRepushKeys
 
   /// Producer wake-up channel, carried on kUpdateData. The scheduler
   /// remembers the latest channel per producing client and pokes it with
   /// kAckRepushPending when re-push work appears for that producer later
   /// — e.g. a crash detected after the producer's final push, when no
   /// further ack could carry the request.
-  std::shared_ptr<sim::Channel<int>> notify;
+  std::shared_ptr<exec::Channel<int>> notify;
 
   /// Memoized sum of tasks[i].deps.size(), shared by wire_bytes() and
   /// the scheduler's service-time model so a large update_graph batch is
@@ -174,7 +174,7 @@ struct WorkerMsg {
   Key key;
   Data payload;
   int requester_node = -1;
-  std::shared_ptr<sim::Channel<Data>> reply_data;
+  std::shared_ptr<exec::Channel<Data>> reply_data;
 
   // kReceiveDataBatch
   std::vector<std::pair<Key, Data>> batch;

@@ -19,13 +19,13 @@ class Runtime {
 public:
   /// Places the scheduler on `scheduler_node` and one worker per entry of
   /// `worker_nodes`.
-  Runtime(sim::Engine& engine, net::Cluster& cluster, int scheduler_node,
+  Runtime(exec::Executor& engine, exec::Transport& cluster, int scheduler_node,
           std::vector<int> worker_nodes, RuntimeParams params = {});
 
   /// Spawn the scheduler and worker actors onto the engine.
   void start();
   /// Ask every actor to exit (idempotent); the engine then drains.
-  sim::Co<void> shutdown();
+  exec::Co<void> shutdown();
 
   Scheduler& scheduler() { return *scheduler_; }
   Worker& worker(int i) { return *workers_.at(static_cast<std::size_t>(i)); }
@@ -36,8 +36,8 @@ public:
   Client& make_client(int node);
 
 private:
-  sim::Engine* engine_;
-  net::Cluster* cluster_;
+  exec::Executor* engine_;
+  exec::Transport* cluster_;
   std::unique_ptr<Scheduler> scheduler_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<Client>> clients_;

@@ -27,8 +27,8 @@
 #include "deisa/dts/key_table.hpp"
 #include "deisa/dts/messages.hpp"
 #include "deisa/dts/task.hpp"
-#include "deisa/net/cluster.hpp"
-#include "deisa/sim/primitives.hpp"
+#include "deisa/exec/transport.hpp"
+#include "deisa/exec/primitives.hpp"
 #include "deisa/util/rng.hpp"
 
 namespace deisa::dts {
@@ -88,20 +88,20 @@ struct RecoveryCounters {
 
 class Scheduler {
 public:
-  Scheduler(sim::Engine& engine, net::Cluster& cluster, int node,
+  Scheduler(exec::Executor& engine, exec::Transport& cluster, int node,
             SchedulerParams params);
 
   int node() const { return node_; }
-  sim::Channel<SchedMsg>& inbox() { return inbox_; }
+  exec::Channel<SchedMsg>& inbox() { return inbox_; }
   void attach_workers(std::vector<WorkerRef> workers);
 
   /// Main actor loop (spawned by the Runtime). Exits on kShutdown.
-  sim::Co<void> run();
+  exec::Co<void> run();
   /// Heartbeat-deadline monitor (spawned alongside run()). Exits
   /// immediately when params.heartbeat_timeout <= 0. Suspected workers
   /// are reported through the scheduler's own inbox (kWorkerLost), so
   /// recovery serializes with every other handler.
-  sim::Co<void> run_failure_detector();
+  exec::Co<void> run_failure_detector();
 
   // ---- observability ----
   std::uint64_t messages_received(SchedMsgKind kind) const {
@@ -173,7 +173,7 @@ private:
 
   /// Clients blocked in wait_key/gather on one record (cold path).
   struct WaiterList {
-    std::vector<std::shared_ptr<sim::Channel<int>>> chans;
+    std::vector<std::shared_ptr<exec::Channel<int>>> chans;
     std::vector<int> nodes;
   };
 
@@ -207,40 +207,40 @@ private:
   KeyId pop_ready();
   /// Assign every queued ready task in FIFO order. Handlers call this
   /// before returning, so the queue is always empty between messages.
-  sim::Co<void> drain_ready();
+  exec::Co<void> drain_ready();
 
-  sim::Co<void> handle(SchedMsg msg);
-  sim::Co<void> handle_update_graph(SchedMsg& msg);
-  sim::Co<void> handle_task_finished(SchedMsg& msg);
-  sim::Co<void> handle_update_data(SchedMsg& msg);
+  exec::Co<void> handle(SchedMsg msg);
+  exec::Co<void> handle_update_graph(SchedMsg& msg);
+  exec::Co<void> handle_task_finished(SchedMsg& msg);
+  exec::Co<void> handle_update_data(SchedMsg& msg);
   /// Register one pushed/scattered key on `worker` and return the ack
   /// code. Shared by the single-key path and the coalesced batch path
   /// (one kUpdateData carrying keys[]/sizes[] for a whole bridge push).
-  sim::Co<int> update_data_one(Key key, int worker, std::uint64_t bytes,
+  exec::Co<int> update_data_one(Key key, int worker, std::uint64_t bytes,
                                bool external, int sender_client);
   void handle_create_external(SchedMsg& msg);
-  sim::Co<void> handle_wait_key(SchedMsg& msg);
-  sim::Co<void> handle_cancel(SchedMsg& msg);
-  sim::Co<void> handle_variable(SchedMsg& msg);
-  sim::Co<void> handle_queue(SchedMsg& msg);
-  sim::Co<void> handle_worker_lost(SchedMsg& msg);
-  sim::Co<void> handle_repush_keys(SchedMsg& msg);
-  sim::Co<void> handle_repush_expired(SchedMsg& msg);
+  exec::Co<void> handle_wait_key(SchedMsg& msg);
+  exec::Co<void> handle_cancel(SchedMsg& msg);
+  exec::Co<void> handle_variable(SchedMsg& msg);
+  exec::Co<void> handle_queue(SchedMsg& msg);
+  exec::Co<void> handle_worker_lost(SchedMsg& msg);
+  exec::Co<void> handle_repush_keys(SchedMsg& msg);
+  exec::Co<void> handle_repush_expired(SchedMsg& msg);
 
   /// Recovery core, run as (part of) a serialized handler: classify every
   /// key held by the dead worker, re-run lost computed keys via lineage,
   /// re-arm lost external keys for a producer re-push, err unrecoverable
   /// scatters (poisoning their cones), and re-assign in-flight tasks.
-  sim::Co<void> recover_worker(int worker);
+  exec::Co<void> recover_worker(int worker);
   /// Err task `id` and cascade the poison through its dependent cone,
   /// releasing any blocked waiters with kAckErred.
-  sim::Co<void> poison_task(KeyId id, const std::string& error);
+  exec::Co<void> poison_task(KeyId id, const std::string& error);
   /// Reply `value` to every client blocked on record `id` and drop them.
-  sim::Co<void> release_waiters(KeyId id, int value);
+  exec::Co<void> release_waiters(KeyId id, int value);
   /// Watchdog for a re-armed external key: if the producer has not
   /// replayed it within params.repush_timeout, err it out (epoch guards
   /// against acting on a key that was replayed and re-armed again).
-  sim::Co<void> repush_deadline(Key key, std::uint64_t epoch);
+  exec::Co<void> repush_deadline(Key key, std::uint64_t epoch);
   /// Poke a producer's registered wake-up channel (no-op if it never
   /// pushed with one): re-push work is waiting for it.
   void notify_producer(int client);
@@ -253,22 +253,22 @@ private:
   /// Mark record `id` finished in memory and cascade: notify waiters,
   /// decrement dependents, assign newly-ready tasks. The
   /// external→memory transition of §2.2 lands here.
-  sim::Co<void> finish_task(KeyId id, TaskRecord& rec, int worker,
+  exec::Co<void> finish_task(KeyId id, TaskRecord& rec, int worker,
                             std::uint64_t bytes, bool erred,
                             const std::string& error);
-  sim::Co<void> assign(KeyId id);
+  exec::Co<void> assign(KeyId id);
   int decide_worker(const TaskRecord& rec);
-  sim::Co<void> reply_int(std::shared_ptr<sim::Channel<int>> ch, int dst_node,
+  exec::Co<void> reply_int(std::shared_ptr<exec::Channel<int>> ch, int dst_node,
                           int value);
-  sim::Co<void> reply_data(std::shared_ptr<sim::Channel<Data>> ch,
+  exec::Co<void> reply_data(std::shared_ptr<exec::Channel<Data>> ch,
                            int dst_node, Data value);
 
-  sim::Engine* engine_;
-  net::Cluster* cluster_;
+  exec::Executor* engine_;
+  exec::Transport* cluster_;
   int node_;
   SchedulerParams params_;
-  sim::Channel<SchedMsg> inbox_;
-  sim::FifoServer server_;
+  exec::Channel<SchedMsg> inbox_;
+  exec::FifoServer server_;
   util::Rng rng_;
 
   std::vector<WorkerRef> workers_;
@@ -301,13 +301,13 @@ private:
   struct VariableSlot {
     bool set = false;
     Data value;
-    std::vector<std::pair<std::shared_ptr<sim::Channel<Data>>, int>> waiters;
+    std::vector<std::pair<std::shared_ptr<exec::Channel<Data>>, int>> waiters;
   };
   std::unordered_map<std::string, VariableSlot> variables_;
 
   struct QueueSlot {
     std::deque<Data> items;
-    std::deque<std::pair<std::shared_ptr<sim::Channel<Data>>, int>> waiters;
+    std::deque<std::pair<std::shared_ptr<exec::Channel<Data>>, int>> waiters;
   };
   std::unordered_map<std::string, QueueSlot> queues_;
 
@@ -331,7 +331,7 @@ private:
   // coming — and drains the list with kRepushKeys.
   std::unordered_map<int, std::vector<KeyId>> repush_;
   // Latest wake-up channel per producing client (see SchedMsg::notify).
-  std::unordered_map<int, std::shared_ptr<sim::Channel<int>>> producer_notify_;
+  std::unordered_map<int, std::shared_ptr<exec::Channel<int>>> producer_notify_;
   RecoveryCounters recovery_;
 };
 

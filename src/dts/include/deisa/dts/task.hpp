@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "deisa/sim/co.hpp"
+#include "deisa/exec/co.hpp"
 #include "deisa/util/error.hpp"
 
 namespace deisa::dts {
@@ -82,7 +82,7 @@ using TaskFn = std::function<Data(const std::vector<Data>&)>;
 /// Optional asynchronous I/O hook awaited by the worker before running
 /// the task function. Used by post-hoc read tasks to charge simulated
 /// parallel-file-system time (with contention) for their input bytes.
-using AsyncHook = std::function<sim::Co<void>()>;
+using AsyncHook = std::function<exec::Co<void>()>;
 
 /// One node of a task graph submitted by a client.
 struct TaskSpec {

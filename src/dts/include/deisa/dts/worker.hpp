@@ -8,8 +8,8 @@
 
 #include "deisa/dts/messages.hpp"
 #include "deisa/dts/task.hpp"
-#include "deisa/net/cluster.hpp"
-#include "deisa/sim/primitives.hpp"
+#include "deisa/exec/transport.hpp"
+#include "deisa/exec/primitives.hpp"
 
 namespace deisa::dts {
 
@@ -26,21 +26,21 @@ struct WorkerParams {
 
 class Worker {
 public:
-  Worker(sim::Engine& engine, net::Cluster& cluster, int id, int node,
+  Worker(exec::Executor& engine, exec::Transport& cluster, int id, int node,
          WorkerParams params);
 
   int id() const { return id_; }
   int node() const { return node_; }
-  sim::Channel<WorkerMsg>& inbox() { return inbox_; }
+  exec::Channel<WorkerMsg>& inbox() { return inbox_; }
 
   /// Wire up peers and the scheduler (done once by the Runtime).
-  void attach(int scheduler_node, sim::Channel<SchedMsg>* scheduler_inbox,
+  void attach(int scheduler_node, exec::Channel<SchedMsg>* scheduler_inbox,
               std::vector<WorkerRef> peers);
 
   /// Main actor loop; exits on kShutdown.
-  sim::Co<void> run();
+  exec::Co<void> run();
   /// Heartbeat loop (spawned alongside run()); exits once shutdown.
-  sim::Co<void> run_heartbeats();
+  exec::Co<void> run_heartbeats();
 
   /// Fail-stop crash (fault injection): the worker stops heartbeating,
   /// drops every queued and future message, abandons in-flight computes,
@@ -78,54 +78,54 @@ public:
   double busy_time() const { return cpu_.total_busy_time(); }
 
   /// Local blocking lookup: waits until `key` lands in the local store.
-  sim::Co<Data> local_get(const Key& key);
+  exec::Co<Data> local_get(const Key& key);
 
 private:
   /// One in-flight peer fetch, shared by every task waiting on the key.
   struct InflightFetch {
-    explicit InflightFetch(sim::Engine& engine) : done(engine) {}
-    sim::Event done;
+    explicit InflightFetch(exec::Executor& engine) : done(engine) {}
+    exec::Event done;
     Data data;
   };
 
-  sim::Co<void> handle_compute(TaskSpec spec, std::vector<DepLocation> deps);
-  sim::Co<Data> fetch(const DepLocation& dep);
+  exec::Co<void> handle_compute(TaskSpec spec, std::vector<DepLocation> deps);
+  exec::Co<Data> fetch(const DepLocation& dep);
   /// Fetch one dependency into slot `i` of the shared input vector
   /// (spawned per dep by handle_compute; joined with when_all).
-  sim::Co<void> fetch_one(std::shared_ptr<std::vector<Data>> inputs,
+  exec::Co<void> fetch_one(std::shared_ptr<std::vector<Data>> inputs,
                           std::size_t i, DepLocation dep);
-  sim::Co<void> handle_get_data(WorkerMsg msg);
+  exec::Co<void> handle_get_data(WorkerMsg msg);
   void store_put(Key key, Data data);
   /// Like store_put, but accounts the bytes as a cached peer copy
   /// (memory_bytes_ and peer_fetch_cached_bytes_, not bytes_stored_).
   void store_put_cached(Key key, Data data);
-  sim::Co<void> notify_scheduler(
-      SchedMsg msg, net::Delivery delivery = net::Delivery::kReliable);
+  exec::Co<void> notify_scheduler(
+      SchedMsg msg, exec::Delivery delivery = exec::Delivery::kReliable);
 
   /// Update the memory gauge + counter track after a store change.
   void record_memory() const;
 
-  sim::Engine* engine_;
-  net::Cluster* cluster_;
+  exec::Executor* engine_;
+  exec::Transport* cluster_;
   int id_;
   int node_;
   std::string actor_;  // trace actor name, "worker-<id>"
   WorkerParams params_;
-  sim::Channel<WorkerMsg> inbox_;
-  sim::FifoServer cpu_;
+  exec::Channel<WorkerMsg> inbox_;
+  exec::FifoServer cpu_;
 
   int scheduler_node_ = -1;
-  sim::Channel<SchedMsg>* scheduler_inbox_ = nullptr;
+  exec::Channel<SchedMsg>* scheduler_inbox_ = nullptr;
   std::vector<WorkerRef> peers_;
 
   std::unordered_map<Key, Data> store_;
-  std::unordered_map<Key, std::unique_ptr<sim::Event>> arrivals_;
+  std::unordered_map<Key, std::unique_ptr<exec::Event>> arrivals_;
   /// Peer fetches currently on the wire, keyed by the requested key.
   /// Tasks needing a key already in flight join the existing fetch
   /// instead of issuing a duplicate request.
   std::unordered_map<Key, std::shared_ptr<InflightFetch>> inflight_;
   /// Bounds the number of concurrent outbound peer fetches (NIC model).
-  sim::Semaphore fetch_slots_;
+  exec::Semaphore fetch_slots_;
   std::uint64_t tasks_executed_ = 0;
   std::uint64_t bytes_stored_ = 0;
   std::uint64_t peer_fetch_cached_bytes_ = 0;

@@ -2,7 +2,7 @@
 
 namespace deisa::dts {
 
-Runtime::Runtime(sim::Engine& engine, net::Cluster& cluster,
+Runtime::Runtime(exec::Executor& engine, exec::Transport& cluster,
                  int scheduler_node, std::vector<int> worker_nodes,
                  RuntimeParams params)
     : engine_(&engine), cluster_(&cluster) {
@@ -29,11 +29,18 @@ std::vector<WorkerRef> Runtime::worker_refs() const {
 void Runtime::start() {
   DEISA_CHECK(!started_, "runtime already started");
   started_ = true;
-  engine_->spawn(scheduler_->run());
-  engine_->spawn(scheduler_->run_failure_detector());
+  // Strand grouping (no-op under the simulator): the scheduler's message
+  // loop and failure detector share one strand, and each worker's task
+  // loop shares a strand with its heartbeat emitter, because each pair
+  // mutates the same unlocked actor state. Cross-actor traffic goes
+  // through thread-safe channels.
+  void* sched_strand = engine_->new_strand();
+  engine_->spawn_on(sched_strand, scheduler_->run());
+  engine_->spawn_on(sched_strand, scheduler_->run_failure_detector());
   for (auto& w : workers_) {
-    engine_->spawn(w->run());
-    engine_->spawn(w->run_heartbeats());
+    void* worker_strand = engine_->new_strand();
+    engine_->spawn_on(worker_strand, w->run());
+    engine_->spawn_on(worker_strand, w->run_heartbeats());
   }
 }
 
@@ -44,7 +51,7 @@ Client& Runtime::make_client(int node) {
   return *clients_.back();
 }
 
-sim::Co<void> Runtime::shutdown() {
+exec::Co<void> Runtime::shutdown() {
   SchedMsg stop(SchedMsgKind::kShutdown);
   scheduler_->inbox().send(std::move(stop));
   for (auto& w : workers_) {

@@ -89,7 +89,7 @@ std::uint64_t wire_bytes(const SchedMsg& msg) {
   return b;
 }
 
-Scheduler::Scheduler(sim::Engine& engine, net::Cluster& cluster, int node,
+Scheduler::Scheduler(exec::Executor& engine, exec::Transport& cluster, int node,
                      SchedulerParams params)
     : engine_(&engine),
       cluster_(&cluster),
@@ -230,11 +230,11 @@ KeyId Scheduler::pop_ready() {
   return id;
 }
 
-sim::Co<void> Scheduler::drain_ready() {
+exec::Co<void> Scheduler::drain_ready() {
   while (ready_head_ != kNoKeyId) co_await assign(pop_ready());
 }
 
-sim::Co<void> Scheduler::run() {
+exec::Co<void> Scheduler::run() {
   while (true) {
     SchedMsg msg = co_await inbox_.recv();
     ++total_messages_;
@@ -260,7 +260,7 @@ sim::Co<void> Scheduler::run() {
   }
 }
 
-sim::Co<void> Scheduler::handle(SchedMsg msg) {
+exec::Co<void> Scheduler::handle(SchedMsg msg) {
   switch (msg.kind) {
     case SchedMsgKind::kUpdateGraph: co_await handle_update_graph(msg); break;
     case SchedMsgKind::kTaskFinished: co_await handle_task_finished(msg); break;
@@ -302,7 +302,7 @@ sim::Co<void> Scheduler::handle(SchedMsg msg) {
   }
 }
 
-sim::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
+exec::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
   const std::size_t n = msg.tasks.size();
   const std::size_t ndeps = static_cast<std::size_t>(spec_dep_total(msg));
   keys_.reserve(keys_.size() + n);
@@ -451,7 +451,7 @@ int Scheduler::decide_worker(const TaskRecord& rec) {
   return pick_live_worker();
 }
 
-sim::Co<void> Scheduler::assign(KeyId id) {
+exec::Co<void> Scheduler::assign(KeyId id) {
   TaskRecord& rec = records_[id];
   DEISA_ASSERT(rec.state == TaskState::kReady,
                "assigning task in state " << to_string(rec.state));
@@ -482,7 +482,7 @@ sim::Co<void> Scheduler::assign(KeyId id) {
   ref.inbox->send(std::move(m));
 }
 
-sim::Co<void> Scheduler::poison_task(KeyId id, const std::string& error) {
+exec::Co<void> Scheduler::poison_task(KeyId id, const std::string& error) {
   TaskRecord& rec = records_[id];
   if (rec.state != TaskState::kErred) {
     transition(id, rec, TaskState::kErred);
@@ -508,7 +508,7 @@ sim::Co<void> Scheduler::poison_task(KeyId id, const std::string& error) {
   }
 }
 
-sim::Co<void> Scheduler::release_waiters(KeyId id, int value) {
+exec::Co<void> Scheduler::release_waiters(KeyId id, int value) {
   const auto it = waiters_.find(id);
   if (it == waiters_.end()) co_return;
   WaiterList wl = std::move(it->second);
@@ -517,7 +517,7 @@ sim::Co<void> Scheduler::release_waiters(KeyId id, int value) {
     co_await reply_int(wl.chans[i], wl.nodes[i], value);
 }
 
-sim::Co<void> Scheduler::finish_task(KeyId id, TaskRecord& rec, int worker,
+exec::Co<void> Scheduler::finish_task(KeyId id, TaskRecord& rec, int worker,
                                      std::uint64_t bytes, bool erred,
                                      const std::string& error) {
   rec.worker = worker;
@@ -543,7 +543,7 @@ sim::Co<void> Scheduler::finish_task(KeyId id, TaskRecord& rec, int worker,
   co_await drain_ready();
 }
 
-sim::Co<void> Scheduler::handle_task_finished(SchedMsg& msg) {
+exec::Co<void> Scheduler::handle_task_finished(SchedMsg& msg) {
   const KeyId id = keys_.find(msg.key);
   if (id == kNoKeyId) {
     ++recovery_.stale_task_finished;
@@ -579,7 +579,7 @@ sim::Co<void> Scheduler::handle_task_finished(SchedMsg& msg) {
   co_await finish_task(id, rec, msg.worker, msg.bytes, msg.erred, msg.error);
 }
 
-sim::Co<int> Scheduler::update_data_one(Key key, int worker,
+exec::Co<int> Scheduler::update_data_one(Key key, int worker,
                                         std::uint64_t bytes, bool external,
                                         int sender_client) {
   int ack = worker;
@@ -674,7 +674,7 @@ sim::Co<int> Scheduler::update_data_one(Key key, int worker,
   co_return ack;
 }
 
-sim::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
+exec::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
   if (msg.notify != nullptr) producer_notify_[msg.sender_client] = msg.notify;
   if (!msg.keys.empty() || msg.reply_acks != nullptr) {
     // Coalesced bridge push: register every (keys[i], sizes[i]) pair on
@@ -762,7 +762,7 @@ void Scheduler::handle_create_external(SchedMsg& msg) {
   }
 }
 
-sim::Co<void> Scheduler::handle_wait_key(SchedMsg& msg) {
+exec::Co<void> Scheduler::handle_wait_key(SchedMsg& msg) {
   const KeyId id = keys_.find(msg.key);
   DEISA_CHECK(id != kNoKeyId, "wait on unknown key: " << msg.key);
   TaskRecord& rec = records_[id];
@@ -777,7 +777,7 @@ sim::Co<void> Scheduler::handle_wait_key(SchedMsg& msg) {
   }
 }
 
-sim::Co<void> Scheduler::handle_cancel(SchedMsg& msg) {
+exec::Co<void> Scheduler::handle_cancel(SchedMsg& msg) {
   const KeyId id = keys_.find(msg.key);
   DEISA_CHECK(id != kNoKeyId, "cancel of unknown key: " << msg.key);
   TaskRecord& rec = records_[id];
@@ -790,7 +790,7 @@ sim::Co<void> Scheduler::handle_cancel(SchedMsg& msg) {
     co_await reply_int(msg.reply_worker, msg.sender_node, 0);
 }
 
-sim::Co<void> Scheduler::handle_variable(SchedMsg& msg) {
+exec::Co<void> Scheduler::handle_variable(SchedMsg& msg) {
   VariableSlot& slot = variables_[msg.name];
   if (msg.kind == SchedMsgKind::kVariableSet) {
     slot.set = true;
@@ -807,7 +807,7 @@ sim::Co<void> Scheduler::handle_variable(SchedMsg& msg) {
   }
 }
 
-sim::Co<void> Scheduler::handle_queue(SchedMsg& msg) {
+exec::Co<void> Scheduler::handle_queue(SchedMsg& msg) {
   QueueSlot& slot = queues_[msg.name];
   if (msg.kind == SchedMsgKind::kQueuePut) {
     if (!slot.waiters.empty()) {
@@ -831,7 +831,7 @@ sim::Co<void> Scheduler::handle_queue(SchedMsg& msg) {
   }
 }
 
-sim::Co<void> Scheduler::run_failure_detector() {
+exec::Co<void> Scheduler::run_failure_detector() {
   if (params_.heartbeat_timeout <= 0.0) co_return;
   const double interval = params_.failure_check_interval > 0.0
                               ? params_.failure_check_interval
@@ -863,7 +863,7 @@ sim::Co<void> Scheduler::run_failure_detector() {
   }
 }
 
-sim::Co<void> Scheduler::handle_worker_lost(SchedMsg& msg) {
+exec::Co<void> Scheduler::handle_worker_lost(SchedMsg& msg) {
   const int w = msg.worker;
   if (w < 0 || static_cast<std::size_t>(w) >= workers_.size()) co_return;
   suspected_[static_cast<std::size_t>(w)] = 0;
@@ -886,7 +886,7 @@ sim::Co<void> Scheduler::handle_worker_lost(SchedMsg& msg) {
   co_await recover_worker(w);
 }
 
-sim::Co<void> Scheduler::recover_worker(int w) {
+exec::Co<void> Scheduler::recover_worker(int w) {
   obs::Span span;
   if (obs::tracer() != nullptr)
     span = obs::trace_span("scheduler", "recovery",
@@ -1042,7 +1042,7 @@ sim::Co<void> Scheduler::recover_worker(int w) {
   co_await drain_ready();
 }
 
-sim::Co<void> Scheduler::handle_repush_keys(SchedMsg& msg) {
+exec::Co<void> Scheduler::handle_repush_keys(SchedMsg& msg) {
   RepushList list;
   const auto it = repush_.find(msg.sender_client);
   if (it != repush_.end()) {
@@ -1066,7 +1066,7 @@ sim::Co<void> Scheduler::handle_repush_keys(SchedMsg& msg) {
   msg.reply_repush->send(std::move(list));
 }
 
-sim::Co<void> Scheduler::handle_repush_expired(SchedMsg& msg) {
+exec::Co<void> Scheduler::handle_repush_expired(SchedMsg& msg) {
   const KeyId id = keys_.find(msg.key);
   if (id == kNoKeyId) co_return;
   TaskRecord& rec = records_[id];
@@ -1091,7 +1091,7 @@ void Scheduler::notify_producer(int client) {
   if (it != producer_notify_.end()) it->second->send(kAckRepushPending);
 }
 
-sim::Co<void> Scheduler::repush_deadline(Key key, std::uint64_t epoch) {
+exec::Co<void> Scheduler::repush_deadline(Key key, std::uint64_t epoch) {
   co_await engine_->delay(params_.repush_timeout);
   if (stopping_) co_return;
   const KeyId id = keys_.find(key);
@@ -1108,14 +1108,14 @@ sim::Co<void> Scheduler::repush_deadline(Key key, std::uint64_t epoch) {
   inbox_.send(std::move(msg));
 }
 
-sim::Co<void> Scheduler::reply_int(std::shared_ptr<sim::Channel<int>> ch,
+exec::Co<void> Scheduler::reply_int(std::shared_ptr<exec::Channel<int>> ch,
                                    int dst_node, int value) {
   DEISA_ASSERT(ch != nullptr, "missing reply channel");
   co_await cluster_->send_control(node_, dst_node, kControlMsgBase);
   ch->send(value);
 }
 
-sim::Co<void> Scheduler::reply_data(std::shared_ptr<sim::Channel<Data>> ch,
+exec::Co<void> Scheduler::reply_data(std::shared_ptr<exec::Channel<Data>> ch,
                                     int dst_node, Data value) {
   DEISA_ASSERT(ch != nullptr, "missing reply channel");
   const std::uint64_t b = kControlMsgBase + value.bytes;

@@ -5,7 +5,7 @@
 
 namespace deisa::dts {
 
-Worker::Worker(sim::Engine& engine, net::Cluster& cluster, int id, int node,
+Worker::Worker(exec::Executor& engine, exec::Transport& cluster, int id, int node,
                WorkerParams params)
     : engine_(&engine),
       cluster_(&cluster),
@@ -28,14 +28,14 @@ void Worker::record_memory() const {
 }
 
 void Worker::attach(int scheduler_node,
-                    sim::Channel<SchedMsg>* scheduler_inbox,
+                    exec::Channel<SchedMsg>* scheduler_inbox,
                     std::vector<WorkerRef> peers) {
   scheduler_node_ = scheduler_node;
   scheduler_inbox_ = scheduler_inbox;
   peers_ = std::move(peers);
 }
 
-sim::Co<void> Worker::run() {
+exec::Co<void> Worker::run() {
   while (true) {
     WorkerMsg msg = co_await inbox_.recv();
     if (!alive_ && msg.kind != WorkerMsgKind::kShutdown) {
@@ -66,7 +66,7 @@ sim::Co<void> Worker::run() {
   }
 }
 
-sim::Co<void> Worker::run_heartbeats() {
+exec::Co<void> Worker::run_heartbeats() {
   if (params_.heartbeat_interval <= 0.0) co_return;
   while (!stopping_ && alive_) {
     co_await engine_->delay(params_.heartbeat_interval);
@@ -74,7 +74,7 @@ sim::Co<void> Worker::run_heartbeats() {
     SchedMsg hb(SchedMsgKind::kHeartbeatWorker);
     hb.worker = id_;
     hb.sender_node = node_;
-    co_await notify_scheduler(std::move(hb), net::Delivery::kDroppable);
+    co_await notify_scheduler(std::move(hb), exec::Delivery::kDroppable);
   }
 }
 
@@ -132,21 +132,21 @@ void Worker::store_put_cached(Key key, Data data) {
   }
 }
 
-sim::Co<Data> Worker::local_get(const Key& key) {
+exec::Co<Data> Worker::local_get(const Key& key) {
   while (true) {
     const auto it = store_.find(key);
     if (it != store_.end()) co_return it->second;
     auto ev = arrivals_.find(key);
     if (ev == arrivals_.end())
-      ev = arrivals_.emplace(key, std::make_unique<sim::Event>(*engine_)).first;
+      ev = arrivals_.emplace(key, std::make_unique<exec::Event>(*engine_)).first;
     // The Event object may be erased (and the map rehashed) once set;
     // capture the pointer before awaiting.
-    sim::Event* event = ev->second.get();
+    exec::Event* event = ev->second.get();
     co_await event->wait();
   }
 }
 
-sim::Co<Data> Worker::fetch(const DepLocation& dep) {
+exec::Co<Data> Worker::fetch(const DepLocation& dep) {
   if (dep.owner == id_ || dep.owner < 0) {
     // Local (or still in flight to this worker, e.g. an external-task
     // block the bridge pushes here): wait for the store.
@@ -180,7 +180,7 @@ sim::Co<Data> Worker::fetch(const DepLocation& dep) {
   obs::Span span = obs::trace_span(actor_, "transfer", dep.key);
   if (span.active())
     span.add_arg(obs::arg("from_worker", static_cast<std::uint64_t>(dep.owner)));
-  auto reply = std::make_shared<sim::Channel<Data>>(*engine_);
+  auto reply = std::make_shared<exec::Channel<Data>>(*engine_);
   co_await cluster_->send_control(node_, peer.node,
                                   kControlMsgBase + dep.key.size());
   WorkerMsg req(WorkerMsgKind::kGetData);
@@ -206,7 +206,7 @@ sim::Co<Data> Worker::fetch(const DepLocation& dep) {
   co_return d;
 }
 
-sim::Co<void> Worker::handle_get_data(WorkerMsg msg) {
+exec::Co<void> Worker::handle_get_data(WorkerMsg msg) {
   Data d = co_await local_get(msg.key);
   if (!alive_) co_return;  // died while the request was in flight
   const std::uint64_t b = std::max(d.bytes, kMinTransferBytes);
@@ -215,12 +215,12 @@ sim::Co<void> Worker::handle_get_data(WorkerMsg msg) {
   msg.reply_data->send(std::move(d));
 }
 
-sim::Co<void> Worker::fetch_one(std::shared_ptr<std::vector<Data>> inputs,
+exec::Co<void> Worker::fetch_one(std::shared_ptr<std::vector<Data>> inputs,
                                 std::size_t i, DepLocation dep) {
   (*inputs)[i] = co_await fetch(dep);
 }
 
-sim::Co<void> Worker::handle_compute(TaskSpec spec,
+exec::Co<void> Worker::handle_compute(TaskSpec spec,
                                      std::vector<DepLocation> deps) {
   // Fetch all dependencies concurrently (each a spawned coroutine, joined
   // below): request/transfer latencies overlap instead of summing, with
@@ -229,11 +229,11 @@ sim::Co<void> Worker::handle_compute(TaskSpec spec,
   // deterministic.
   auto inputs = std::make_shared<std::vector<Data>>(deps.size());
   if (!deps.empty()) {
-    std::vector<sim::Co<void>> fetches;
+    std::vector<exec::Co<void>> fetches;
     fetches.reserve(deps.size());
     for (std::size_t i = 0; i < deps.size(); ++i)
       fetches.push_back(fetch_one(inputs, i, deps[i]));
-    co_await sim::when_all(*engine_, std::move(fetches));
+    co_await exec::when_all(*engine_, std::move(fetches));
   }
   if (!alive_) co_return;  // crashed while fetching inputs
 
@@ -269,12 +269,12 @@ sim::Co<void> Worker::handle_compute(TaskSpec spec,
     m->histogram("worker.execute_seconds").observe(engine_->now() - exec_start);
     if (done.erred) m->counter("worker.tasks_erred").add();
   }
-  co_await notify_scheduler(std::move(done), net::Delivery::kIdempotent);
+  co_await notify_scheduler(std::move(done), exec::Delivery::kIdempotent);
 }
 
-sim::Co<void> Worker::notify_scheduler(SchedMsg msg, net::Delivery delivery) {
+exec::Co<void> Worker::notify_scheduler(SchedMsg msg, exec::Delivery delivery) {
   DEISA_ASSERT(scheduler_inbox_ != nullptr, "worker not attached");
-  const net::SendResult res = co_await cluster_->send_control(
+  const exec::SendResult res = co_await cluster_->send_control(
       node_, scheduler_node_, wire_bytes(msg), delivery);
   // Delivery is caller-side: enqueue 0, 1 or 2 copies as the fault hook
   // decided (0/2 only for droppable/idempotent traffic under injection).

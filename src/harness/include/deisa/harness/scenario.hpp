@@ -36,6 +36,14 @@ enum class Pipeline {
 const char* to_string(Pipeline p);
 bool is_posthoc(Pipeline p);
 
+/// Which Executor/Transport backend runs the actor code.
+enum class Substrate {
+  kSim,      // deterministic virtual-time simulation (all paper figures)
+  kThreads,  // real threads + wall clock (rt::ThreadedExecutor)
+};
+
+const char* to_string(Substrate s);
+
 struct ScenarioParams {
   // ---- workload geometry ----
   int ranks = 4;
@@ -85,6 +93,19 @@ struct ScenarioParams {
   /// push delays). With a non-empty plan the scheduler's failure detector
   /// is auto-enabled unless `sched.heartbeat_timeout` was set explicitly.
   fault::FaultPlan faults;
+
+  // ---- execution substrate ----
+  /// kSim reproduces the paper's modeled timings deterministically;
+  /// kThreads runs the same actor code on real threads (functional
+  /// outputs identical, wall-clock timings are not model predictions).
+  /// Fault plans require kSim.
+  Substrate substrate = Substrate::kSim;
+  /// kThreads: worker threads (0 = hardware concurrency).
+  int substrate_threads = 0;
+  /// kThreads: wall seconds per model second. Scenarios are scripted in
+  /// model seconds (solver costs, heartbeat intervals); a small scale
+  /// compresses those sleeps so functional runs finish quickly.
+  double time_scale = 0.05;
 
   static net::ClusterParams irene_cluster();
   static dts::SchedulerParams paper_scheduler();

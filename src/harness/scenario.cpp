@@ -1,5 +1,6 @@
 #include "deisa/harness/scenario.hpp"
 
+#include <atomic>
 #include <cmath>
 
 #include "deisa/apps/heat2d.hpp"
@@ -8,10 +9,20 @@
 #include "deisa/io/posthoc.hpp"
 #include "deisa/mpix/comm.hpp"
 #include "deisa/obs/observation.hpp"
+#include "deisa/rt/threaded_executor.hpp"
+#include "deisa/rt/threaded_transport.hpp"
 
 namespace deisa::harness {
 
 namespace arr = array;
+
+const char* to_string(Substrate s) {
+  switch (s) {
+    case Substrate::kSim: return "sim";
+    case Substrate::kThreads: return "threads";
+  }
+  return "?";
+}
 
 const char* to_string(Pipeline p) {
   switch (p) {
@@ -106,15 +117,38 @@ std::vector<std::pair<double, double>> RunResult::per_rank_io() const {
 
 namespace {
 
-/// Everything one scenario run needs, wired together.
+/// Everything one scenario run needs, wired together. The substrate knob
+/// decides which Executor/Transport backend sits behind the `engine` and
+/// `cluster` references; everything downstream only sees the seam.
 struct World {
   explicit World(const ScenarioParams& p)
       : params(p),
-        cluster(engine, [&] {
-          net::ClusterParams c = p.cluster;
-          c.jitter_seed = p.alloc_seed * 0x9e3779b9ULL + 7;
-          return c;
-        }()),
+        sim_engine(p.substrate == Substrate::kSim
+                       ? std::make_unique<sim::Engine>()
+                       : nullptr),
+        thr_engine(p.substrate == Substrate::kThreads
+                       ? std::make_unique<rt::ThreadedExecutor>(
+                             rt::ThreadedExecutorParams{p.substrate_threads,
+                                                        p.time_scale})
+                       : nullptr),
+        engine(sim_engine ? static_cast<exec::Executor&>(*sim_engine)
+                          : *thr_engine),
+        sim_cluster(sim_engine ? std::make_unique<net::Cluster>(
+                                     *sim_engine,
+                                     [&] {
+                                       net::ClusterParams c = p.cluster;
+                                       c.jitter_seed =
+                                           p.alloc_seed * 0x9e3779b9ULL + 7;
+                                       return c;
+                                     }())
+                               : nullptr),
+        thr_cluster(thr_engine ? std::make_unique<rt::ThreadedTransport>(
+                                     *thr_engine,
+                                     rt::ThreadedTransportParams{
+                                         p.cluster.physical_nodes})
+                               : nullptr),
+        cluster(sim_cluster ? static_cast<exec::Transport&>(*sim_cluster)
+                            : *thr_cluster),
         pfs(engine, [&] {
           io::PfsParams f = p.pfs;
           f.seed = p.alloc_seed * 31 + 3;
@@ -148,22 +182,41 @@ struct World {
     rp.worker.max_concurrent_fetches = p.max_concurrent_fetches;
     runtime = std::make_unique<dts::Runtime>(engine, cluster, scheduler_node,
                                              worker_nodes, rp);
-    injector = std::make_unique<fault::FaultInjector>(engine, cluster,
-                                                      p.faults);
+    if (sim_engine) {
+      injector = std::make_unique<fault::FaultInjector>(
+          *sim_engine, *sim_cluster, p.faults);
+    } else {
+      DEISA_CHECK(p.faults.empty(),
+                  "fault plans are modeled constructs (virtual-time kill "
+                  "schedules); they require substrate=sim");
+    }
     comm = std::make_unique<mpix::Comm>(cluster, rank_nodes);
     this->rank_nodes = std::move(rank_nodes);
   }
 
+  ~World() { finish(); }
+
+  /// Threads substrate: join all worker threads (dropping anything still
+  /// suspended) so nothing races the stats reads below or outlives the
+  /// actors' dependencies. No-op under sim; idempotent.
+  void finish() {
+    if (thr_engine) thr_engine->shutdown();
+  }
+
   const ScenarioParams& params;
-  sim::Engine engine;
-  net::Cluster cluster;
+  std::unique_ptr<sim::Engine> sim_engine;
+  std::unique_ptr<rt::ThreadedExecutor> thr_engine;
+  exec::Executor& engine;
+  std::unique_ptr<net::Cluster> sim_cluster;
+  std::unique_ptr<rt::ThreadedTransport> thr_cluster;
+  exec::Transport& cluster;
   io::Pfs pfs;
   std::vector<int> nodes;
   int scheduler_node = 0;
   int client_node = 0;
   std::vector<int> rank_nodes;
   std::unique_ptr<dts::Runtime> runtime;
-  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<fault::FaultInjector> injector;  // sim substrate only
   std::unique_ptr<mpix::Comm> comm;
 };
 
@@ -243,12 +296,12 @@ private:
 };
 
 struct SharedState {
-  explicit SharedState(sim::Engine& eng)
+  explicit SharedState(exec::Executor& eng)
       : stop_heartbeats(eng), sim_done(eng), analytics_done(eng) {}
-  sim::Event stop_heartbeats;
-  sim::Event sim_done;
-  sim::Event analytics_done;
-  int ranks_finished = 0;
+  exec::Event stop_heartbeats;
+  exec::Event sim_done;
+  exec::Event analytics_done;
+  std::atomic<int> ranks_finished{0};
   std::vector<std::unique_ptr<core::Bridge>> bridges;
   std::unique_ptr<core::Adaptor> adaptor;
   std::unique_ptr<ml::ChunkProvider> provider;
@@ -269,7 +322,7 @@ dts::Data block_payload(const ScenarioParams& p, const apps::Heat2d* solver,
 }
 
 /// One simulation rank of an in-transit (DEISA*) run.
-sim::Co<void> deisa_rank_actor(World& w, SharedState& st, Pipeline pipeline,
+exec::Co<void> deisa_rank_actor(World& w, SharedState& st, Pipeline pipeline,
                                int rank, RunResult& res) {
   const ScenarioParams& p = w.params;
   const core::VirtualArray va = p.virtual_array();
@@ -341,7 +394,7 @@ sim::Co<void> deisa_rank_actor(World& w, SharedState& st, Pipeline pipeline,
 
 /// The analytics client of a DEISA2/3 run: signs the contract and submits
 /// the WHOLE multi-timestep IPCA graph ahead of the data.
-sim::Co<void> deisa23_adaptor_actor(World& w, SharedState& st,
+exec::Co<void> deisa23_adaptor_actor(World& w, SharedState& st,
                                     RunResult& res) {
   const ScenarioParams& p = w.params;
   core::Adaptor& adaptor = *st.adaptor;
@@ -374,7 +427,7 @@ sim::Co<void> deisa23_adaptor_actor(World& w, SharedState& st,
 
 /// The analytics client of a DEISA1 run: per-step graph submission driven
 /// by per-step readiness queues (time dependencies managed manually).
-sim::Co<void> deisa1_adaptor_actor(World& w, SharedState& st, RunResult& res) {
+exec::Co<void> deisa1_adaptor_actor(World& w, SharedState& st, RunResult& res) {
   const ScenarioParams& p = w.params;
   core::Adaptor& adaptor = *st.adaptor;
   const auto arrays = co_await adaptor.get_deisa_arrays();
@@ -413,7 +466,7 @@ sim::Co<void> deisa1_adaptor_actor(World& w, SharedState& st, RunResult& res) {
 }
 
 /// One simulation rank of a post-hoc run: compute + PFS write.
-sim::Co<void> posthoc_rank_actor(World& w, SharedState& st,
+exec::Co<void> posthoc_rank_actor(World& w, SharedState& st,
                                  io::PosthocDataset& ds,
                                  io::PosthocWriter& writer, int rank,
                                  RunResult& res) {
@@ -466,7 +519,7 @@ sim::Co<void> posthoc_rank_actor(World& w, SharedState& st,
 }
 
 /// The analytics phase of a post-hoc run, started after the simulation.
-sim::Co<void> posthoc_analytics_actor(World& w, SharedState& st,
+exec::Co<void> posthoc_analytics_actor(World& w, SharedState& st,
                                       io::PosthocDataset& ds, bool old_ipca,
                                       RunResult& res) {
   const ScenarioParams& p = w.params;
@@ -493,7 +546,7 @@ sim::Co<void> posthoc_analytics_actor(World& w, SharedState& st,
 }
 
 /// Waits for both phases then tears the cluster down so the engine drains.
-sim::Co<void> orchestrator(World& w, SharedState& st, RunResult& res) {
+exec::Co<void> orchestrator(World& w, SharedState& st, RunResult& res) {
   co_await st.sim_done.wait();
   co_await st.analytics_done.wait();
   res.total_seconds = w.engine.now();
@@ -522,51 +575,81 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
       std::vector<double>(static_cast<std::size_t>(params.timesteps), 0.0));
   res.sim_io = res.sim_compute;
 
-  w.runtime->start();
-  w.injector->arm(*w.runtime);
-
   io::PosthocDataset dataset;
   std::unique_ptr<io::PosthocWriter> writer;
+  bool drained = false;
 
-  if (is_posthoc(pipeline)) {
-    dataset = io::PosthocDataset("/pfs/heat2d", params.virtual_array().grid());
-    if (params.real_data) {
-      const auto dir = std::filesystem::temp_directory_path() /
-                       ("deisa-posthoc-" + std::to_string(params.alloc_seed));
-      dataset.file = io::H5Mini::create(dir, dataset.grid.shape(),
-                                        dataset.grid.chunk_shape());
-    }
-    writer = std::make_unique<io::PosthocWriter>(w.pfs, &dataset);
-    for (int r = 0; r < params.ranks; ++r)
-      w.engine.spawn(
-          posthoc_rank_actor(w, st, dataset, *writer, r, res));
-    w.engine.spawn(posthoc_analytics_actor(
-        w, st, dataset, pipeline == Pipeline::kPosthocOldIpca, res));
-  } else {
-    // One bridge (client connection) per rank, plus the adaptor's client.
-    for (int r = 0; r < params.ranks; ++r) {
-      dts::Client& c = w.runtime->make_client(w.rank_nodes[static_cast<std::size_t>(r)]);
-      st.bridges.push_back(std::make_unique<core::Bridge>(
-          c, mode_of(pipeline), r, params.ranks));
-    }
-    st.adaptor = std::make_unique<core::Adaptor>(
-        w.runtime->make_client(w.client_node), mode_of(pipeline));
-    for (int r = 0; r < params.ranks; ++r) {
-      w.engine.spawn(deisa_rank_actor(w, st, pipeline, r, res));
-      w.engine.spawn(
-          st.bridges[static_cast<std::size_t>(r)]->run_heartbeats(
-              st.stop_heartbeats));
-    }
-    if (pipeline == Pipeline::kDeisa1) {
-      w.engine.spawn(deisa1_adaptor_actor(w, st, res));
+  // Under the threads substrate actors start running the moment they are
+  // spawned, so everything they touch (st, res, dataset, writer) is set
+  // up before the first spawn and the executor is joined (w.finish())
+  // before this frame unwinds — including on the throwing paths.
+  try {
+    w.runtime->start();
+    if (w.injector) w.injector->arm(*w.runtime);
+
+    if (is_posthoc(pipeline)) {
+      dataset =
+          io::PosthocDataset("/pfs/heat2d", params.virtual_array().grid());
+      if (params.real_data) {
+        const auto dir = std::filesystem::temp_directory_path() /
+                         ("deisa-posthoc-" + std::to_string(params.alloc_seed));
+        dataset.file = io::H5Mini::create(dir, dataset.grid.shape(),
+                                          dataset.grid.chunk_shape());
+      }
+      writer = std::make_unique<io::PosthocWriter>(w.pfs, &dataset);
+      // All post-hoc actors share the writer and dataset; one strand keeps
+      // their interleaving at suspension points only, exactly the
+      // guarantee the simulator gives globally (no-op under sim).
+      void* io_strand = w.engine.new_strand();
+      for (int r = 0; r < params.ranks; ++r)
+        w.engine.spawn_on(io_strand,
+                          posthoc_rank_actor(w, st, dataset, *writer, r, res));
+      w.engine.spawn_on(
+          io_strand,
+          posthoc_analytics_actor(
+              w, st, dataset, pipeline == Pipeline::kPosthocOldIpca, res));
     } else {
-      w.engine.spawn(deisa23_adaptor_actor(w, st, res));
+      // One bridge (client connection) per rank, plus the adaptor's
+      // client. Each rank gets its own strand holding its bridge
+      // (including the repush listener the constructor spawns), its rank
+      // actor and its heartbeat loop, so that trio never runs
+      // concurrently with itself. Strands are no-ops under sim,
+      // preserving the exact pre-seam event order.
+      std::vector<void*> rank_strands(static_cast<std::size_t>(params.ranks));
+      for (auto& s : rank_strands) s = w.engine.new_strand();
+      for (int r = 0; r < params.ranks; ++r) {
+        dts::Client& c =
+            w.runtime->make_client(w.rank_nodes[static_cast<std::size_t>(r)]);
+        exec::StrandScope strand_scope(
+            w.engine, rank_strands[static_cast<std::size_t>(r)]);
+        st.bridges.push_back(std::make_unique<core::Bridge>(
+            c, mode_of(pipeline), r, params.ranks));
+      }
+      st.adaptor = std::make_unique<core::Adaptor>(
+          w.runtime->make_client(w.client_node), mode_of(pipeline));
+      for (int r = 0; r < params.ranks; ++r) {
+        void* s = rank_strands[static_cast<std::size_t>(r)];
+        w.engine.spawn_on(s, deisa_rank_actor(w, st, pipeline, r, res));
+        w.engine.spawn_on(
+            s, st.bridges[static_cast<std::size_t>(r)]->run_heartbeats(
+                   st.stop_heartbeats));
+      }
+      void* adaptor_strand = w.engine.new_strand();
+      if (pipeline == Pipeline::kDeisa1) {
+        w.engine.spawn_on(adaptor_strand, deisa1_adaptor_actor(w, st, res));
+      } else {
+        w.engine.spawn_on(adaptor_strand, deisa23_adaptor_actor(w, st, res));
+      }
     }
+    w.engine.spawn_on(w.engine.new_strand(), orchestrator(w, st, res));
+    // Watchdog: a scenario that cannot complete within 10 simulated hours
+    // has diverged (e.g. a scheduler saturated beyond recovery).
+    drained = w.engine.run_until(36000.0);
+    w.finish();
+  } catch (...) {
+    w.finish();
+    throw;
   }
-  w.engine.spawn(orchestrator(w, st, res));
-  // Watchdog: a scenario that cannot complete within 10 simulated hours
-  // has diverged (e.g. a scheduler saturated beyond recovery).
-  const bool drained = w.engine.run_until(36000.0);
   DEISA_CHECK(drained && st.analytics_done.is_set() && st.sim_done.is_set(),
               "scenario did not complete within the simulated-time cap ("
                   << to_string(pipeline) << ", " << params.ranks
@@ -596,7 +679,7 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
   res.pfs_bytes_written = w.pfs.bytes_written();
   res.pfs_bytes_read = w.pfs.bytes_read();
   res.recovery = sched.recovery();
-  res.workers_killed = w.injector->kills_performed();
+  res.workers_killed = w.injector ? w.injector->kills_performed() : 0;
   res.metrics = registry.snapshot();
   res.trace = std::move(recorder);
   return res;

@@ -5,12 +5,14 @@
 // mechanism behind the post-hoc write collapse in the paper's Figure 3a.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 
-#include "deisa/sim/primitives.hpp"
+#include "deisa/exec/primitives.hpp"
 #include "deisa/util/rng.hpp"
 
 namespace deisa::io {
@@ -34,33 +36,36 @@ struct PfsParams {
 
 class Pfs {
 public:
-  Pfs(sim::Engine& engine, PfsParams params);
+  Pfs(exec::Executor& ex, PfsParams params);
 
   const PfsParams& params() const { return params_; }
 
   /// Write `bytes` to `path`. The first write to a path pays the file
   /// creation cost.
-  sim::Co<void> write(const std::string& path, std::uint64_t bytes);
+  exec::Co<void> write(const std::string& path, std::uint64_t bytes);
   /// Read `bytes` from `path`.
-  sim::Co<void> read(const std::string& path, std::uint64_t bytes);
+  exec::Co<void> read(const std::string& path, std::uint64_t bytes);
 
-  std::uint64_t bytes_written() const { return bytes_written_; }
-  std::uint64_t bytes_read() const { return bytes_read_; }
-  std::uint64_t ops() const { return ops_; }
+  std::uint64_t bytes_written() const { return bytes_written_.load(); }
+  std::uint64_t bytes_read() const { return bytes_read_.load(); }
+  std::uint64_t ops() const { return ops_.load(); }
 
 private:
-  sim::Co<void> io_op(const char* op, std::uint64_t bytes,
+  exec::Co<void> io_op(const char* op, std::uint64_t bytes,
                       double extra_latency);
   double jitter();
 
-  sim::Engine* engine_;
+  exec::Executor* engine_;
   PfsParams params_;
-  sim::Semaphore streams_;
+  exec::Semaphore streams_;
+  // Guards created_ and the jitter rng (writers may sit on different
+  // strands under the threaded substrate).
+  std::mutex mu_;
   std::set<std::string> created_;
   util::Rng rng_;
-  std::uint64_t bytes_written_ = 0;
-  std::uint64_t bytes_read_ = 0;
-  std::uint64_t ops_ = 0;
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> ops_{0};
 };
 
 }  // namespace deisa::io

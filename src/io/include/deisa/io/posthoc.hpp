@@ -38,7 +38,7 @@ public:
 
   /// Write the block at chunk coordinate `coord` (time included). Charges
   /// PFS time; also persists to the real container when present.
-  sim::Co<void> write_block(const array::Index& coord,
+  exec::Co<void> write_block(const array::Index& coord,
                             const array::NDArray* data = nullptr);
 
 private:

@@ -5,20 +5,21 @@
 
 namespace deisa::io {
 
-Pfs::Pfs(sim::Engine& engine, PfsParams params)
-    : engine_(&engine),
+Pfs::Pfs(exec::Executor& ex, PfsParams params)
+    : engine_(&ex),
       params_(params),
-      streams_(engine, static_cast<std::size_t>(std::max(1, params.streams))),
+      streams_(ex, static_cast<std::size_t>(std::max(1, params.streams))),
       rng_(params.seed) {
   DEISA_CHECK(params_.per_stream_bandwidth > 0, "PFS bandwidth must be > 0");
 }
 
 double Pfs::jitter() {
   if (params_.jitter_sigma <= 0.0) return 1.0;
+  std::lock_guard lk(mu_);
   return rng_.lognormal_mean(1.0, params_.jitter_sigma);
 }
 
-sim::Co<void> Pfs::io_op(const char* op, std::uint64_t bytes,
+exec::Co<void> Pfs::io_op(const char* op, std::uint64_t bytes,
                          double extra_latency) {
   ++ops_;
   const double start = engine_->now();
@@ -38,15 +39,18 @@ sim::Co<void> Pfs::io_op(const char* op, std::uint64_t bytes,
   }
 }
 
-sim::Co<void> Pfs::write(const std::string& path, std::uint64_t bytes) {
+exec::Co<void> Pfs::write(const std::string& path, std::uint64_t bytes) {
   double extra = 0.0;
-  if (created_.insert(path).second) extra = params_.file_create_cost;
+  {
+    std::lock_guard lk(mu_);
+    if (created_.insert(path).second) extra = params_.file_create_cost;
+  }
   bytes_written_ += bytes;
   obs::count("pfs.bytes_written", bytes);
   co_await io_op("write", bytes, extra);
 }
 
-sim::Co<void> Pfs::read(const std::string& /*path*/, std::uint64_t bytes) {
+exec::Co<void> Pfs::read(const std::string& /*path*/, std::uint64_t bytes) {
   bytes_read_ += bytes;
   obs::count("pfs.bytes_read", bytes);
   co_await io_op("read", bytes, 0.0);

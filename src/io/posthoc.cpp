@@ -22,7 +22,7 @@ std::string PosthocDataset::step_path(std::int64_t t) const {
   return path + "/step-" + std::to_string(t);
 }
 
-sim::Co<void> PosthocWriter::write_block(const arr::Index& coord,
+exec::Co<void> PosthocWriter::write_block(const arr::Index& coord,
                                          const arr::NDArray* data) {
   DEISA_CHECK(!coord.empty(), "empty chunk coordinate");
   if (data != nullptr && ds_->file.has_value())
@@ -53,7 +53,7 @@ std::vector<dts::Key> PosthocReadProvider::chunks(
     // Reading charges PFS time with contention across concurrent reads.
     Pfs* pfs = pfs_;
     const std::string path = ds_->step_path(t);
-    spec.io = [pfs, path, bytes]() -> sim::Co<void> {
+    spec.io = [pfs, path, bytes]() -> exec::Co<void> {
       co_await pfs->read(path, bytes);
     };
     tasks.push_back(std::move(spec));

@@ -127,26 +127,26 @@ public:
   InSituIncrementalPca(dts::Client& client, InSituIpcaOptions opts);
 
   /// Build and submit the WHOLE fit as one graph (new IPCA).
-  sim::Co<IpcaFit> fit_ahead_of_time(ChunkProvider& provider);
+  exec::Co<IpcaFit> fit_ahead_of_time(ChunkProvider& provider);
 
   /// Submit one graph per timestep, waiting for each partial_fit to
   /// finish before submitting the next (old IPCA).
-  sim::Co<IpcaFit> fit_per_step(ChunkProvider& provider);
+  exec::Co<IpcaFit> fit_per_step(ChunkProvider& provider);
 
   /// After an AOT fit in the slab (non-distributed) mode: submit one
   /// transform task per timestep projecting that step's slab onto the
   /// fitted components — the dimensionality-reduced output the paper's
   /// motivating use case (Gysela compression) consumes. Returns the
   /// per-step keys of the reduced (samples x n_components) matrices.
-  sim::Co<std::vector<dts::Key>> transform_steps(const IpcaFit& fit,
+  exec::Co<std::vector<dts::Key>> transform_steps(const IpcaFit& fit,
                                                  std::int64_t steps);
   /// Gather one reduced timestep (functional mode).
-  sim::Co<linalg::Matrix> collect_reduced(const dts::Key& key);
+  exec::Co<linalg::Matrix> collect_reduced(const dts::Key& key);
 
   /// Gather the fitted IncrementalPca state (functional mode).
-  sim::Co<IncrementalPca> collect_state(const IpcaFit& fit);
+  exec::Co<IncrementalPca> collect_state(const IpcaFit& fit);
   /// Gather a result vector (functional mode).
-  sim::Co<std::vector<double>> collect_vector(const dts::Key& key);
+  exec::Co<std::vector<double>> collect_vector(const dts::Key& key);
 
   // ---- low-level graph building (used by the DEISA1 adaptor, which
   // interleaves per-step submission with per-step data arrival) ----

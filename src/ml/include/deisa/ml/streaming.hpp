@@ -63,10 +63,10 @@ public:
   /// Build and submit the whole monitoring graph ahead of the data: per
   /// chunk a local-stats task, merged pairwise into one FieldStats per
   /// timestep (log-depth tree).
-  sim::Co<MonitorFit> submit(ChunkProvider& provider);
+  exec::Co<MonitorFit> submit(ChunkProvider& provider);
 
   /// Gather the per-step statistics (functional mode).
-  sim::Co<std::vector<FieldStats>> collect(const MonitorFit& fit);
+  exec::Co<std::vector<FieldStats>> collect(const MonitorFit& fit);
 
 private:
   dts::Client* client_;

@@ -263,7 +263,7 @@ void InSituIncrementalPca::build_step_distributed(
                      opts_.cost.merge_cost(f, coords.size()), state_bytes);
 }
 
-sim::Co<IpcaFit> InSituIncrementalPca::fit_ahead_of_time(
+exec::Co<IpcaFit> InSituIncrementalPca::fit_ahead_of_time(
     ChunkProvider& provider) {
   const std::int64_t steps = provider.grid().chunks_in(0);
   DEISA_CHECK(steps >= 1, "need at least one timestep");
@@ -284,7 +284,7 @@ sim::Co<IpcaFit> InSituIncrementalPca::fit_ahead_of_time(
   co_return fit;
 }
 
-sim::Co<IpcaFit> InSituIncrementalPca::fit_per_step(ChunkProvider& provider) {
+exec::Co<IpcaFit> InSituIncrementalPca::fit_per_step(ChunkProvider& provider) {
   const std::int64_t steps = provider.grid().chunks_in(0);
   DEISA_CHECK(steps >= 1, "need at least one timestep");
   IpcaFit fit;
@@ -309,7 +309,7 @@ sim::Co<IpcaFit> InSituIncrementalPca::fit_per_step(ChunkProvider& provider) {
   co_return fit;
 }
 
-sim::Co<std::vector<dts::Key>> InSituIncrementalPca::transform_steps(
+exec::Co<std::vector<dts::Key>> InSituIncrementalPca::transform_steps(
     const IpcaFit& fit, std::int64_t steps) {
   DEISA_CHECK(!opts_.distributed_update,
               "transform_steps requires the slab (non-distributed) mode");
@@ -345,19 +345,19 @@ sim::Co<std::vector<dts::Key>> InSituIncrementalPca::transform_steps(
   co_return out_keys;
 }
 
-sim::Co<linalg::Matrix> InSituIncrementalPca::collect_reduced(
+exec::Co<linalg::Matrix> InSituIncrementalPca::collect_reduced(
     const dts::Key& key) {
   const dts::Data d = co_await client_->gather(key);
   co_return d.as<linalg::Matrix>();
 }
 
-sim::Co<IncrementalPca> InSituIncrementalPca::collect_state(
+exec::Co<IncrementalPca> InSituIncrementalPca::collect_state(
     const IpcaFit& fit) {
   const dts::Data d = co_await client_->gather(fit.state_key);
   co_return d.as<IncrementalPca>();
 }
 
-sim::Co<std::vector<double>> InSituIncrementalPca::collect_vector(
+exec::Co<std::vector<double>> InSituIncrementalPca::collect_vector(
     const dts::Key& key) {
   const dts::Data d = co_await client_->gather(key);
   co_return d.as<std::vector<double>>();

@@ -105,7 +105,7 @@ dts::TaskFn make_merge_fn(std::uint64_t out_bytes_hint) {
 
 }  // namespace
 
-sim::Co<MonitorFit> InSituFieldMonitor::submit(ChunkProvider& provider) {
+exec::Co<MonitorFit> InSituFieldMonitor::submit(ChunkProvider& provider) {
   const arr::ChunkGrid& grid = provider.grid();
   DEISA_CHECK(grid.chunk_shape()[0] == 1,
               "time dimension must be chunked per timestep");
@@ -165,7 +165,7 @@ sim::Co<MonitorFit> InSituFieldMonitor::submit(ChunkProvider& provider) {
   co_return fit;
 }
 
-sim::Co<std::vector<FieldStats>> InSituFieldMonitor::collect(
+exec::Co<std::vector<FieldStats>> InSituFieldMonitor::collect(
     const MonitorFit& fit) {
   std::vector<FieldStats> out;
   for (const dts::Key& key : fit.step_keys) {

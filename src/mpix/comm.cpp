@@ -1,6 +1,7 @@
 #include "deisa/mpix/comm.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 namespace deisa::mpix {
 
@@ -19,7 +20,7 @@ constexpr int kOpSlots = 8;
 constexpr int kRoundStride = kOpSlots * 64;
 }  // namespace
 
-Comm::Comm(net::Cluster& cluster, std::vector<int> rank_to_node)
+Comm::Comm(exec::Transport& cluster, std::vector<int> rank_to_node)
     : cluster_(&cluster), rank_to_node_(std::move(rank_to_node)) {
   DEISA_CHECK(!rank_to_node_.empty(), "communicator needs at least one rank");
   mailboxes_.resize(rank_to_node_.size());
@@ -32,21 +33,30 @@ int Comm::node_of(int rank) const {
 }
 
 void Comm::deliver(int to, Message msg) {
-  Mailbox& mb = mailboxes_[static_cast<std::size_t>(to)];
-  for (auto it = mb.waiters.begin(); it != mb.waiters.end(); ++it) {
-    Waiter* w = *it;
-    if (matches(*w, msg)) {
-      w->result = std::move(msg);
-      w->delivered = true;
-      mb.waiters.erase(it);
-      cluster_->engine().schedule(w->handle, cluster_->engine().now());
+  exec::ResumeToken token{};
+  {
+    std::lock_guard lk(mu_);
+    Mailbox& mb = mailboxes_[static_cast<std::size_t>(to)];
+    for (auto it = mb.waiters.begin(); it != mb.waiters.end(); ++it) {
+      Waiter* w = *it;
+      if (matches(*w, msg)) {
+        w->result = std::move(msg);
+        w->delivered = true;
+        token = w->token;
+        mb.waiters.erase(it);
+        break;
+      }
+    }
+    if (!token) {
+      mb.pending.push_back(std::move(msg));
       return;
     }
   }
-  mb.pending.push_back(std::move(msg));
+  exec::Executor& ex = cluster_->executor();
+  ex.post(token, ex.now());
 }
 
-sim::Co<void> Comm::send(int from, int to, int tag, Message msg) {
+exec::Co<void> Comm::send(int from, int to, int tag, Message msg) {
   DEISA_CHECK(to >= 0 && to < size(), "send to invalid rank " << to);
   msg.source = from;
   msg.tag = tag;
@@ -55,28 +65,37 @@ sim::Co<void> Comm::send(int from, int to, int tag, Message msg) {
   deliver(to, std::move(msg));
 }
 
-sim::Co<Message> Comm::recv(int rank, int source, int tag) {
-  Mailbox& mb = mailboxes_[static_cast<std::size_t>(rank)];
-  for (auto it = mb.pending.begin(); it != mb.pending.end(); ++it) {
-    if ((source == kAnySource || source == it->source) &&
-        (tag == kAnyTag || tag == it->tag)) {
-      Message m = std::move(*it);
-      mb.pending.erase(it);
-      co_return m;
-    }
-  }
+exec::Co<Message> Comm::recv(int rank, int source, int tag) {
   Waiter waiter{source, tag, {}, {}, false};
+  // The pending-queue scan happens inside await_suspend, under the
+  // mailbox lock and atomically with waiter registration, so a message
+  // delivered from another strand can neither be missed nor double-
+  // matched. Returning false continues synchronously (no engine event),
+  // which is exactly the old scan-before-suspend fast path.
   struct Awaiter {
-    Mailbox& mb;
+    Comm& comm;
+    int rank;
     Waiter& w;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) {
-      w.handle = h;
+    bool await_suspend(std::coroutine_handle<> h) {
+      std::lock_guard lk(comm.mu_);
+      Mailbox& mb = comm.mailboxes_[static_cast<std::size_t>(rank)];
+      for (auto it = mb.pending.begin(); it != mb.pending.end(); ++it) {
+        if ((w.source == kAnySource || w.source == it->source) &&
+            (w.tag == kAnyTag || w.tag == it->tag)) {
+          w.result = std::move(*it);
+          w.delivered = true;
+          mb.pending.erase(it);
+          return false;
+        }
+      }
+      w.token = comm.cluster_->executor().capture(h);
       mb.waiters.push_back(&w);
+      return true;
     }
     void await_resume() const noexcept {}
   };
-  co_await Awaiter{mb, waiter};
+  co_await Awaiter{*this, rank, waiter};
   DEISA_ASSERT(waiter.delivered, "recv resumed without a message");
   co_return std::move(waiter.result);
 }
@@ -86,7 +105,7 @@ int Comm::next_collective_tag(int rank, int op_id) {
   return kCollectiveTagBase + static_cast<int>(seq) * kRoundStride + op_id;
 }
 
-sim::Co<void> Comm::barrier(int rank) {
+exec::Co<void> Comm::barrier(int rank) {
   const int base = next_collective_tag(rank, kOpBarrier);
   const int p = size();
   // Dissemination barrier: log2(P) rounds of pairwise signals.
@@ -101,7 +120,7 @@ sim::Co<void> Comm::barrier(int rank) {
   }
 }
 
-sim::Co<Message> Comm::bcast(int rank, int root, Message msg) {
+exec::Co<Message> Comm::bcast(int rank, int root, Message msg) {
   const int tag = next_collective_tag(rank, kOpBcast);
   const int p = size();
   const int vrank = (rank - root % p + p) % p;
@@ -144,7 +163,7 @@ void combine(std::vector<double>& acc, const std::vector<double>& other,
 }
 }  // namespace
 
-sim::Co<std::vector<double>> Comm::reduce(int rank, int root,
+exec::Co<std::vector<double>> Comm::reduce(int rank, int root,
                                           std::vector<double> local,
                                           ReduceOp op) {
   const int tag = next_collective_tag(rank, kOpReduce);
@@ -173,7 +192,7 @@ sim::Co<std::vector<double>> Comm::reduce(int rank, int root,
   co_return acc;  // root holds the reduction; other ranks return empty
 }
 
-sim::Co<std::vector<double>> Comm::allreduce(int rank,
+exec::Co<std::vector<double>> Comm::allreduce(int rank,
                                              std::vector<double> local,
                                              ReduceOp op) {
   const std::uint64_t bytes = local.size() * sizeof(double);
@@ -185,7 +204,7 @@ sim::Co<std::vector<double>> Comm::allreduce(int rank,
   co_return out.as<std::vector<double>>();
 }
 
-sim::Co<std::vector<Message>> Comm::gather(int rank, int root, Message msg) {
+exec::Co<std::vector<Message>> Comm::gather(int rank, int root, Message msg) {
   const int tag = next_collective_tag(rank, kOpGather);
   const int p = size();
   if (rank != root) {
@@ -202,7 +221,7 @@ sim::Co<std::vector<Message>> Comm::gather(int rank, int root, Message msg) {
   co_return out;
 }
 
-sim::Co<std::vector<std::vector<double>>> Comm::allgather(
+exec::Co<std::vector<std::vector<double>>> Comm::allgather(
     int rank, std::vector<double> local) {
   const int tag = next_collective_tag(rank, kOpAllgather);
   const int p = size();
@@ -228,7 +247,7 @@ sim::Co<std::vector<std::vector<double>>> Comm::allgather(
   co_return out;
 }
 
-sim::Co<Message> Comm::scatter_from(int rank, int root,
+exec::Co<Message> Comm::scatter_from(int rank, int root,
                                     std::vector<Message> parts) {
   const int tag = next_collective_tag(rank, kOpScatter);
   const int p = size();
@@ -245,7 +264,7 @@ sim::Co<Message> Comm::scatter_from(int rank, int root,
   co_return co_await recv(rank, root, tag);
 }
 
-sim::Co<std::vector<std::vector<double>>> Comm::alltoall(
+exec::Co<std::vector<std::vector<double>>> Comm::alltoall(
     int rank, std::vector<std::vector<double>> outgoing) {
   const int tag = next_collective_tag(rank, kOpAlltoall);
   const int p = size();

@@ -14,9 +14,11 @@
 #include <memory>
 #include <vector>
 
-#include "deisa/net/cluster.hpp"
-#include "deisa/sim/engine.hpp"
-#include "deisa/sim/primitives.hpp"
+#include <mutex>
+
+#include "deisa/exec/executor.hpp"
+#include "deisa/exec/primitives.hpp"
+#include "deisa/exec/transport.hpp"
 
 namespace deisa::mpix {
 
@@ -56,19 +58,19 @@ enum class ReduceOp { kSum, kMax, kMin };
 class Comm {
 public:
   /// `rank_to_node[r]` is the physical cluster node hosting rank r.
-  Comm(net::Cluster& cluster, std::vector<int> rank_to_node);
+  Comm(exec::Transport& cluster, std::vector<int> rank_to_node);
 
   int size() const { return static_cast<int>(rank_to_node_.size()); }
   int node_of(int rank) const;
-  sim::Engine& engine() { return cluster_->engine(); }
-  net::Cluster& cluster() { return *cluster_; }
+  exec::Executor& engine() { return cluster_->executor(); }
+  exec::Transport& cluster() { return *cluster_; }
 
   /// Blocking (rendezvous-free, eager) send: completes when the payload
   /// has fully landed in the destination mailbox.
-  sim::Co<void> send(int from, int to, int tag, Message msg);
+  exec::Co<void> send(int from, int to, int tag, Message msg);
 
   template <typename T>
-  sim::Co<void> send_value(int from, int to, int tag, T value,
+  exec::Co<void> send_value(int from, int to, int tag, T value,
                            std::uint64_t bytes = 0) {
     Message m;
     m.tag = tag;
@@ -78,39 +80,39 @@ public:
   }
 
   /// Blocking receive matching (source, tag); wildcards allowed.
-  sim::Co<Message> recv(int rank, int source = kAnySource, int tag = kAnyTag);
+  exec::Co<Message> recv(int rank, int source = kAnySource, int tag = kAnyTag);
 
   // ---- collectives (every rank of the comm must call, in order) ----
-  sim::Co<void> barrier(int rank);
+  exec::Co<void> barrier(int rank);
   /// Broadcast `bytes` of payload from root over a binomial tree; the
   /// returned message carries root's payload on every rank.
-  sim::Co<Message> bcast(int rank, int root, Message msg);
+  exec::Co<Message> bcast(int rank, int root, Message msg);
   /// Element-wise reduce of a vector<double> to root (binomial tree).
-  sim::Co<std::vector<double>> reduce(int rank, int root,
+  exec::Co<std::vector<double>> reduce(int rank, int root,
                                       std::vector<double> local, ReduceOp op);
-  sim::Co<std::vector<double>> allreduce(int rank, std::vector<double> local,
+  exec::Co<std::vector<double>> allreduce(int rank, std::vector<double> local,
                                          ReduceOp op);
   /// Gather per-rank payloads to root; result (root only) is indexed by
   /// rank, other ranks receive an empty vector.
-  sim::Co<std::vector<Message>> gather(int rank, int root, Message msg);
+  exec::Co<std::vector<Message>> gather(int rank, int root, Message msg);
   /// Every rank receives every rank's contribution, indexed by rank.
-  sim::Co<std::vector<std::vector<double>>> allgather(
+  exec::Co<std::vector<std::vector<double>>> allgather(
       int rank, std::vector<double> local);
   /// Root distributes one payload per rank; returns this rank's share.
-  sim::Co<Message> scatter_from(int rank, int root,
+  exec::Co<Message> scatter_from(int rank, int root,
                                 std::vector<Message> parts);
   /// Personalized all-to-all exchange of vector<double> payloads:
   /// `outgoing[r]` goes to rank r; the result holds what each rank sent
   /// to this one, indexed by source rank.
-  sim::Co<std::vector<std::vector<double>>> alltoall(
+  exec::Co<std::vector<std::vector<double>>> alltoall(
       int rank, std::vector<std::vector<double>> outgoing);
 
 private:
   struct Waiter {
     int source;
     int tag;
-    std::coroutine_handle<> handle;
-    Message result;
+    exec::ResumeToken token{};
+    Message result{};
     bool delivered = false;
   };
 
@@ -128,9 +130,14 @@ private:
   int next_collective_tag(int rank, int op_id);
 
 
-  net::Cluster* cluster_;
+  exec::Transport* cluster_;
   std::vector<int> rank_to_node_;
+  // Guards mailboxes (pending queues + waiter lists): deliver() runs on
+  // the sender's strand, recv() on the receiver's.
+  std::mutex mu_;
   std::vector<Mailbox> mailboxes_;
+  // Per-rank sequence, only ever touched by that rank's own collective
+  // calls (one strand), so it needs no lock.
   std::vector<std::uint32_t> collective_seq_;
 
   friend struct RecvAwaiter;

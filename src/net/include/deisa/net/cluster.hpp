@@ -19,46 +19,21 @@
 #include <memory>
 #include <vector>
 
+#include "deisa/exec/transport.hpp"
 #include "deisa/sim/engine.hpp"
 #include "deisa/sim/primitives.hpp"
 #include "deisa/util/rng.hpp"
 
 namespace deisa::net {
 
-/// How a message tolerates network faults. Senders declare it per send;
-/// the cluster's fault hook (if installed) may only perturb messages in
-/// the ways their class permits. Reliable messages (RPCs with a blocked
-/// caller, data-plane handoffs) are never dropped or duplicated — losing
-/// one would wedge the workflow instead of exercising recovery.
-enum class Delivery {
-  kReliable,    // never perturbed (acks, replies, compute orders)
-  kDroppable,   // may be silently lost (heartbeats)
-  kIdempotent,  // may be duplicated; receiver dedups (task_finished,
-                // scatter registrations)
-  kLossy,       // may be dropped or duplicated
-  kBulk,        // data-plane transfer: may be delayed, never lost
-};
-
-/// Verdict of the fault hook for one message.
-struct FaultDecision {
-  bool drop = false;
-  bool duplicate = false;
-  double extra_delay = 0.0;  // seconds added to the transfer duration
-};
-
-/// Installed by a FaultInjector; consulted on every perturbable send.
-using FaultHook =
-    std::function<FaultDecision(int src, int dst, std::uint64_t bytes,
-                                Delivery delivery)>;
-
-/// What happened to a control send under fault injection. `copies` is the
-/// number of times the caller should enqueue the message at the receiver
-/// (0 = dropped, 2 = duplicated); delivery of the payload is caller-side,
-/// so the cluster can only report the decision.
-struct SendResult {
-  bool delivered = true;
-  int copies = 1;
-};
+// The delivery classes and fault-hook contract are part of the transport
+// seam (every backend honors them identically); the historical net::
+// spellings remain as aliases.
+using Delivery = exec::Delivery;
+using FaultDecision = exec::FaultDecision;
+using FaultHook = exec::FaultHook;
+using SendResult = exec::SendResult;
+using TransferStats = exec::TransferStats;
 
 struct ClusterParams {
   /// Total physical nodes available to the scheduler (machine size).
@@ -87,18 +62,13 @@ struct ClusterParams {
   std::uint64_t jitter_seed = 0x5eed;
 };
 
-/// Statistics for one completed transfer (observability and tests).
-struct TransferStats {
-  std::uint64_t count = 0;
-  std::uint64_t bytes = 0;
-};
-
-class Cluster {
+class Cluster final : public exec::Transport {
 public:
   Cluster(sim::Engine& engine, ClusterParams params);
 
   const ClusterParams& params() const { return params_; }
   sim::Engine& engine() { return *engine_; }
+  exec::Executor& executor() override { return *engine_; }
 
   int leaf_of(int node) const;
   /// Switch hops between two nodes: 0 same node, 2 same leaf, 4 across
@@ -109,27 +79,31 @@ public:
   /// the last byte lands. Holds NIC (and uplink, when crossing the spine)
   /// slots for the whole flow so that concurrent flows queue. The fault
   /// hook may stretch the flow (kBulk extra_delay) but never lose it.
-  sim::Co<void> transfer(int src, int dst, std::uint64_t bytes);
+  sim::Co<void> transfer(int src, int dst, std::uint64_t bytes) override;
 
   /// Pure latency-only message (control traffic small enough that
   /// bandwidth does not matter). Never queues. The returned SendResult
   /// tells fault-aware senders whether to enqueue the message 0, 1 or 2
   /// times; callers sending kReliable traffic may ignore it.
-  sim::Co<SendResult> send_control(int src, int dst,
-                                   std::uint64_t bytes = 256,
-                                   Delivery delivery = Delivery::kReliable);
+  sim::Co<SendResult> send_control(
+      int src, int dst, std::uint64_t bytes = 256,
+      Delivery delivery = Delivery::kReliable) override;
 
   /// Install (or clear, with an empty function) the fault hook consulted
   /// on every perturbable send. Used by fault::FaultInjector.
-  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
-  bool has_fault_hook() const { return static_cast<bool>(fault_hook_); }
+  void set_fault_hook(FaultHook hook) override {
+    fault_hook_ = std::move(hook);
+  }
+  bool has_fault_hook() const override {
+    return static_cast<bool>(fault_hook_);
+  }
 
   /// Ideal (contention-free) duration of a transfer; used by tests.
   double ideal_duration(int src, int dst, std::uint64_t bytes) const;
   /// Bulk-transfer bandwidth between two nodes (software cap applied).
   double effective_bandwidth(int src, int dst) const;
 
-  const TransferStats& stats() const { return stats_; }
+  TransferStats stats() const override { return stats_; }
 
 private:
   double base_latency(int src, int dst) const;

@@ -16,6 +16,10 @@ public:
 
   /// Bind a time source (seconds). Also installs a log time source so
   /// DEISA_LOG lines are prefixed with the simulated time.
+  ///
+  /// Bind/unbind while no actors are running (the harness binds before
+  /// spawning and unbinds after the executor is joined); now() is then a
+  /// race-free concurrent read, even from the threaded substrate.
   static void set_source(Source source);
   /// Unbind: now() reverts to wall time and log lines lose the prefix.
   static void clear_source();

@@ -10,10 +10,17 @@
 //
 // Like the trace recorder, sites reach the registry through
 // MetricsRegistry::current() — a null check when observability is off.
+//
+// Thread-safe: counters and gauges are atomics, histograms take a
+// per-histogram mutex, and the registry's name lookups are serialized
+// (std::map keeps references stable, so the returned instruments stay
+// valid while other threads insert).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,21 +30,23 @@ namespace deisa::obs {
 
 class Counter {
 public:
-  void add(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
 private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
 public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
-  double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
 private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 class Histogram {
@@ -48,16 +57,28 @@ public:
       : max_samples_(max_samples) {}
 
   void observe(double x) {
+    std::lock_guard lk(mu_);
     stats_.add(x);
     if (samples_.size() < max_samples_) samples_.push_back(x);
   }
 
-  const util::RunningStats& stats() const { return stats_; }
-  std::size_t count() const { return stats_.count(); }
+  /// Copy of the streaming moments (consistent under concurrent observe).
+  util::RunningStats stats() const {
+    std::lock_guard lk(mu_);
+    return stats_;
+  }
+  std::size_t count() const {
+    std::lock_guard lk(mu_);
+    return stats_.count();
+  }
   /// Percentile over the retained samples (all of them until the cap).
-  double percentile(double q) const { return util::percentile(samples_, q); }
+  double percentile(double q) const {
+    std::lock_guard lk(mu_);
+    return util::percentile(samples_, q);
+  }
 
 private:
+  mutable std::mutex mu_;
   std::size_t max_samples_;
   util::RunningStats stats_;
   std::vector<double> samples_;
@@ -99,23 +120,39 @@ class MetricsRegistry {
 public:
   /// The process-wide registry instrumentation writes to; nullptr (the
   /// default) disables metrics everywhere.
-  static MetricsRegistry* current() { return current_; }
-  static void install(MetricsRegistry* registry) { current_ = registry; }
+  static MetricsRegistry* current() {
+    return current_.load(std::memory_order_acquire);
+  }
+  static void install(MetricsRegistry* registry) {
+    current_.store(registry, std::memory_order_release);
+  }
 
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Counter& counter(const std::string& name) {
+    std::lock_guard lk(mu_);
+    return counters_[name];
+  }
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard lk(mu_);
+    return gauges_[name];
+  }
+  Histogram& histogram(const std::string& name) {
+    std::lock_guard lk(mu_);
+    return histograms_[name];
+  }
 
   MetricsSnapshot snapshot() const;
   void clear();
 
 private:
+  /// Guards the name->instrument maps (not the instruments themselves,
+  /// which synchronize their own mutation).
+  mutable std::mutex mu_;
   // std::map: deterministic dump order, stable references on insert.
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
 
-  static MetricsRegistry* current_;
+  static std::atomic<MetricsRegistry*> current_;
 };
 
 /// The installed registry, or nullptr when metrics are disabled.

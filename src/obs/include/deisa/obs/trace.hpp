@@ -9,10 +9,16 @@
 // Zero cost when disabled: instrumentation sites go through the
 // trace_span()/trace_instant()/trace_counter() helpers, which reduce to a
 // single null-pointer check when no recorder is installed.
+//
+// Thread-safe: one mutex serializes ring and track-table mutation, so
+// actors on the threaded executor can record concurrently (events
+// interleave in lock-acquisition order).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -94,12 +100,20 @@ public:
 
   /// The process-wide recorder instrumentation writes to; nullptr (the
   /// default) disables tracing everywhere.
-  static Recorder* current() { return current_; }
-  static void install(Recorder* recorder) { current_ = recorder; }
+  static Recorder* current() {
+    return current_.load(std::memory_order_acquire);
+  }
+  static void install(Recorder* recorder) {
+    current_.store(recorder, std::memory_order_release);
+  }
 
   /// Resolve (actor, lane) to a stable track id, creating it on first use.
   TrackId track(std::string_view actor, std::string_view lane);
-  const std::vector<Track>& tracks() const { return tracks_; }
+  /// Copy of the track table (consistent under concurrent track()).
+  std::vector<Track> tracks() const {
+    std::lock_guard lk(mu_);
+    return tracks_;
+  }
 
   void instant(TrackId track, std::string name,
                std::vector<TraceArg> args = {});
@@ -114,15 +128,27 @@ public:
   }
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return ring_.size(); }
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return ring_.size();
+  }
   /// Events evicted because the ring was full.
-  std::uint64_t dropped() const { return total_ - ring_.size(); }
-  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t dropped() const {
+    std::lock_guard lk(mu_);
+    return total_ - ring_.size();
+  }
+  std::uint64_t total_recorded() const {
+    std::lock_guard lk(mu_);
+    return total_;
+  }
   void clear();
 
-  /// Visit retained events oldest-first.
+  /// Visit retained events oldest-first. Holds the recorder lock for the
+  /// whole walk (recursive, so callbacks may still read tracks()/size());
+  /// the callback must not record events.
   template <typename Fn>
   void for_each(Fn&& fn) const {
+    std::lock_guard lk(mu_);
     for (std::size_t i = 0; i < ring_.size(); ++i)
       fn(ring_[(next_ + i) % ring_.size()]);
   }
@@ -133,6 +159,9 @@ public:
 private:
   void push(TraceEvent ev);
 
+  /// Guards the ring, counters and track table. Recursive because
+  /// for_each() callbacks (exporters, tests) read tracks() mid-walk.
+  mutable std::recursive_mutex mu_;
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;  // oldest slot once the ring has wrapped
@@ -140,7 +169,7 @@ private:
   std::map<std::pair<std::string, std::string>, TrackId> track_ids_;
   std::vector<Track> tracks_;
 
-  static Recorder* current_;
+  static std::atomic<Recorder*> current_;
 };
 
 /// The installed recorder, or nullptr when tracing is disabled.

@@ -2,19 +2,21 @@
 
 namespace deisa::obs {
 
-MetricsRegistry* MetricsRegistry::current_ = nullptr;
+std::atomic<MetricsRegistry*> MetricsRegistry::current_{nullptr};
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lk(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters.emplace(name, c.value());
   for (const auto& [name, g] : gauges_) snap.gauges.emplace(name, g.value());
   for (const auto& [name, h] : histograms_) {
+    const util::RunningStats rs = h.stats();
     HistogramSummary s;
-    s.count = h.count();
-    s.mean = h.stats().mean();
-    s.stddev = h.stats().stddev();
-    s.min = h.stats().min();
-    s.max = h.stats().max();
+    s.count = rs.count();
+    s.mean = rs.mean();
+    s.stddev = rs.stddev();
+    s.min = rs.min();
+    s.max = rs.max();
     s.p50 = h.percentile(0.50);
     s.p95 = h.percentile(0.95);
     s.p99 = h.percentile(0.99);
@@ -24,6 +26,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::clear() {
+  std::lock_guard lk(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -6,7 +6,7 @@
 
 namespace deisa::obs {
 
-Recorder* Recorder::current_ = nullptr;
+std::atomic<Recorder*> Recorder::current_{nullptr};
 
 const char* to_string(EventType t) {
   switch (t) {
@@ -72,6 +72,7 @@ Recorder::Recorder(std::size_t capacity) : capacity_(capacity) {
 
 TrackId Recorder::track(std::string_view actor, std::string_view lane) {
   auto key = std::make_pair(std::string(actor), std::string(lane));
+  std::lock_guard lk(mu_);
   const auto it = track_ids_.find(key);
   if (it != track_ids_.end()) return it->second;
   const auto id = static_cast<TrackId>(tracks_.size());
@@ -114,6 +115,7 @@ void Recorder::counter(TrackId track, std::string name, double value) {
 }
 
 void Recorder::push(TraceEvent ev) {
+  std::lock_guard lk(mu_);
   DEISA_ASSERT(ev.track < tracks_.size(), "trace event on unknown track");
   ++total_;
   if (ring_.size() < capacity_) {
@@ -126,6 +128,7 @@ void Recorder::push(TraceEvent ev) {
 }
 
 void Recorder::clear() {
+  std::lock_guard lk(mu_);
   ring_.clear();
   next_ = 0;
   total_ = 0;

@@ -18,7 +18,7 @@ core::VirtualArray DeisaPlugin::parse_array(const std::string& name,
   return core::VirtualArray::from_config(name, node, env);
 }
 
-sim::Co<void> DeisaPlugin::on_event(DataStore& store,
+exec::Co<void> DeisaPlugin::on_event(DataStore& store,
                                     const std::string& name) {
   if (name != init_event_ || initialized_) co_return;
   initialized_ = true;
@@ -59,7 +59,7 @@ array::Index DeisaPlugin::block_coord_of(const core::VirtualArray& va,
   return coord;
 }
 
-sim::Co<void> DeisaPlugin::on_data(DataStore& store, const std::string& name,
+exec::Co<void> DeisaPlugin::on_data(DataStore& store, const std::string& name,
                                    const array::NDArray& data) {
   const auto it = map_in_.find(name);
   if (it == map_in_.end()) co_return;

@@ -12,7 +12,7 @@
 #include "deisa/array/ndarray.hpp"
 #include "deisa/config/expr.hpp"
 #include "deisa/config/node.hpp"
-#include "deisa/sim/engine.hpp"
+#include "deisa/exec/executor.hpp"
 
 namespace deisa::pdi {
 
@@ -23,8 +23,8 @@ class DataStore;
 class Plugin {
 public:
   virtual ~Plugin() = default;
-  virtual sim::Co<void> on_event(DataStore& store, const std::string& name) = 0;
-  virtual sim::Co<void> on_data(DataStore& store, const std::string& name,
+  virtual exec::Co<void> on_event(DataStore& store, const std::string& name) = 0;
+  virtual exec::Co<void> on_data(DataStore& store, const std::string& name,
                                 const array::NDArray& data) = 0;
 };
 
@@ -44,9 +44,9 @@ public:
 
   /// Expose a named buffer to the plugins (no copy: the reference is only
   /// valid for the duration of the call, as in PDI's share/reclaim).
-  sim::Co<void> expose(const std::string& name, const array::NDArray& data);
+  exec::Co<void> expose(const std::string& name, const array::NDArray& data);
   /// Raise a named event.
-  sim::Co<void> event(const std::string& name);
+  exec::Co<void> event(const std::string& name);
 
 private:
   config::Node spec_;

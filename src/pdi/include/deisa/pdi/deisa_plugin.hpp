@@ -22,8 +22,8 @@ public:
   DeisaPlugin(config::Node plugin_spec, dts::Client& client, core::Mode mode,
               int rank, int nranks);
 
-  sim::Co<void> on_event(DataStore& store, const std::string& name) override;
-  sim::Co<void> on_data(DataStore& store, const std::string& name,
+  exec::Co<void> on_event(DataStore& store, const std::string& name) override;
+  exec::Co<void> on_data(DataStore& store, const std::string& name,
                         const array::NDArray& data) override;
 
   core::Bridge& bridge() { return bridge_; }

@@ -1,27 +1,8 @@
 #include "deisa/sim/engine.hpp"
 
-#include <memory>
+#include <algorithm>
 
 namespace deisa::sim {
-
-namespace detail {
-
-void Detached::promise_type::Final::await_suspend(
-    std::coroutine_handle<promise_type> h) const noexcept {
-  Engine* engine = h.promise().engine;
-  if (engine != nullptr) engine->unregister_root(h);
-  h.destroy();
-}
-
-void Detached::promise_type::unhandled_exception() {
-  if (engine != nullptr) engine->report_error(std::current_exception());
-}
-
-namespace {
-Detached run_root(Co<void> co) { co_await std::move(co); }
-}  // namespace
-
-}  // namespace detail
 
 Engine::~Engine() {
   // Drop pending events first (they may reference coroutines owned by the
@@ -42,14 +23,6 @@ void Engine::schedule_callback(std::function<void()> fn, Time t) {
   DEISA_ASSERT(t >= now_, "scheduling into the past: t=" << t
                                                          << " now=" << now_);
   queue_.push(Scheduled{t, next_seq_++, {}, std::move(fn)});
-}
-
-void Engine::spawn(Co<void> co) {
-  DEISA_CHECK(co.valid(), "spawning an empty coroutine");
-  detail::Detached root = detail::run_root(std::move(co));
-  root.handle.promise().engine = this;
-  register_root(root.handle);
-  schedule(root.handle, now_);
 }
 
 void Engine::dispatch(Scheduled& ev) {
@@ -96,44 +69,6 @@ bool Engine::run_until(Time t_end) {
 
 void Engine::report_error(std::exception_ptr e) {
   if (!first_error_) first_error_ = e;
-}
-
-namespace {
-
-struct AllState {
-  std::size_t remaining = 0;
-  std::coroutine_handle<> waiter{};
-  Engine* engine = nullptr;
-  std::exception_ptr error{};
-};
-
-Co<void> all_wrapper(std::shared_ptr<AllState> state, Co<void> task) {
-  try {
-    co_await std::move(task);
-  } catch (...) {
-    if (!state->error) state->error = std::current_exception();
-  }
-  if (--state->remaining == 0 && state->waiter)
-    state->engine->schedule(state->waiter, state->engine->now());
-}
-
-struct AllAwaiter {
-  std::shared_ptr<AllState> state;
-  bool await_ready() const noexcept { return state->remaining == 0; }
-  void await_suspend(std::coroutine_handle<> h) const { state->waiter = h; }
-  void await_resume() const noexcept {}
-};
-
-}  // namespace
-
-Co<void> when_all(Engine& engine, std::vector<Co<void>> tasks) {
-  auto state = std::make_shared<AllState>();
-  state->remaining = tasks.size();
-  state->engine = &engine;
-  for (auto& task : tasks) engine.spawn(all_wrapper(state, std::move(task)));
-  tasks.clear();
-  co_await AllAwaiter{state};
-  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace deisa::sim

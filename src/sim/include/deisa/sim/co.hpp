@@ -1,131 +1,13 @@
-// Lazy coroutine task type for the discrete-event engine.
-//
-// `Co<T>` is a coroutine that starts when awaited (or when spawned on an
-// Engine) and resumes its awaiter via symmetric transfer when it
-// completes. All actors in deisa-cpp — MPI ranks, the Dask-style
-// scheduler, workers, bridges — are written as straight-line `Co<void>`
-// coroutines over the simulated clock.
+// Backward-compatible aliases: the coroutine task type moved to the
+// substrate-neutral deisa::exec module (see exec/co.hpp). Existing code
+// spelling `sim::Co<T>` keeps compiling unchanged.
 #pragma once
 
-#include <coroutine>
-#include <exception>
-#include <utility>
-#include <variant>
-
-#include "deisa/util/error.hpp"
+#include "deisa/exec/co.hpp"
 
 namespace deisa::sim {
 
 template <typename T>
-class Co;
-
-namespace detail {
-
-struct FinalAwaiter {
-  bool await_ready() const noexcept { return false; }
-  template <typename Promise>
-  std::coroutine_handle<> await_suspend(
-      std::coroutine_handle<Promise> h) noexcept {
-    auto cont = h.promise().continuation;
-    return cont ? cont : std::noop_coroutine();
-  }
-  void await_resume() const noexcept {}
-};
-
-template <typename T>
-struct CoPromise {
-  std::coroutine_handle<> continuation{};
-  std::variant<std::monostate, T, std::exception_ptr> result{};
-
-  Co<T> get_return_object();
-  std::suspend_always initial_suspend() const noexcept { return {}; }
-  FinalAwaiter final_suspend() const noexcept { return {}; }
-  void return_value(T value) { result.template emplace<1>(std::move(value)); }
-  void unhandled_exception() {
-    result.template emplace<2>(std::current_exception());
-  }
-
-  T take_result() {
-    if (result.index() == 2) std::rethrow_exception(std::get<2>(result));
-    DEISA_ASSERT(result.index() == 1, "coroutine completed without a value");
-    return std::move(std::get<1>(result));
-  }
-};
-
-template <>
-struct CoPromise<void> {
-  std::coroutine_handle<> continuation{};
-  std::exception_ptr exception{};
-
-  Co<void> get_return_object();
-  std::suspend_always initial_suspend() const noexcept { return {}; }
-  FinalAwaiter final_suspend() const noexcept { return {}; }
-  void return_void() const noexcept {}
-  void unhandled_exception() { exception = std::current_exception(); }
-
-  void take_result() const {
-    if (exception) std::rethrow_exception(exception);
-  }
-};
-
-}  // namespace detail
-
-/// Awaitable, move-only, lazily-started coroutine returning T.
-template <typename T>
-class [[nodiscard]] Co {
-public:
-  using promise_type = detail::CoPromise<T>;
-  using handle_type = std::coroutine_handle<promise_type>;
-
-  Co() = default;
-  explicit Co(handle_type h) : h_(h) {}
-  Co(Co&& other) noexcept : h_(std::exchange(other.h_, {})) {}
-  Co& operator=(Co&& other) noexcept {
-    if (this != &other) {
-      destroy();
-      h_ = std::exchange(other.h_, {});
-    }
-    return *this;
-  }
-  Co(const Co&) = delete;
-  Co& operator=(const Co&) = delete;
-  ~Co() { destroy(); }
-
-  bool valid() const { return static_cast<bool>(h_); }
-
-  /// Awaiting starts the child coroutine via symmetric transfer.
-  bool await_ready() const noexcept { return false; }
-  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
-    DEISA_ASSERT(h_ && !h_.done(), "awaiting an invalid or finished Co");
-    h_.promise().continuation = awaiter;
-    return h_;
-  }
-  T await_resume() { return h_.promise().take_result(); }
-
-  /// Release ownership (the engine takes over root task lifetimes).
-  handle_type release() { return std::exchange(h_, {}); }
-
-private:
-  void destroy() {
-    if (h_) {
-      h_.destroy();
-      h_ = {};
-    }
-  }
-  handle_type h_{};
-};
-
-namespace detail {
-
-template <typename T>
-Co<T> CoPromise<T>::get_return_object() {
-  return Co<T>(std::coroutine_handle<CoPromise<T>>::from_promise(*this));
-}
-
-inline Co<void> CoPromise<void>::get_return_object() {
-  return Co<void>(std::coroutine_handle<CoPromise<void>>::from_promise(*this));
-}
-
-}  // namespace detail
+using Co = exec::Co<T>;
 
 }  // namespace deisa::sim

@@ -1,9 +1,14 @@
-// Deterministic single-threaded discrete-event engine.
+// Deterministic single-threaded discrete-event engine — the simulation
+// backend of the exec::Executor seam.
 //
 // Events are (time, sequence) ordered, so two events at the same simulated
 // time fire in scheduling order — the whole system is a pure function of
 // its seeds, which is what makes the paper's Figure 5 variability study
-// reproducible (same node allocation ⇒ same per-rank pattern).
+// reproducible (same node allocation ⇒ same per-rank pattern). The seam
+// methods map onto the legacy API without adding or reordering events:
+// post() is schedule(), capture() is the bare handle (no strands), so any
+// run through the Executor interface replays the exact pre-seam event
+// sequence.
 #pragma once
 
 #include <coroutine>
@@ -13,89 +18,60 @@
 #include <unordered_set>
 #include <vector>
 
+#include "deisa/exec/executor.hpp"
 #include "deisa/sim/co.hpp"
 
 namespace deisa::sim {
 
 /// Simulated time in seconds.
-using Time = double;
+using Time = exec::Time;
 
-class Engine;
-
-namespace detail {
-
-/// Fire-and-forget root coroutine: self-registers with the engine so
-/// that frames suspended at teardown are destroyed deterministically.
-struct Detached {
-  struct promise_type {
-    Engine* engine = nullptr;
-
-    Detached get_return_object() {
-      return Detached{
-          std::coroutine_handle<promise_type>::from_promise(*this)};
-    }
-    std::suspend_always initial_suspend() const noexcept { return {}; }
-    struct Final {
-      bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<promise_type> h) const noexcept;
-      void await_resume() const noexcept {}
-    };
-    Final final_suspend() const noexcept { return {}; }
-    void return_void() const noexcept {}
-    void unhandled_exception();
-  };
-  std::coroutine_handle<promise_type> handle;
-};
-
-}  // namespace detail
-
-class Engine {
+class Engine final : public exec::Executor {
 public:
   Engine() = default;
-  Engine(const Engine&) = delete;
-  Engine& operator=(const Engine&) = delete;
-  ~Engine();
+  ~Engine() override;
 
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
 
   /// Schedule `h` to resume at absolute time `t` (>= now).
   void schedule(std::coroutine_handle<> h, Time t);
   /// Schedule a plain callback at absolute time `t`.
   void schedule_callback(std::function<void()> fn, Time t);
 
-  /// Launch a root actor. It starts at the current simulated time.
-  void spawn(Co<void> co);
-
-  /// Awaitable: resume after `dt` simulated seconds (dt >= 0).
-  auto delay(Time dt) {
-    struct Awaiter {
-      Engine& engine;
-      Time dt;
-      bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) const {
-        engine.schedule(h, engine.now() + dt);
-      }
-      void await_resume() const noexcept {}
-    };
-    DEISA_CHECK(dt >= 0.0, "cannot delay a negative duration: " << dt);
-    return Awaiter{*this, dt};
+  // ---- exec::Executor seam ----
+  void post(exec::ResumeToken token, Time t) override {
+    schedule(token.handle, t);
   }
+  exec::ResumeToken capture(std::coroutine_handle<> h) override {
+    return exec::ResumeToken{h, nullptr};
+  }
+  void* new_strand() override { return nullptr; }
+  void* current_strand() const override { return nullptr; }
+  void* exchange_current_strand(void* /*strand*/) override { return nullptr; }
+  bool concurrent() const override { return false; }
 
   /// Run until the event queue drains (or stop() is called).
   /// Rethrows the first exception escaping any root actor.
-  void run();
+  void run() override;
   /// Run until simulated time reaches `t_end` (events at exactly t_end
   /// are processed). Returns true if the queue drained before t_end.
-  bool run_until(Time t_end);
+  bool run_until(Time t_end) override;
   /// Request the run loop to return after the current event.
-  void stop() { stopped_ = true; }
+  void stop() override { stopped_ = true; }
 
   std::uint64_t events_processed() const { return events_processed_; }
   std::size_t live_roots() const { return roots_.size(); }
 
-private:
-  friend struct detail::Detached::promise_type;
+protected:
+  void register_root(std::coroutine_handle<> h) override {
+    roots_.insert(h.address());
+  }
+  void unregister_root(std::coroutine_handle<> h) override {
+    roots_.erase(h.address());
+  }
+  void report_error(std::exception_ptr e) override;
 
+private:
   struct Scheduled {
     Time time;
     std::uint64_t seq;
@@ -108,9 +84,6 @@ private:
   };
 
   void dispatch(Scheduled& ev);
-  void register_root(std::coroutine_handle<> h) { roots_.insert(h.address()); }
-  void unregister_root(std::coroutine_handle<> h) { roots_.erase(h.address()); }
-  void report_error(std::exception_ptr e);
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
@@ -123,6 +96,8 @@ private:
 };
 
 /// Await the completion of several Co<void> tasks running concurrently.
-Co<void> when_all(Engine& engine, std::vector<Co<void>> tasks);
+inline Co<void> when_all(exec::Executor& ex, std::vector<Co<void>> tasks) {
+  return exec::when_all(ex, std::move(tasks));
+}
 
 }  // namespace deisa::sim

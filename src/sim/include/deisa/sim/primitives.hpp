@@ -1,187 +1,20 @@
-// Synchronization and queueing primitives for simulated actors:
-//   Event      — one-shot broadcast (contract signed, workflow done, ...)
-//   Channel<T> — FIFO message queue with awaiting receivers
-//   Semaphore  — counted resource
-//   FifoServer — single/multi-server queueing station with a service-time
-//                model; this is how the centralized Dask-style scheduler's
-//                metadata load turns into queueing delay and variability.
+// Backward-compatible aliases: the actor primitives (Event, Channel,
+// Semaphore, FifoServer) moved to the substrate-neutral deisa::exec
+// module (see exec/primitives.hpp) so the same actor code runs on the
+// simulator and on real threads. Existing code spelling `sim::Event`
+// etc. keeps compiling unchanged; under the sim engine the wake ordering
+// is bit-identical to the pre-seam primitives.
 #pragma once
 
-#include <deque>
-#include <functional>
-#include <optional>
-
+#include "deisa/exec/primitives.hpp"
 #include "deisa/sim/engine.hpp"
 
 namespace deisa::sim {
 
-/// One-shot broadcast event. `set()` wakes every current waiter; waiters
-/// arriving after `set()` do not block.
-class Event {
-public:
-  explicit Event(Engine& engine) : engine_(&engine) {}
-
-  bool is_set() const { return set_; }
-
-  void set() {
-    if (set_) return;
-    set_ = true;
-    for (auto h : waiters_) engine_->schedule(h, engine_->now());
-    waiters_.clear();
-  }
-
-  auto wait() {
-    struct Awaiter {
-      Event& event;
-      bool await_ready() const noexcept { return event.set_; }
-      void await_suspend(std::coroutine_handle<> h) {
-        event.waiters_.push_back(h);
-      }
-      void await_resume() const noexcept {}
-    };
-    return Awaiter{*this};
-  }
-
-private:
-  Engine* engine_;
-  bool set_ = false;
-  std::deque<std::coroutine_handle<>> waiters_;
-};
-
-/// Unbounded FIFO channel. Multiple receivers are served in arrival order.
+using Event = exec::Event;
 template <typename T>
-class Channel {
-public:
-  explicit Channel(Engine& engine) : engine_(&engine) {}
-  Channel(const Channel&) = delete;
-  Channel& operator=(const Channel&) = delete;
-
-  void send(T value) {
-    items_.push_back(std::move(value));
-    if (!waiters_.empty()) {
-      ++reserved_;
-      auto h = waiters_.front();
-      waiters_.pop_front();
-      engine_->schedule(h, engine_->now());
-    }
-  }
-
-  auto recv() {
-    struct Awaiter {
-      Channel& channel;
-      bool woken = false;
-      bool await_ready() const noexcept {
-        return channel.items_.size() > channel.reserved_;
-      }
-      void await_suspend(std::coroutine_handle<> h) {
-        woken = true;
-        channel.waiters_.push_back(h);
-      }
-      T await_resume() {
-        if (woken) --channel.reserved_;
-        DEISA_ASSERT(!channel.items_.empty(), "channel wakeup without item");
-        T v = std::move(channel.items_.front());
-        channel.items_.pop_front();
-        return v;
-      }
-    };
-    return Awaiter{*this};
-  }
-
-  /// Non-blocking receive.
-  std::optional<T> try_recv() {
-    if (items_.size() <= reserved_) return std::nullopt;
-    T v = std::move(items_.front());
-    items_.pop_front();
-    return v;
-  }
-
-  std::size_t size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
-
-private:
-  Engine* engine_;
-  std::deque<T> items_;
-  std::deque<std::coroutine_handle<>> waiters_;
-  std::size_t reserved_ = 0;  // items already promised to scheduled waiters
-};
-
-/// Counted semaphore with FIFO waiters.
-class Semaphore {
-public:
-  Semaphore(Engine& engine, std::size_t count)
-      : engine_(&engine), count_(count) {}
-  Semaphore(const Semaphore&) = delete;
-  Semaphore& operator=(const Semaphore&) = delete;
-
-  auto acquire() {
-    struct Awaiter {
-      Semaphore& sem;
-      bool await_ready() {
-        if (sem.count_ > 0) {
-          --sem.count_;
-          return true;
-        }
-        return false;
-      }
-      void await_suspend(std::coroutine_handle<> h) {
-        sem.waiters_.push_back(h);
-      }
-      void await_resume() const noexcept {}
-    };
-    return Awaiter{*this};
-  }
-
-  void release() {
-    if (!waiters_.empty()) {
-      // Hand the token directly to the first waiter.
-      auto h = waiters_.front();
-      waiters_.pop_front();
-      engine_->schedule(h, engine_->now());
-    } else {
-      ++count_;
-    }
-  }
-
-  std::size_t available() const { return count_; }
-  std::size_t queue_length() const { return waiters_.size(); }
-
-private:
-  Engine* engine_;
-  std::size_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
-};
-
-/// FIFO queueing station: `serve(d)` waits for a free server slot, holds
-/// it for `d` simulated seconds, then releases it. Tracks busy time and
-/// arrivals for utilization reporting.
-class FifoServer {
-public:
-  FifoServer(Engine& engine, std::size_t servers = 1)
-      : engine_(&engine), sem_(engine, servers) {}
-
-  Co<void> serve(Time duration) {
-    DEISA_CHECK(duration >= 0.0, "negative service time " << duration);
-    ++arrivals_;
-    const Time enqueue_at = engine_->now();
-    co_await sem_.acquire();
-    waiting_time_ += engine_->now() - enqueue_at;
-    busy_time_ += duration;
-    co_await engine_->delay(duration);
-    sem_.release();
-  }
-
-  std::uint64_t arrivals() const { return arrivals_; }
-  Time total_busy_time() const { return busy_time_; }
-  Time total_waiting_time() const { return waiting_time_; }
-  std::size_t queue_length() const { return sem_.queue_length(); }
-
-private:
-  Engine* engine_;
-  Semaphore sem_;
-  std::uint64_t arrivals_ = 0;
-  Time busy_time_ = 0.0;
-  Time waiting_time_ = 0.0;
-};
+using Channel = exec::Channel<T>;
+using Semaphore = exec::Semaphore;
+using FifoServer = exec::FifoServer;
 
 }  // namespace deisa::sim

@@ -1,5 +1,7 @@
-// Minimal leveled logger. Single-threaded by design: all deisa-cpp actors
-// run on one deterministic event loop, so no locking is needed.
+// Minimal leveled logger. Thread-safe: the level is an atomic read on the
+// hot path (the common case is "disabled"), and a single mutex serializes
+// sink/time-source changes and line emission, so actors on the threaded
+// executor never interleave half-written lines.
 //
 // The default level is kWarn; set the DEISA_LOG_LEVEL environment variable
 // (trace|debug|info|warn|error|off) to override it without recompiling.
@@ -8,7 +10,9 @@
 // simulated time so logs correlate with trace events.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -19,8 +23,10 @@ enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Global logger configuration and sink.
 class Log {
 public:
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel lvl) { level_ = lvl; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel lvl) {
+    level_.store(lvl, std::memory_order_relaxed);
+  }
 
   /// Redirect output (used by tests to capture messages). The sink
   /// receives fully-formatted lines without a trailing newline.
@@ -31,14 +37,18 @@ public:
   /// `[t=...s]`. Used to stamp simulated time while a scenario runs.
   static void set_time_source(std::function<double()> source);
   static void reset_time_source();
-  static bool has_time_source() { return static_cast<bool>(time_source_); }
+  static bool has_time_source();
 
-  static bool enabled(LogLevel lvl) { return lvl >= level_; }
+  static bool enabled(LogLevel lvl) {
+    return lvl >= level_.load(std::memory_order_relaxed);
+  }
   static void write(LogLevel lvl, const std::string& component,
                     const std::string& message);
 
 private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
+  /// Guards sink_/time_source_ and serializes line emission.
+  static std::mutex mu_;
   static std::function<void(LogLevel, const std::string&)> sink_;
   static std::function<double()> time_source_;
 };

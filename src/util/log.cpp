@@ -20,7 +20,8 @@ LogLevel initial_level() {
 
 }  // namespace
 
-LogLevel Log::level_ = initial_level();
+std::atomic<LogLevel> Log::level_{initial_level()};
+std::mutex Log::mu_;
 std::function<void(LogLevel, const std::string&)> Log::sink_;
 std::function<double()> Log::time_source_;
 
@@ -51,19 +52,33 @@ LogLevel log_level_from_name(const std::string& name, LogLevel fallback) {
 }
 
 void Log::set_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard lk(mu_);
   sink_ = std::move(sink);
 }
 
-void Log::reset_sink() { sink_ = nullptr; }
+void Log::reset_sink() {
+  std::lock_guard lk(mu_);
+  sink_ = nullptr;
+}
 
 void Log::set_time_source(std::function<double()> source) {
+  std::lock_guard lk(mu_);
   time_source_ = std::move(source);
 }
 
-void Log::reset_time_source() { time_source_ = nullptr; }
+void Log::reset_time_source() {
+  std::lock_guard lk(mu_);
+  time_source_ = nullptr;
+}
+
+bool Log::has_time_source() {
+  std::lock_guard lk(mu_);
+  return static_cast<bool>(time_source_);
+}
 
 void Log::write(LogLevel lvl, const std::string& component,
                 const std::string& message) {
+  std::lock_guard lk(mu_);
   std::string line;
   if (time_source_) {
     char stamp[48];

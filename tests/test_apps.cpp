@@ -6,6 +6,8 @@
 #include <cmath>
 #include <memory>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/apps/heat2d.hpp"
 
 namespace apps = deisa::apps;

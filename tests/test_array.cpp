@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/array/darray.hpp"
 #include "deisa/dts/runtime.hpp"
 

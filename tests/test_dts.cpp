@@ -6,6 +6,8 @@
 
 #include <memory>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/dts/runtime.hpp"
 #include "deisa/obs/observation.hpp"
 

@@ -10,6 +10,8 @@
 #include <chrono>
 #include <memory>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/dts/runtime.hpp"
 #include "deisa/util/rng.hpp"
 

@@ -4,6 +4,8 @@
 
 #include <filesystem>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/io/h5mini.hpp"
 #include "deisa/io/pfs.hpp"
 #include "deisa/io/posthoc.hpp"

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <memory>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/dts/runtime.hpp"
 #include "deisa/ml/insitu.hpp"
 #include "deisa/ml/pca.hpp"

@@ -4,6 +4,8 @@
 
 #include <numeric>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/mpix/comm.hpp"
 
 namespace mpix = deisa::mpix;

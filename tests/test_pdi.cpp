@@ -5,6 +5,8 @@
 
 #include <memory>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/config/yaml.hpp"
 #include "deisa/core/adaptor.hpp"
 #include "deisa/dts/runtime.hpp"

@@ -5,6 +5,8 @@
 
 #include <memory>
 
+#include "deisa/net/cluster.hpp"
+#include "deisa/sim/engine.hpp"
 #include "deisa/dts/runtime.hpp"
 #include "deisa/ml/streaming.hpp"
 #include "deisa/util/rng.hpp"

@@ -15,6 +15,15 @@
 //   contract_fraction: 1.0   # optional: fraction of Y kept by the contract
 //   real_data: false         # optional: move real Heat2D data (small runs)
 //   faults: "kill:1@30"      # optional: fault plan (spec string or map)
+//   substrate: sim           # optional: sim (default) | threads
+//   substrate_threads: 0     # optional: threads backend worker count
+//   time_scale: 0.05         # optional: wall seconds per model second
+//
+// --substrate=threads (or `substrate: threads`) runs the same actor code
+// on the real-thread executor/transport instead of the simulator: outputs
+// are functional (real_data analytics match the sim bit for bit) but the
+// timing columns are wall-clock artifacts, not model predictions. Fault
+// plans require the sim substrate.
 //
 // The faults section accepts either the compact spec string used by
 // --fault, or a map:
@@ -84,6 +93,13 @@ fault::FaultPlan faults_of(const cfg::Node& node) {
   return plan;
 }
 
+harness::Substrate substrate_of(const std::string& name) {
+  if (name == "sim") return harness::Substrate::kSim;
+  if (name == "threads") return harness::Substrate::kThreads;
+  throw util::ConfigError("unknown substrate '" + name +
+                          "' (expected sim|threads)");
+}
+
 harness::Pipeline pipeline_of(const std::string& name) {
   if (name == "DEISA1") return harness::Pipeline::kDeisa1;
   if (name == "DEISA2") return harness::Pipeline::kDeisa2;
@@ -96,11 +112,18 @@ harness::Pipeline pipeline_of(const std::string& name) {
 }
 
 int run(const std::string& path, const std::string& trace_out,
-        const std::string& metrics_out, const std::string& fault_spec) {
+        const std::string& metrics_out, const std::string& fault_spec,
+        const std::string& substrate_flag) {
   const cfg::Node doc = cfg::parse_yaml_file(path);
   const auto pipeline = pipeline_of(doc.get_string("pipeline", "DEISA3"));
 
   harness::ScenarioParams p;
+  p.substrate = substrate_of(!substrate_flag.empty()
+                                 ? substrate_flag
+                                 : doc.get_string("substrate", "sim"));
+  p.substrate_threads =
+      static_cast<int>(doc.get_int("substrate_threads", 0));
+  p.time_scale = doc.get_double("time_scale", p.time_scale);
   p.ranks = static_cast<int>(doc.get_int("ranks", 4));
   p.workers = static_cast<int>(doc.get_int("workers", 2));
   p.block_bytes =
@@ -121,7 +144,12 @@ int run(const std::string& path, const std::string& trace_out,
   std::cout << "pipeline " << harness::to_string(pipeline) << ": " << p.ranks
             << " ranks x " << util::format_bytes(p.block_bytes) << " x "
             << p.timesteps << " steps, " << p.workers << " workers, " << runs
-            << " run(s)\n";
+            << " run(s), substrate " << harness::to_string(p.substrate)
+            << "\n";
+  if (p.substrate == harness::Substrate::kThreads)
+    std::cout << "note: threads substrate timings are wall-clock artifacts"
+                 " (time_scale " << p.time_scale
+              << "), not model predictions\n";
   if (!p.faults.empty())
     std::cout << "faults: " << p.faults.describe() << "\n";
 
@@ -190,9 +218,18 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   std::string fault_spec;
+  std::string substrate_flag;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--trace-out" || a == "--metrics-out") {
+    if (a.rfind("--substrate=", 0) == 0) {
+      substrate_flag = a.substr(12);
+    } else if (a == "--substrate") {
+      if (i + 1 >= argc) {
+        std::cerr << "option '--substrate' requires a value\n";
+        return 2;
+      }
+      substrate_flag = argv[++i];
+    } else if (a == "--trace-out" || a == "--metrics-out") {
       if (i + 1 >= argc) {
         std::cerr << "option '" << a << "' requires a value\n";
         return 2;
@@ -218,11 +255,12 @@ int main(int argc, char** argv) {
   }
   if (config.empty()) {
     std::cerr << "usage: deisa_scenario [--trace-out FILE] "
-                 "[--metrics-out FILE] [--fault=SPEC] <config.yaml>\n";
+                 "[--metrics-out FILE] [--fault=SPEC] "
+                 "[--substrate=sim|threads] <config.yaml>\n";
     return 2;
   }
   try {
-    return run(config, trace_out, metrics_out, fault_spec);
+    return run(config, trace_out, metrics_out, fault_spec, substrate_flag);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
