@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh bench JSON against the
+committed baseline in bench/baselines/ and fail on large regressions.
+
+    check_bench.py sched     fresh.json baseline.json [--tolerance R]
+    check_bench.py dataplane fresh.json baseline.json [--tolerance R]
+    check_bench.py substrates fresh.json baseline.json [--tolerance R]
+
+The baselines are recorded on one machine and CI runs on another, so
+this is a coarse gate, not a perf test: with the default tolerance a
+throughput metric may drop to 1/R of baseline (and a latency metric
+grow Rx) before the gate trips. It exists to catch order-of-magnitude
+regressions — an accidentally quadratic scheduler loop, a disabled
+fast path — not single-digit-percent noise. It also fails if a metric
+present in the baseline disappears from the fresh run, so renaming a
+bench without updating the baseline is loud.
+
+Exit codes: 0 ok, 1 regression or missing metric, 2 usage/format error.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def extract_sched(doc):
+    # Higher-better throughputs and lower-better latencies per task count.
+    metrics = {}
+    for row in doc.get("sizes", []):
+        n = row["tasks"]
+        metrics[f"ingest_tasks_per_sec/{n}"] = (row["ingest_tasks_per_sec"], "higher")
+        metrics[f"drain_tasks_per_sec/{n}"] = (row["drain_tasks_per_sec"], "higher")
+        metrics[f"push_us_per_block/{n}"] = (row["push_us_per_block"], "lower")
+    return metrics
+
+
+def extract_dataplane(doc):
+    metrics = {}
+    for k in doc.get("kernels", []):
+        metrics[f"kernel_fast_mbps/{k['name']}"] = (k["fast_mbps"], "higher")
+        # The contiguous fast path must stay meaningfully ahead of the
+        # element-wise oracle; speedup is machine-relative, so it gets a
+        # fixed floor rather than a baseline ratio.
+        metrics[f"kernel_speedup/{k['name']}"] = (k["speedup"], "higher")
+    push = doc.get("push")
+    if push:
+        metrics["push_coalescing_speedup"] = (push["speedup"], "higher")
+    return metrics
+
+
+def extract_substrates(doc):
+    metrics = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        metrics[b["name"]] = (b["real_time"], "lower")
+    return metrics
+
+
+EXTRACTORS = {
+    "sched": extract_sched,
+    "dataplane": extract_dataplane,
+    "substrates": extract_substrates,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("kind", choices=sorted(EXTRACTORS))
+    ap.add_argument("fresh")
+    ap.add_argument("baseline")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=4.0,
+        help="allowed regression ratio vs baseline (default 4.0: "
+        "throughput may drop to 1/4, latency may grow 4x)",
+    )
+    args = ap.parse_args()
+    if args.tolerance <= 1.0:
+        print("error: --tolerance must be > 1", file=sys.stderr)
+        sys.exit(2)
+
+    extract = EXTRACTORS[args.kind]
+    fresh = extract(load(args.fresh))
+    base = extract(load(args.baseline))
+    if not base:
+        print(f"error: baseline {args.baseline} has no metrics", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    for name, (bval, direction) in sorted(base.items()):
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        fval = fresh[name][0]
+        if bval <= 0:
+            continue  # nothing sensible to compare against
+        ratio = fval / bval
+        ok = ratio >= 1.0 / args.tolerance if direction == "higher" else ratio <= args.tolerance
+        marker = "ok " if ok else "REG"
+        print(
+            f"{marker} {name}: fresh {fval:.4g} vs baseline {bval:.4g} "
+            f"({direction} better, ratio {ratio:.2f})"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: {fval:.4g} vs baseline {bval:.4g} exceeds "
+                f"tolerance {args.tolerance}x"
+            )
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nall {len(base)} metrics within {args.tolerance}x of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -87,7 +87,8 @@ exec::Co<bool> Bridge::send_block(const VirtualArray& va,
   if (span.active()) span.add_arg(obs::arg("bytes", bytes));
   remember_block(key, data);
   const int ack = co_await client_->scatter(
-      key, std::move(data), preselect_worker(va, coord), /*external=*/true);
+      key, std::move(data), preselect_worker(va, coord), /*external=*/true,
+      /*inform_scheduler=*/true, span.id());
   ++blocks_sent_;
   if (auto* m = obs::metrics()) {
     m->counter("bridge.blocks_sent").add();
@@ -133,7 +134,7 @@ exec::Co<std::size_t> Bridge::send_blocks(
       span.add_arg(obs::arg("bytes", bytes));
     }
     const std::vector<int> acks = co_await client_->scatter_batch(
-        std::move(items), worker, /*external=*/true);
+        std::move(items), worker, /*external=*/true, span.id());
     span.finish();
     sent += n;
     blocks_sent_ += n;
@@ -228,14 +229,22 @@ exec::Co<bool> Bridge::deisa1_send_block(const VirtualArray& va,
   DEISA_CHECK(mode_ == Mode::kDeisa1, "deisa1_send_block requires DEISA1");
   DEISA_CHECK(has_contract_, "DEISA1 bridges fetch their selection first");
   bool sent = false;
+  std::uint64_t push_cause = 0;
   if (contract_.includes(va, coord)) {
     const dts::Key& key = chunk_key_for(va, coord);
     const std::uint64_t bytes = data.bytes;
     obs::Span span = obs::trace_span("bridge", bridge_lane(rank_), key);
     if (span.active()) span.add_arg(obs::arg("bytes", bytes));
+    // DEISA1's scatter is a synchronous RPC: this step's push could not
+    // start until the previous step's registration ack came back. Chain
+    // onto it so the ack-gated serialization shows up on the critical
+    // path instead of reading as unexplained idle.
+    span.set_cause(client_->last_cause(), obs::EdgeKind::kMessage);
+    push_cause = span.id();
     co_await client_->scatter(key, std::move(data),
                               preselect_worker(va, coord),
-                              /*external=*/false);
+                              /*external=*/false,
+                              /*inform_scheduler=*/true, span.id());
     span.finish();
     ++blocks_sent_;
     if (auto* m = obs::metrics()) {
@@ -249,9 +258,12 @@ exec::Co<bool> Bridge::deisa1_send_block(const VirtualArray& va,
     obs::trace_instant("bridge", bridge_lane(rank_), "filtered:" + va.name);
   }
   // Notify the adaptor that this rank finished the step (whether or not
-  // the block passed the filter) so it can submit the step's graph.
-  co_await client_->queue_put(kDeisa1ReadyQueue,
-                              dts::Data::make<int>(rank_, 8));
+  // the block passed the filter) so it can submit the step's graph. The
+  // token carries the push span as provenance: the adaptor's per-step
+  // submit chains onto the bridge push that triggered it.
+  dts::Data token = dts::Data::make<int>(rank_, 8);
+  token.cause = push_cause;
+  co_await client_->queue_put(kDeisa1ReadyQueue, std::move(token));
   co_return sent;
 }
 

@@ -29,6 +29,10 @@ exec::Co<void> Client::send_to_scheduler(SchedMsg msg,
 exec::Co<void> Client::submit(std::vector<TaskSpec> tasks,
                              std::vector<Key> wants) {
   SchedMsg msg(SchedMsgKind::kUpdateGraph);
+  // Stamp the submission with the provenance of the last payload we saw:
+  // per-step graphs triggered by queue tokens or gathered results chain
+  // onto their trigger instead of starting a disconnected causal root.
+  msg.cause = last_cause_;
   msg.tasks = std::move(tasks);
   msg.wants = std::move(wants);
   co_await send_to_scheduler(std::move(msg));
@@ -47,7 +51,7 @@ exec::Co<std::vector<Future>> Client::external_futures(
 }
 
 exec::Co<int> Client::scatter(Key key, Data data, int worker, bool external,
-                             bool inform_scheduler) {
+                             bool inform_scheduler, std::uint64_t cause) {
   DEISA_CHECK(worker >= 0 && static_cast<std::size_t>(worker) < workers_.size(),
               "scatter to unknown worker " << worker);
   const WorkerRef& ref = workers_[static_cast<std::size_t>(worker)];
@@ -55,14 +59,16 @@ exec::Co<int> Client::scatter(Key key, Data data, int worker, bool external,
   // 1) bulk payload straight to the worker ...
   co_await cluster_->transfer(node_, ref.node, bytes);
   WorkerMsg push(WorkerMsgKind::kReceiveData);
+  push.cause = cause;
   push.key = key;
   push.payload = data;
   ref.inbox->send(std::move(push));
   // 2) ... and the metadata registration to the scheduler — a
   // synchronous RPC, as dask's scatter is: wait for the acknowledgement.
   if (inform_scheduler) {
-    auto ack = std::make_shared<exec::Channel<int>>(*engine_);
+    auto ack = std::make_shared<exec::Channel<Ack>>(*engine_);
     SchedMsg reg(SchedMsgKind::kUpdateData);
+    reg.cause = cause;
     reg.key = std::move(key);  // last use; the worker push copied above
     reg.worker = worker;
     reg.bytes = data.bytes;
@@ -70,13 +76,18 @@ exec::Co<int> Client::scatter(Key key, Data data, int worker, bool external,
     reg.reply_worker = ack;
     reg.notify = notify_;
     co_await send_to_scheduler(std::move(reg));
-    co_return co_await ack->recv();
+    const Ack a = co_await ack->recv();
+    // The synchronous registration gates whatever this client does next
+    // (DEISA1: the next timestep's push) — remember it as provenance.
+    if (a.cause != 0) last_cause_ = a.cause;
+    co_return a.code;
   }
   co_return worker;
 }
 
 exec::Co<std::vector<int>> Client::scatter_batch(
-    std::vector<std::pair<Key, Data>> items, int worker, bool external) {
+    std::vector<std::pair<Key, Data>> items, int worker, bool external,
+    std::uint64_t cause) {
   if (items.empty()) co_return std::vector<int>();
   DEISA_CHECK(worker >= 0 && static_cast<std::size_t>(worker) < workers_.size(),
               "scatter to unknown worker " << worker);
@@ -87,6 +98,7 @@ exec::Co<std::vector<int>> Client::scatter_batch(
   for (const auto& [key, data] : items) total += data.bytes;
   co_await cluster_->transfer(node_, ref.node, std::max(total, kMinTransferBytes));
   SchedMsg reg(SchedMsgKind::kUpdateData);
+  reg.cause = cause;
   reg.worker = worker;
   reg.external = external;
   for (const auto& [key, data] : items) {
@@ -94,6 +106,7 @@ exec::Co<std::vector<int>> Client::scatter_batch(
     reg.sizes.push_back(data.bytes);
   }
   WorkerMsg push(WorkerMsgKind::kReceiveDataBatch);
+  push.cause = cause;
   push.batch = std::move(items);
   ref.inbox->send(std::move(push));
   // 2) One batched registration RPC; per-key acks come back together.
@@ -113,14 +126,17 @@ exec::Co<RepushList> Client::repush_keys() {
 }
 
 exec::Co<int> Client::wait_key(const Key& key) {
-  auto reply = std::make_shared<exec::Channel<int>>(*engine_);
+  auto reply = std::make_shared<exec::Channel<Ack>>(*engine_);
   SchedMsg msg(SchedMsgKind::kWaitKey);
   msg.key = key;
   msg.reply_worker = reply;
   co_await send_to_scheduler(std::move(msg));
-  const int worker = co_await reply->recv();
-  DEISA_CHECK(worker != -2, "task erred: " << key);
-  co_return worker;
+  const Ack ack = co_await reply->recv();
+  DEISA_CHECK(ack.code != -2, "task erred: " << key);
+  // The wait observed a completion: whatever this client does next
+  // (submit the following batch, gather) was enabled by it.
+  if (ack.cause != 0) last_cause_ = ack.cause;
+  co_return ack.code;
 }
 
 exec::Co<Data> Client::gather(const Key& key) {
@@ -134,7 +150,9 @@ exec::Co<Data> Client::gather(const Key& key) {
   req.requester_node = node_;
   req.reply_data = reply;
   ref.inbox->send(std::move(req));
-  co_return co_await reply->recv();
+  Data d = co_await reply->recv();
+  if (d.cause != 0) last_cause_ = d.cause;
+  co_return d;
 }
 
 exec::Co<void> Client::variable_set(const std::string& name, Data value) {
@@ -150,11 +168,13 @@ exec::Co<Data> Client::variable_get(const std::string& name) {
   msg.name = name;
   msg.reply_data = reply;
   co_await send_to_scheduler(std::move(msg));
-  co_return co_await reply->recv();
+  Data d = co_await reply->recv();
+  if (d.cause != 0) last_cause_ = d.cause;
+  co_return d;
 }
 
 exec::Co<void> Client::queue_put(const std::string& name, Data value) {
-  auto ack = std::make_shared<exec::Channel<int>>(*engine_);
+  auto ack = std::make_shared<exec::Channel<Ack>>(*engine_);
   SchedMsg msg(SchedMsgKind::kQueuePut);
   msg.name = name;
   msg.payload = std::move(value);
@@ -169,7 +189,9 @@ exec::Co<Data> Client::queue_get(const std::string& name) {
   msg.name = name;
   msg.reply_data = reply;
   co_await send_to_scheduler(std::move(msg));
-  co_return co_await reply->recv();
+  Data d = co_await reply->recv();
+  if (d.cause != 0) last_cause_ = d.cause;
+  co_return d;
 }
 
 exec::Co<void> Client::run_heartbeats(double interval, exec::Event& stop) {
@@ -184,7 +206,7 @@ exec::Co<void> Client::run_heartbeats(double interval, exec::Event& stop) {
 }
 
 exec::Co<void> Client::cancel(const Key& key) {
-  auto ack = std::make_shared<exec::Channel<int>>(*engine_);
+  auto ack = std::make_shared<exec::Channel<Ack>>(*engine_);
   SchedMsg msg(SchedMsgKind::kCancelKey);
   msg.key = key;
   msg.reply_worker = ack;

@@ -56,8 +56,11 @@ public:
   /// acknowledgement: the worker id normally, or one of the negative ack
   /// codes (kAckErred / kAckDiscarded / kAckRepushPending) under faults —
   /// kAckRepushPending asks the caller to follow up with repush_keys().
+  /// `cause` is the sender's causality id (a bridge push span); it rides
+  /// on both the worker push and the scheduler registration so the trace
+  /// links push -> update_data.
   exec::Co<int> scatter(Key key, Data data, int worker, bool external = false,
-                       bool inform_scheduler = true);
+                       bool inform_scheduler = true, std::uint64_t cause = 0);
 
   /// Coalesced scatter: push several payloads to ONE worker as a single
   /// bulk transfer plus a single batched registration RPC, instead of a
@@ -65,7 +68,7 @@ public:
   /// per-key acks in item order, same codes as scatter().
   exec::Co<std::vector<int>> scatter_batch(
       std::vector<std::pair<Key, Data>> items, int worker,
-      bool external = false);
+      bool external = false, std::uint64_t cause = 0);
 
   /// Drain this producer's pending re-push assignments: lost external
   /// keys the scheduler wants pushed again, each with its re-routed
@@ -113,6 +116,12 @@ public:
 
   std::uint64_t messages_sent() const { return messages_sent_; }
 
+  /// Causal provenance of the last payload this client received (gather,
+  /// queue_get, variable_get). Graph submissions are stamped with it so
+  /// data-driven control flow — "a result arrived, submit the next step"
+  /// — shows up as an edge in the causal DAG instead of a fresh root.
+  std::uint64_t last_cause() const { return last_cause_; }
+
 private:
   exec::Co<void> send_to_scheduler(
       SchedMsg msg, exec::Delivery delivery = exec::Delivery::kReliable);
@@ -126,6 +135,7 @@ private:
   std::vector<WorkerRef> workers_;
   std::shared_ptr<exec::Channel<int>> notify_;
   std::uint64_t messages_sent_ = 0;
+  std::uint64_t last_cause_ = 0;
 };
 
 }  // namespace deisa::dts

@@ -40,14 +40,33 @@ struct WorkerRef {
   exec::Channel<struct WorkerMsg>* inbox = nullptr;
 };
 
+/// Scheduler acknowledgement: an int code (worker id, ack code, or a
+/// kAck* sentinel) plus the causality id of the scheduler handling span
+/// that produced it. wait_key replies carry the completion's handling
+/// span so a client that throttles on a key — wait, then submit the next
+/// batch — chains its follow-up graph onto the completion it waited for
+/// instead of opening a fresh causal root.
+struct Ack {
+  Ack() = default;
+  Ack(int code_, std::uint64_t cause_) : code(code_), cause(cause_) {}
+  int code = 0;
+  std::uint64_t cause = 0;
+};
+
 /// Dependency location handed to a worker with a compute request.
 struct DepLocation {
   DepLocation() = default;
-  DepLocation(Key key_, int owner_, std::uint64_t bytes_)
-      : key(std::move(key_)), owner(owner_), bytes(bytes_) {}
+  DepLocation(Key key_, int owner_, std::uint64_t bytes_,
+              std::uint64_t cause_ = 0)
+      : key(std::move(key_)), owner(owner_), bytes(bytes_), cause(cause_) {}
   Key key;
   int owner = -1;  // worker id
   std::uint64_t bytes = 0;
+  /// Causality id of the event that completed this dependency (the
+  /// scheduler handling span that transitioned it to memory); lets the
+  /// worker record dep-ready -> execute edges without knowing how the
+  /// data physically arrived.
+  std::uint64_t cause = 0;
 };
 
 /// Message kinds accepted by the scheduler inbox. The scheduler counts
@@ -97,6 +116,10 @@ struct SchedMsg {
   explicit SchedMsg(SchedMsgKind kind_) : kind(kind_) {}
 
   SchedMsgKind kind;
+  /// Causality id of the span that sent this message (0: untraced). The
+  /// scheduler links its handling span to it, giving the trace analyzer
+  /// typed send->recv / push->update_data edges.
+  std::uint64_t cause = 0;
   int sender_node = -1;
   /// Client id of the sender (-1 for workers/internal messages). Re-push
   /// bookkeeping is per client, not per node: two ranks can share a node
@@ -130,7 +153,7 @@ struct SchedMsg {
 
   // Replies (WaitKey -> worker id or -2 on error; VariableGet/QueueGet ->
   // payload). Channels are engine-bound and shared with the requester.
-  std::shared_ptr<exec::Channel<int>> reply_worker;
+  std::shared_ptr<exec::Channel<Ack>> reply_worker;
   std::shared_ptr<exec::Channel<Data>> reply_data;
   std::shared_ptr<exec::Channel<RepushList>> reply_repush;  // kRepushKeys
 
@@ -165,6 +188,8 @@ struct WorkerMsg {
   explicit WorkerMsg(WorkerMsgKind kind_) : kind(kind_) {}
 
   WorkerMsgKind kind;
+  /// Causality id of the sending span (scheduler assign, bridge push).
+  std::uint64_t cause = 0;
 
   // kCompute
   TaskSpec spec;

@@ -166,6 +166,10 @@ private:
     std::uint64_t bytes = 0;
     double state_since = 0.0;  // sim time of the last transition (tracing)
     std::uint64_t rearm_epoch = 0;  // bumps on memory -> external re-arm
+    /// Causality id of the handling span that moved this key to memory;
+    /// forwarded as DepLocation::cause so dependents can record
+    /// dep-ready -> execute edges (0 when untraced).
+    std::uint64_t done_cause = 0;
     /// Execution payload (fn/io/cost/out_bytes) in spec_arena_; null for
     /// records the scheduler never assigns (external/scattered keys).
     TaskSpec* spec = nullptr;
@@ -173,7 +177,7 @@ private:
 
   /// Clients blocked in wait_key/gather on one record (cold path).
   struct WaiterList {
-    std::vector<std::shared_ptr<exec::Channel<int>>> chans;
+    std::vector<std::shared_ptr<exec::Channel<Ack>>> chans;
     std::vector<int> nodes;
   };
 
@@ -258,8 +262,8 @@ private:
                             const std::string& error);
   exec::Co<void> assign(KeyId id);
   int decide_worker(const TaskRecord& rec);
-  exec::Co<void> reply_int(std::shared_ptr<exec::Channel<int>> ch, int dst_node,
-                          int value);
+  exec::Co<void> reply_ack(std::shared_ptr<exec::Channel<Ack>> ch,
+                          int dst_node, int code, std::uint64_t cause);
   exec::Co<void> reply_data(std::shared_ptr<exec::Channel<Data>> ch,
                            int dst_node, Data value);
 
@@ -314,6 +318,10 @@ private:
   std::array<std::uint64_t, kSchedMsgKindCount> arrivals_{};
   std::uint64_t total_messages_ = 0;
   std::uint64_t retries_performed_ = 0;
+  /// Causality id of the handling span of the message currently being
+  /// processed (0 untraced); stamped into outgoing assigns and recorded
+  /// as done_cause when a key completes.
+  std::uint64_t current_cause_ = 0;
   bool stopping_ = false;
 
   // ---- failure detection / recovery state (worker-id indexed) ----

@@ -55,6 +55,11 @@ struct Data {
 
   std::shared_ptr<const std::any> value;
   std::uint64_t bytes = 0;
+  /// Causal provenance: span id of the event that produced this payload
+  /// (execute span for computed results, push span for scattered blocks).
+  /// Rides along with the value so consumers on other actors can link
+  /// their own spans back to the producer. 0 = unknown.
+  std::uint64_t cause = 0;
 
   bool has_value() const { return value != nullptr && value->has_value(); }
 

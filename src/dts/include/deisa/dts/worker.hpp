@@ -88,7 +88,8 @@ private:
     Data data;
   };
 
-  exec::Co<void> handle_compute(TaskSpec spec, std::vector<DepLocation> deps);
+  exec::Co<void> handle_compute(TaskSpec spec, std::vector<DepLocation> deps,
+                                std::uint64_t cause);
   exec::Co<Data> fetch(const DepLocation& dep);
   /// Fetch one dependency into slot `i` of the shared input vector
   /// (spawned per dep by handle_compute; joined with when_all).

@@ -247,9 +247,19 @@ exec::Co<void> Scheduler::run() {
     // Guarded so the disabled path never builds the name string: this
     // loop is the scheduler-throughput hot path.
     obs::Span span;
-    if (obs::tracer() != nullptr)
+    current_cause_ = 0;
+    const double svc = service_time(msg);
+    if (obs::tracer() != nullptr) {
       span = obs::trace_span("scheduler", "inbox", to_string(msg.kind));
-    co_await server_.serve(service_time(msg));
+      span.set_cause(msg.cause, msg.kind == SchedMsgKind::kUpdateData
+                                    ? obs::EdgeKind::kPush
+                                    : obs::EdgeKind::kMessage);
+      // The span covers recv -> handled; "svc" tells the critical-path
+      // engine how much of it is modelled service vs inbox queueing.
+      span.add_arg(obs::arg("svc", svc));
+      current_cause_ = span.id();
+    }
+    co_await server_.serve(svc);
     if (msg.kind == SchedMsgKind::kShutdown) {
       stopping_ = true;
       break;
@@ -471,11 +481,13 @@ exec::Co<void> Scheduler::assign(KeyId id) {
   m.spec.out_bytes = s.out_bytes;
   m.spec.preferred_worker = rec.preferred_worker;
   m.spec.retries = rec.retries;
+  m.cause = current_cause_;
   m.deps.reserve(rec.dep_count);
   for (std::uint32_t i = 0; i < rec.dep_count; ++i) {
     const KeyId d = deps_pool_[rec.dep_off + i];
     const TaskRecord& drec = records_[d];
-    m.deps.emplace_back(keys_.name(d), drec.worker, drec.bytes);
+    m.deps.emplace_back(keys_.name(d), drec.worker, drec.bytes,
+                        drec.done_cause);
   }
   const WorkerRef& ref = workers_[static_cast<std::size_t>(w)];
   co_await cluster_->send_control(node_, ref.node, 512 + m.deps.size() * 48);
@@ -513,8 +525,11 @@ exec::Co<void> Scheduler::release_waiters(KeyId id, int value) {
   if (it == waiters_.end()) co_return;
   WaiterList wl = std::move(it->second);
   waiters_.erase(it);
+  // Waiters chain onto the handling span that released them — for a
+  // normal completion that is the task_finished/update_data span, whose
+  // own cause is the producing execute/push span.
   for (std::size_t i = 0; i < wl.chans.size(); ++i)
-    co_await reply_int(wl.chans[i], wl.nodes[i], value);
+    co_await reply_ack(wl.chans[i], wl.nodes[i], value, current_cause_);
 }
 
 exec::Co<void> Scheduler::finish_task(KeyId id, TaskRecord& rec, int worker,
@@ -527,6 +542,7 @@ exec::Co<void> Scheduler::finish_task(KeyId id, TaskRecord& rec, int worker,
     co_return;
   }
   transition(id, rec, TaskState::kMemory);
+  rec.done_cause = current_cause_;
   errors_.erase(id);
   if (worker >= 0 && static_cast<std::size_t>(worker) < has_what_.size())
     has_what_[static_cast<std::size_t>(worker)].insert(id);
@@ -718,7 +734,7 @@ exec::Co<void> Scheduler::handle_update_data(SchedMsg& msg) {
   // this acknowledgement queues behind everything else — the source of
   // the communication-time inflation and variability in Figures 2a/3a/5.
   if (msg.reply_worker != nullptr)
-    co_await reply_int(msg.reply_worker, msg.sender_node, ack);
+    co_await reply_ack(msg.reply_worker, msg.sender_node, ack, current_cause_);
 }
 
 void Scheduler::handle_create_external(SchedMsg& msg) {
@@ -767,9 +783,12 @@ exec::Co<void> Scheduler::handle_wait_key(SchedMsg& msg) {
   DEISA_CHECK(id != kNoKeyId, "wait on unknown key: " << msg.key);
   TaskRecord& rec = records_[id];
   if (rec.state == TaskState::kMemory) {
-    co_await reply_int(msg.reply_worker, msg.sender_node, rec.worker);
+    // Already done: the reply's provenance is the completion, not this
+    // wait — done_cause is the handling span that put it in memory.
+    co_await reply_ack(msg.reply_worker, msg.sender_node, rec.worker,
+                       rec.done_cause);
   } else if (rec.state == TaskState::kErred) {
-    co_await reply_int(msg.reply_worker, msg.sender_node, -2);
+    co_await reply_ack(msg.reply_worker, msg.sender_node, -2, current_cause_);
   } else {
     WaiterList& wl = waiters_[id];
     wl.chans.push_back(msg.reply_worker);
@@ -787,7 +806,7 @@ exec::Co<void> Scheduler::handle_cancel(SchedMsg& msg) {
     co_await finish_task(id, rec, -1, 0, /*erred=*/true,
                          "cancelled by client");
   if (msg.reply_worker != nullptr)
-    co_await reply_int(msg.reply_worker, msg.sender_node, 0);
+    co_await reply_ack(msg.reply_worker, msg.sender_node, 0, current_cause_);
 }
 
 exec::Co<void> Scheduler::handle_variable(SchedMsg& msg) {
@@ -819,7 +838,8 @@ exec::Co<void> Scheduler::handle_queue(SchedMsg& msg) {
     }
     // Queue.put is a synchronous RPC in dask: acknowledge the producer.
     if (msg.reply_worker != nullptr)
-      co_await reply_int(msg.reply_worker, msg.sender_node, 0);
+      co_await reply_ack(msg.reply_worker, msg.sender_node, 0,
+                         current_cause_);
     co_return;
   }
   if (!slot.items.empty()) {
@@ -1108,11 +1128,12 @@ exec::Co<void> Scheduler::repush_deadline(Key key, std::uint64_t epoch) {
   inbox_.send(std::move(msg));
 }
 
-exec::Co<void> Scheduler::reply_int(std::shared_ptr<exec::Channel<int>> ch,
-                                   int dst_node, int value) {
+exec::Co<void> Scheduler::reply_ack(std::shared_ptr<exec::Channel<Ack>> ch,
+                                   int dst_node, int code,
+                                   std::uint64_t cause) {
   DEISA_ASSERT(ch != nullptr, "missing reply channel");
   co_await cluster_->send_control(node_, dst_node, kControlMsgBase);
-  ch->send(value);
+  ch->send(Ack(code, cause));
 }
 
 exec::Co<void> Scheduler::reply_data(std::shared_ptr<exec::Channel<Data>> ch,

@@ -47,14 +47,20 @@ exec::Co<void> Worker::run() {
     }
     switch (msg.kind) {
       case WorkerMsgKind::kCompute:
-        engine_->spawn(handle_compute(std::move(msg.spec), std::move(msg.deps)));
+        engine_->spawn(handle_compute(std::move(msg.spec), std::move(msg.deps),
+                                      msg.cause));
         break;
       case WorkerMsgKind::kReceiveData:
+        // Pushed payloads inherit the push span as provenance so later
+        // consumers (gather, queue hand-offs) can link back to it.
+        if (msg.cause != 0) msg.payload.cause = msg.cause;
         store_put(std::move(msg.key), std::move(msg.payload));
         break;
       case WorkerMsgKind::kReceiveDataBatch:
-        for (auto& [key, payload] : msg.batch)
+        for (auto& [key, payload] : msg.batch) {
+          if (msg.cause != 0) payload.cause = msg.cause;
           store_put(std::move(key), std::move(payload));
+        }
         break;
       case WorkerMsgKind::kGetData:
         engine_->spawn(handle_get_data(std::move(msg)));
@@ -221,14 +227,25 @@ exec::Co<void> Worker::fetch_one(std::shared_ptr<std::vector<Data>> inputs,
 }
 
 exec::Co<void> Worker::handle_compute(TaskSpec spec,
-                                     std::vector<DepLocation> deps) {
+                                     std::vector<DepLocation> deps,
+                                     std::uint64_t cause) {
   // Fetch all dependencies concurrently (each a spawned coroutine, joined
   // below): request/transfer latencies overlap instead of summing, with
   // total in-flight fetches bounded by fetch_slots_. Results land in
   // dep-list order regardless of arrival order, so execution stays
   // deterministic.
   auto inputs = std::make_shared<std::vector<Data>>(deps.size());
+  obs::CauseId fetch_cause = 0;
   if (!deps.empty()) {
+    // The fetch phase is one causal node: caused by the assign, fed by a
+    // dep edge per input (the scheduler supplies each dep's completion
+    // id, so the edge set is identical on both substrates).
+    obs::Span fetch_span = obs::trace_span(actor_, "fetch", spec.key);
+    fetch_span.set_cause(cause, obs::EdgeKind::kAssign);
+    fetch_cause = fetch_span.id();
+    for (const DepLocation& d : deps)
+      obs::trace_edge(d.cause, fetch_cause, obs::EdgeKind::kDep, actor_,
+                      "fetch");
     std::vector<exec::Co<void>> fetches;
     fetches.reserve(deps.size());
     for (std::size_t i = 0; i < deps.size(); ++i)
@@ -243,6 +260,11 @@ exec::Co<void> Worker::handle_compute(TaskSpec spec,
   done.sender_node = node_;
   const double exec_start = engine_->now();
   obs::Span span = obs::trace_span(actor_, "execute", spec.key);
+  if (fetch_cause != 0)
+    span.set_cause(fetch_cause, obs::EdgeKind::kLocal);
+  else
+    span.set_cause(cause, obs::EdgeKind::kAssign);
+  done.cause = span.id();
   try {
     if (spec.io) co_await spec.io();
     co_await cpu_.serve(spec.cost);
@@ -255,6 +277,7 @@ exec::Co<void> Worker::handle_compute(TaskSpec spec,
     }
     done.bytes = out.bytes;
     if (span.active()) span.add_arg(obs::arg("bytes", out.bytes));
+    out.cause = done.cause;  // stored result carries the execute span
     store_put(std::move(spec.key), std::move(out));  // done.key copied above
     ++tasks_executed_;
   } catch (const std::exception& e) {

@@ -563,7 +563,8 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
   // outer test harness) are restored on return.
   std::shared_ptr<obs::Recorder> recorder;
   if (params.trace)
-    recorder = std::make_shared<obs::Recorder>(params.trace_capacity);
+    recorder = std::make_shared<obs::Recorder>(params.trace_capacity,
+                                               params.trace_drop_policy);
   obs::MetricsRegistry registry;
   obs::ObservationScope scope(recorder.get(), &registry,
                               [&engine = w.engine] { return engine.now(); });
@@ -680,6 +681,11 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
   res.pfs_bytes_read = w.pfs.bytes_read();
   res.recovery = sched.recovery();
   res.workers_killed = w.injector ? w.injector->kills_performed() : 0;
+  // Threaded backend: fold the executor's contention counters (strand
+  // queue depths, post->run latency) into the run's metrics.
+  if (w.thr_engine) w.thr_engine->publish_metrics();
+  if (recorder) obs::gauge_set("trace.dropped_events_final",
+                               static_cast<double>(recorder->dropped()));
   res.metrics = registry.snapshot();
   res.trace = std::move(recorder);
   return res;

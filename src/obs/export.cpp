@@ -115,7 +115,18 @@ void write_chrome_trace(const Recorder& recorder, std::ostream& out) {
       case EventType::kCounter:
         out << ",\"ph\":\"C\"";
         break;
+      case EventType::kEdge:
+        // Causal edge, rendered as an instant; the "cat" marks it so the
+        // trace loader can reconstruct the edge list.
+        out << ",\"ph\":\"i\",\"s\":\"t\",\"cat\":\"edge\"";
+        break;
     }
+    // Causality annotations; extra top-level keys are ignored by Chrome
+    // and Perfetto but round-trip through load_chrome_trace().
+    if (ev.self_id != 0) out << ",\"cid\":" << ev.self_id;
+    if (ev.cause_id != 0) out << ",\"cause\":" << ev.cause_id;
+    if (ev.edge != EdgeKind::kNone)
+      out << ",\"ek\":\"" << to_string(ev.edge) << "\"";
     if (ev.type == EventType::kCounter) {
       out << ",\"args\":{\"value\":" << num(ev.value) << "}";
     } else if (!ev.args.empty()) {
@@ -138,7 +149,7 @@ void write_trace_csv(const Recorder& recorder, std::ostream& out) {
     q += '"';
     return q;
   };
-  out << "type,actor,lane,name,ts_s,dur_s,value,args\n";
+  out << "type,actor,lane,name,ts_s,dur_s,value,self_id,cause_id,edge,args\n";
   recorder.for_each([&](const TraceEvent& ev) {
     const Track& t = tracks[ev.track];
     std::string args;
@@ -148,7 +159,8 @@ void write_trace_csv(const Recorder& recorder, std::ostream& out) {
     }
     out << to_string(ev.type) << ',' << csv_quote(t.actor) << ','
         << csv_quote(t.lane) << ',' << csv_quote(ev.name) << ',' << num(ev.ts)
-        << ',' << num(ev.dur) << ',' << num(ev.value) << ','
+        << ',' << num(ev.dur) << ',' << num(ev.value) << ',' << ev.self_id
+        << ',' << ev.cause_id << ',' << to_string(ev.edge) << ','
         << csv_quote(args) << "\n";
   });
 }

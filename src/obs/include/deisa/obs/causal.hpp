@@ -1,0 +1,131 @@
+// Causal-graph reconstruction and critical-path attribution.
+//
+// Instrumented runs link spans with causality ids: a bridge push span is
+// named as the cause of the scheduler update_data handling span it
+// triggers, the scheduler assign names its handling span as the cause of
+// the worker's fetch/execute spans, and per-dependency kEdge events fan
+// extra causes into one node. build_causal_graph() turns a trace (live
+// Recorder or a file loaded via trace_io) back into that DAG, and
+// analyze_critical_path() walks it backward from the last finished node,
+// attributing every instant of the run window to one of four categories:
+//
+//   compute    — worker execute spans
+//   transfer   — bridge pushes, dependency fetch phases, net/pfs moves
+//   scheduler  — scheduler handling (the modelled service time)
+//   idle       — queueing and waiting: everything else
+//
+// The attribution partitions [t_begin, t_end] exactly, so the category
+// breakdown sums to the makespan by construction — which is what makes
+// "X% of this run is transfer" claims trustworthy.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "deisa/obs/trace.hpp"
+#include "deisa/obs/trace_io.hpp"
+
+namespace deisa::obs {
+
+enum class Category : std::uint8_t { kCompute, kTransfer, kScheduler, kIdle };
+inline constexpr std::size_t kNumCategories = 4;
+
+const char* to_string(Category c);
+
+/// One span participating in the causal DAG.
+struct CausalNode {
+  CauseId id = 0;
+  TrackId track = kNoTrack;
+  std::string name;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  Category cat = Category::kIdle;
+  double svc = -1.0;  // scheduler spans: modelled service share; <0 none
+  CauseId cause = 0;  // primary in-edge (0: root)
+  EdgeKind edge = EdgeKind::kNone;
+};
+
+struct CausalEdge {
+  CauseId src = 0;
+  CauseId dst = 0;
+  EdgeKind kind = EdgeKind::kNone;
+};
+
+/// A span interval that counts as "busy" for utilization purposes,
+/// collected from every span in the trace — DAG membership not required
+/// (net transfers and worker fetches are busy even when off the DAG).
+struct BusyInterval {
+  TrackId track = kNoTrack;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  Category cat = Category::kIdle;
+};
+
+struct CausalGraph {
+  std::vector<Track> tracks;
+  std::vector<CausalNode> nodes;
+  std::vector<CausalEdge> edges;   // resolved: both endpoints in nodes
+  std::vector<BusyInterval> busy;
+  std::size_t dangling_edges = 0;  // endpoints lost to ring eviction
+  double t_begin = 0.0;  // run window over all spans/instants in the trace
+  double t_end = 0.0;
+
+  const CausalNode* find(CauseId id) const;
+};
+
+/// Reconstruct the causal DAG from a trace. A span joins the DAG when it
+/// either names a cause or is named as one (isolated spans — heartbeats,
+/// uncaused bookkeeping — stay out, so the DAG shape is substrate
+/// independent).
+CausalGraph build_causal_graph(const std::vector<Track>& tracks,
+                               const std::vector<TraceEvent>& events);
+CausalGraph build_causal_graph(const Recorder& recorder);
+CausalGraph build_causal_graph(const TraceData& data);
+
+/// One step of the critical path, end-to-origin order.
+struct PathStep {
+  CauseId node = 0;
+  double seconds = 0.0;     // window attributed to this node's category
+  double gap_before = 0.0;  // wait between the predecessor's end and here
+};
+
+/// Critical-path seconds aggregated over like-named spans ("execute
+/// deisa-G_temp-#-#" style: digit runs collapse to '#').
+struct Contributor {
+  std::string label;
+  Category cat = Category::kIdle;
+  double seconds = 0.0;
+  std::size_t count = 0;
+};
+
+/// Per-actor busy time: union of compute/transfer span intervals plus
+/// the scheduler's service share, binned over the run window.
+struct ActorUtilization {
+  std::string actor;
+  double busy_seconds = 0.0;
+  std::vector<double> bins;  // busy fraction per bin of [t_begin, t_end]
+};
+
+struct CriticalPathReport {
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  double makespan() const { return t_end - t_begin; }
+  std::array<double, kNumCategories> category_seconds{};
+  double category(Category c) const {
+    return category_seconds[static_cast<std::size_t>(c)];
+  }
+  std::vector<PathStep> path;  // end -> origin
+  std::vector<Contributor> contributors;  // sorted by seconds, capped top-k
+  std::vector<ActorUtilization> utilization;
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t dangling_edges = 0;
+};
+
+CriticalPathReport analyze_critical_path(const CausalGraph& graph,
+                                         std::size_t top_k = 10,
+                                         std::size_t bins = 24);
+
+}  // namespace deisa::obs

@@ -32,9 +32,27 @@ namespace deisa::obs {
 using TrackId = std::uint32_t;
 inline constexpr TrackId kNoTrack = 0xffffffffu;
 
-enum class EventType : std::uint8_t { kSpan, kInstant, kCounter };
+enum class EventType : std::uint8_t { kSpan, kInstant, kCounter, kEdge };
 
 const char* to_string(EventType t);
+
+/// Causality id: every span gets one from the recorder's process-wide
+/// counter; 0 means "no id / no cause". Ids travel inside message
+/// envelopes (SchedMsg/WorkerMsg `cause` fields) so a receiver can link
+/// its handling span back to the send that triggered it.
+using CauseId = std::uint64_t;
+
+/// Type of a causal edge between two spans.
+enum class EdgeKind : std::uint8_t {
+  kNone = 0,
+  kMessage,  // send -> recv (control message delivery)
+  kAssign,   // scheduler assign -> worker compute handling
+  kDep,      // dependency became available -> dependent's fetch/execute
+  kPush,     // bridge push -> scheduler update_data handling
+  kLocal,    // intra-actor follow-on (fetch phase -> execute)
+};
+
+const char* to_string(EdgeKind k);
 
 /// One key/value annotation. Numeric values are exported unquoted.
 struct TraceArg {
@@ -54,6 +72,13 @@ struct TraceEvent {
   double dur = 0.0;  // seconds; spans only
   double value = 0.0;  // counters only
   TrackId track = kNoTrack;
+  // Causality: spans carry their own id plus (optionally) the id of the
+  // event that triggered them. kEdge events link self_id (destination
+  // span) to cause_id (source span) for multi-cause nodes, e.g. one
+  // execute span depending on several finished tasks.
+  CauseId self_id = 0;
+  CauseId cause_id = 0;
+  EdgeKind edge = EdgeKind::kNone;
   std::string name;
   std::vector<TraceArg> args;
 };
@@ -81,6 +106,15 @@ public:
 
   bool active() const { return recorder_ != nullptr; }
   void add_arg(TraceArg a);
+  /// This span's causality id (0 when inert). Allocated eagerly so the
+  /// id can be stamped into outgoing messages before the span finishes.
+  CauseId id() const { return self_id_; }
+  /// Link this span to the event that triggered it.
+  void set_cause(CauseId cause, EdgeKind kind) {
+    if (recorder_ == nullptr || cause == 0) return;
+    cause_id_ = cause;
+    edge_ = kind;
+  }
   /// Emit the span now (idempotent; also called by the destructor).
   void finish();
 
@@ -88,15 +122,25 @@ private:
   Recorder* recorder_ = nullptr;
   TrackId track_ = kNoTrack;
   double t0_ = 0.0;
+  CauseId self_id_ = 0;
+  CauseId cause_id_ = 0;
+  EdgeKind edge_ = EdgeKind::kNone;
   std::string name_;
   std::vector<TraceArg> args_;
+};
+
+/// What to evict when the ring reaches its capacity.
+enum class DropPolicy : std::uint8_t {
+  kOldest,  // ring semantics: overwrite the oldest retained event
+  kNewest,  // freeze the prefix: discard incoming events instead
 };
 
 class Recorder {
 public:
   static constexpr std::size_t kDefaultCapacity = 1u << 18;
 
-  explicit Recorder(std::size_t capacity = kDefaultCapacity);
+  explicit Recorder(std::size_t capacity = kDefaultCapacity,
+                    DropPolicy drop_policy = DropPolicy::kOldest);
 
   /// The process-wide recorder instrumentation writes to; nullptr (the
   /// default) disables tracing everywhere.
@@ -117,25 +161,38 @@ public:
 
   void instant(TrackId track, std::string name,
                std::vector<TraceArg> args = {});
-  /// Record a span with explicit timing (RAII spans call this).
+  /// Record a span with explicit timing (RAII spans call this). The
+  /// trailing causal fields default to "no causality" so pre-causal call
+  /// sites keep working unchanged.
   void complete(TrackId track, std::string name, double ts, double dur,
-                std::vector<TraceArg> args = {});
+                std::vector<TraceArg> args = {}, CauseId self_id = 0,
+                CauseId cause_id = 0, EdgeKind edge = EdgeKind::kNone);
   /// Sample a named counter series (rendered as a counter track).
   void counter(TrackId track, std::string name, double value);
+  /// Record an extra causal edge src -> dst (for nodes with more than
+  /// one cause, e.g. an execute span fed by several dependencies).
+  void edge(CauseId src, CauseId dst, EdgeKind kind, TrackId track);
   /// Start an RAII span at SimClock::now().
   Span span(TrackId track, std::string name) {
     return Span(this, track, std::move(name));
   }
 
+  /// Allocate a fresh causality id (never 0; process-wide monotonic).
+  CauseId new_cause() {
+    return cause_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   std::size_t capacity() const { return capacity_; }
+  DropPolicy drop_policy() const { return drop_policy_; }
   std::size_t size() const {
     std::lock_guard lk(mu_);
     return ring_.size();
   }
-  /// Events evicted because the ring was full.
+  /// Events evicted (kOldest) or discarded on arrival (kNewest) because
+  /// the ring was full.
   std::uint64_t dropped() const {
     std::lock_guard lk(mu_);
-    return total_ - ring_.size();
+    return dropped_;
   }
   std::uint64_t total_recorded() const {
     std::lock_guard lk(mu_);
@@ -163,9 +220,12 @@ private:
   /// for_each() callbacks (exporters, tests) read tracks() mid-walk.
   mutable std::recursive_mutex mu_;
   std::size_t capacity_;
+  DropPolicy drop_policy_;
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;  // oldest slot once the ring has wrapped
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::atomic<CauseId> cause_seq_{0};
   std::map<std::pair<std::string, std::string>, TrackId> track_ids_;
   std::vector<Track> tracks_;
 
@@ -193,6 +253,15 @@ inline void trace_counter(std::string_view actor, std::string_view lane,
                           std::string name, double value) {
   if (Recorder* r = Recorder::current())
     r->counter(r->track(actor, lane), std::move(name), value);
+}
+
+/// Record a causal edge src -> dst on (actor, lane); inert when tracing
+/// is off or either endpoint has no id.
+inline void trace_edge(CauseId src, CauseId dst, EdgeKind kind,
+                       std::string_view actor, std::string_view lane) {
+  Recorder* r = Recorder::current();
+  if (r == nullptr || src == 0 || dst == 0) return;
+  r->edge(src, dst, kind, r->track(actor, lane));
 }
 
 }  // namespace deisa::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "deisa/obs/metrics.hpp"
 #include "deisa/util/error.hpp"
 
 namespace deisa::obs {
@@ -13,6 +14,19 @@ const char* to_string(EventType t) {
     case EventType::kSpan: return "span";
     case EventType::kInstant: return "instant";
     case EventType::kCounter: return "counter";
+    case EventType::kEdge: return "edge";
+  }
+  return "?";
+}
+
+const char* to_string(EdgeKind k) {
+  switch (k) {
+    case EdgeKind::kNone: return "none";
+    case EdgeKind::kMessage: return "message";
+    case EdgeKind::kAssign: return "assign";
+    case EdgeKind::kDep: return "dep";
+    case EdgeKind::kPush: return "push";
+    case EdgeKind::kLocal: return "local";
   }
   return "?";
 }
@@ -38,6 +52,7 @@ Span::Span(Recorder* recorder, TrackId track, std::string name)
     : recorder_(recorder),
       track_(track),
       t0_(SimClock::now()),
+      self_id_(recorder != nullptr ? recorder->new_cause() : 0),
       name_(std::move(name)) {}
 
 Span& Span::operator=(Span&& other) noexcept {
@@ -46,6 +61,9 @@ Span& Span::operator=(Span&& other) noexcept {
     recorder_ = other.recorder_;
     track_ = other.track_;
     t0_ = other.t0_;
+    self_id_ = other.self_id_;
+    cause_id_ = other.cause_id_;
+    edge_ = other.edge_;
     name_ = std::move(other.name_);
     args_ = std::move(other.args_);
     other.recorder_ = nullptr;
@@ -61,11 +79,12 @@ void Span::finish() {
   if (recorder_ == nullptr) return;
   const double t1 = SimClock::now();
   recorder_->complete(track_, std::move(name_), t0_, std::max(0.0, t1 - t0_),
-                      std::move(args_));
+                      std::move(args_), self_id_, cause_id_, edge_);
   recorder_ = nullptr;
 }
 
-Recorder::Recorder(std::size_t capacity) : capacity_(capacity) {
+Recorder::Recorder(std::size_t capacity, DropPolicy drop_policy)
+    : capacity_(capacity), drop_policy_(drop_policy) {
   DEISA_CHECK(capacity_ > 0, "trace recorder needs a positive capacity");
   ring_.reserve(std::min<std::size_t>(capacity_, 4096));
 }
@@ -93,14 +112,31 @@ void Recorder::instant(TrackId track, std::string name,
 }
 
 void Recorder::complete(TrackId track, std::string name, double ts, double dur,
-                        std::vector<TraceArg> args) {
+                        std::vector<TraceArg> args, CauseId self_id,
+                        CauseId cause_id, EdgeKind edge) {
   TraceEvent ev;
   ev.type = EventType::kSpan;
   ev.ts = ts;
   ev.dur = dur;
   ev.track = track;
+  ev.self_id = self_id;
+  ev.cause_id = cause_id;
+  ev.edge = edge;
   ev.name = std::move(name);
   ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void Recorder::edge(CauseId src, CauseId dst, EdgeKind kind, TrackId track) {
+  if (src == 0 || dst == 0) return;
+  TraceEvent ev;
+  ev.type = EventType::kEdge;
+  ev.ts = SimClock::now();
+  ev.track = track;
+  ev.self_id = dst;
+  ev.cause_id = src;
+  ev.edge = kind;
+  ev.name = to_string(kind);
   push(std::move(ev));
 }
 
@@ -115,16 +151,24 @@ void Recorder::counter(TrackId track, std::string name, double value) {
 }
 
 void Recorder::push(TraceEvent ev) {
-  std::lock_guard lk(mu_);
-  DEISA_ASSERT(ev.track < tracks_.size(), "trace event on unknown track");
-  ++total_;
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(ev));
-    return;
+  {
+    std::lock_guard lk(mu_);
+    DEISA_ASSERT(ev.track < tracks_.size(), "trace event on unknown track");
+    ++total_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(ev));
+      return;
+    }
+    ++dropped_;
+    if (drop_policy_ == DropPolicy::kOldest) {
+      // Ring full: overwrite the oldest event.
+      ring_[next_] = std::move(ev);
+      next_ = (next_ + 1) % ring_.size();
+    }
+    // kNewest: keep the prefix, discard the incoming event.
   }
-  // Ring full: overwrite the oldest event.
-  ring_[next_] = std::move(ev);
-  next_ = (next_ + 1) % ring_.size();
+  // Outside the recorder lock: the registry has its own synchronization.
+  count("trace.dropped_events");
 }
 
 void Recorder::clear() {
@@ -132,6 +176,7 @@ void Recorder::clear() {
   ring_.clear();
   next_ = 0;
   total_ = 0;
+  dropped_ = 0;
 }
 
 std::vector<TraceEvent> Recorder::events() const {

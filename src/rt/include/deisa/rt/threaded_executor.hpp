@@ -43,6 +43,26 @@ struct ThreadedExecutorParams {
   double time_scale = 1.0;
 };
 
+/// Contention counters for the threaded backend: how deep the strand
+/// run-queues got, and how long a scheduled resume waited between post()
+/// and actually running on a worker thread (wall seconds).
+struct RuntimeStats {
+  std::uint64_t posts = 0;        // handles enqueued onto strands
+  std::uint64_t timer_fires = 0;  // posts that went through the timer heap
+  std::uint64_t resumes = 0;      // handles actually run
+  double post_run_latency_total_s = 0.0;
+  double post_run_latency_max_s = 0.0;
+  std::size_t strands = 0;
+  std::size_t max_queue_depth = 0;            // peak over all strands
+  std::vector<std::size_t> strand_max_depth;  // per-strand peak depth
+
+  double post_run_latency_mean_s() const {
+    return resumes > 0 ? post_run_latency_total_s /
+                             static_cast<double>(resumes)
+                       : 0.0;
+  }
+};
+
 class ThreadedExecutor final : public exec::Executor {
 public:
   explicit ThreadedExecutor(ThreadedExecutorParams params = {});
@@ -70,17 +90,29 @@ public:
   int threads() const { return static_cast<int>(workers_.size()); }
   double time_scale() const { return time_scale_; }
 
+  /// Snapshot of the contention counters (consistent under load).
+  RuntimeStats stats() const;
+  /// Export stats() into the installed MetricsRegistry as rt.exec.*
+  /// gauges (no-op when metrics are off). Idempotent: gauges are set,
+  /// not accumulated, so calling again just refreshes them.
+  void publish_metrics() const;
+
 protected:
   void register_root(std::coroutine_handle<> h) override;
   void unregister_root(std::coroutine_handle<> h) override;
   void report_error(std::exception_ptr e) override;
 
 private:
+  struct Entry {
+    std::coroutine_handle<> handle;
+    std::chrono::steady_clock::time_point enqueued;
+  };
   struct Strand {
-    std::deque<std::coroutine_handle<>> queue;
+    std::deque<Entry> queue;
     // True while the strand is in runnable_ or being run by a worker;
     // guarantees a strand is never executed by two threads at once.
     bool active = false;
+    std::size_t max_depth = 0;  // peak queue depth (contention metric)
   };
   struct Timer {
     std::chrono::steady_clock::time_point when;
@@ -111,6 +143,13 @@ private:
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::uint64_t timer_seq_ = 0;
   std::size_t pending_ = 0;
+  // Contention counters (guarded by mu_; mutated on the scheduling path,
+  // which already holds it).
+  std::uint64_t posts_ = 0;
+  std::uint64_t timer_fires_ = 0;
+  std::uint64_t resumes_ = 0;
+  double latency_total_s_ = 0.0;
+  double latency_max_s_ = 0.0;
   bool stop_requested_ = false;
   bool shutdown_ = false;
   bool joined_ = false;

@@ -59,6 +59,19 @@ public:
                                bytes_.load(std::memory_order_relaxed)};
   }
 
+  /// NIC lock contention: how many transfers waited for the egress +
+  /// ingress locks, and the total wall seconds spent waiting. Also
+  /// exported live as the rt.nic.lock_wait_s histogram when metrics are
+  /// installed.
+  std::uint64_t nic_lock_waits() const {
+    return nic_lock_waits_.load(std::memory_order_relaxed);
+  }
+  double nic_lock_wait_seconds() const {
+    return static_cast<double>(
+               nic_lock_wait_ns_.load(std::memory_order_relaxed)) /
+           1e9;
+  }
+
 private:
   struct Nic {
     std::mutex mu;
@@ -74,6 +87,8 @@ private:
   std::vector<std::unique_ptr<Nic>> ingress_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> nic_lock_waits_{0};
+  std::atomic<std::uint64_t> nic_lock_wait_ns_{0};
   mutable std::mutex hook_mu_;
   exec::FaultHook fault_hook_;
 };

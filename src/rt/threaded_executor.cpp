@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "deisa/obs/metrics.hpp"
+
 namespace deisa::rt {
 
 namespace {
@@ -58,7 +60,9 @@ std::chrono::steady_clock::time_point ThreadedExecutor::wall_deadline(
 void ThreadedExecutor::enqueue_locked(exec::ResumeToken token) {
   auto* s = token.strand != nullptr ? static_cast<Strand*>(token.strand)
                                     : default_strand_;
-  s->queue.push_back(token.handle);
+  s->queue.push_back(Entry{token.handle, std::chrono::steady_clock::now()});
+  ++posts_;
+  s->max_depth = std::max(s->max_depth, s->queue.size());
   if (!s->active) {
     s->active = true;
     runnable_.push_back(s);
@@ -104,11 +108,21 @@ void ThreadedExecutor::worker_loop() {
     if (shutdown_) return;
     Strand* s = runnable_.front();
     runnable_.pop_front();
-    auto h = s->queue.front();
+    const Entry entry = s->queue.front();
     s->queue.pop_front();
+    // Post -> run scheduling latency: how long the handle sat in the
+    // strand queue before a worker picked it up (wall seconds).
+    const double wait_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - entry.enqueued)
+                              .count();
+    ++resumes_;
+    latency_total_s_ += wait_s;
+    latency_max_s_ = std::max(latency_max_s_, wait_s);
     lk.unlock();
+    if (auto* m = obs::metrics())
+      m->histogram("rt.exec.post_run_latency_s").observe(wait_s);
     tls_current_strand = s;
-    h.resume();
+    entry.handle.resume();
     tls_current_strand = nullptr;
     lk.lock();
     if (shutdown_) return;
@@ -138,6 +152,7 @@ void ThreadedExecutor::timer_loop() {
     }
     while (!timers_.empty() &&
            timers_.top().when <= std::chrono::steady_clock::now()) {
+      ++timer_fires_;
       enqueue_locked(timers_.top().token);
       timers_.pop();
     }
@@ -172,6 +187,37 @@ bool ThreadedExecutor::run_until(exec::Time t_end) {
     std::rethrow_exception(e);
   }
   return pending_ == 0;
+}
+
+RuntimeStats ThreadedExecutor::stats() const {
+  std::lock_guard lk(mu_);
+  RuntimeStats s;
+  s.posts = posts_;
+  s.timer_fires = timer_fires_;
+  s.resumes = resumes_;
+  s.post_run_latency_total_s = latency_total_s_;
+  s.post_run_latency_max_s = latency_max_s_;
+  s.strands = strands_.size();
+  s.strand_max_depth.reserve(strands_.size());
+  for (const auto& st : strands_) {
+    s.strand_max_depth.push_back(st->max_depth);
+    s.max_queue_depth = std::max(s.max_queue_depth, st->max_depth);
+  }
+  return s;
+}
+
+void ThreadedExecutor::publish_metrics() const {
+  auto* m = obs::metrics();
+  if (m == nullptr) return;
+  const RuntimeStats s = stats();
+  m->gauge("rt.exec.posts").set(static_cast<double>(s.posts));
+  m->gauge("rt.exec.timer_fires").set(static_cast<double>(s.timer_fires));
+  m->gauge("rt.exec.resumes").set(static_cast<double>(s.resumes));
+  m->gauge("rt.exec.strands").set(static_cast<double>(s.strands));
+  m->gauge("rt.exec.max_queue_depth")
+      .set(static_cast<double>(s.max_queue_depth));
+  m->gauge("rt.exec.post_run_latency_mean_s").set(s.post_run_latency_mean_s());
+  m->gauge("rt.exec.post_run_latency_max_s").set(s.post_run_latency_max_s);
 }
 
 void ThreadedExecutor::stop() {

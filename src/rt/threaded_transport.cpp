@@ -1,6 +1,7 @@
 #include "deisa/rt/threaded_transport.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "deisa/obs/metrics.hpp"
@@ -54,8 +55,20 @@ exec::Co<void> ThreadedTransport::transfer(int src, int dst,
     Nic& eg = *egress_[static_cast<std::size_t>(src)];
     Nic& in = *ingress_[static_cast<std::size_t>(dst)];
     // Lock both NICs deadlock-free; concurrent flows sharing either end
-    // really serialize here instead of on a modeled semaphore.
+    // really serialize here instead of on a modeled semaphore. The wait
+    // for the locks IS the backend's NIC contention — measure it.
+    const auto lock_t0 = std::chrono::steady_clock::now();
     std::scoped_lock lk(eg.mu, in.mu);
+    const double lock_wait_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      lock_t0)
+            .count();
+    nic_lock_waits_.fetch_add(1, std::memory_order_relaxed);
+    nic_lock_wait_ns_.fetch_add(
+        static_cast<std::uint64_t>(lock_wait_s * 1e9),
+        std::memory_order_relaxed);
+    if (auto* m = obs::metrics())
+      m->histogram("rt.nic.lock_wait_s").observe(lock_wait_s);
     const std::size_t want = static_cast<std::size_t>(
         std::min<std::uint64_t>(bytes, params_.chunk_bytes));
     if (eg.scratch.size() < want) eg.scratch.resize(params_.chunk_bytes);

@@ -15,6 +15,8 @@
 #include "deisa/obs/metrics.hpp"
 #include "deisa/obs/observation.hpp"
 #include "deisa/obs/trace.hpp"
+#include "deisa/obs/trace_io.hpp"
+#include "deisa/util/error.hpp"
 #include "deisa/util/log.hpp"
 
 namespace obs = deisa::obs;
@@ -346,8 +348,26 @@ TEST(Export, CsvHasHeaderAndOneRowPerEvent) {
   for (char c : csv)
     if (c == '\n') ++lines;
   EXPECT_EQ(lines, 3u);  // header + 2 events
-  EXPECT_EQ(csv.rfind("type,actor,lane,name,ts_s,dur_s,value,args", 0), 0u);
+  EXPECT_EQ(
+      csv.rfind("type,actor,lane,name,ts_s,dur_s,value,self_id,cause_id,edge,args",
+                0),
+      0u);
   EXPECT_NE(csv.find("\"x,with,commas\""), std::string::npos);
+}
+
+TEST(Export, CsvRowCountEqualsRetainedEvents) {
+  // A ring smaller than the event stream: rows reflect what the ring
+  // retained, not what was recorded.
+  obs::Recorder rec(8);
+  const auto track = rec.track("w", "l");
+  for (int i = 0; i < 20; ++i) rec.instant(track, "e" + std::to_string(i));
+  ASSERT_EQ(rec.size(), 8u);
+  std::ostringstream out;
+  obs::write_trace_csv(rec, out);
+  std::size_t lines = 0;
+  for (char c : out.str())
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, rec.size() + 1);  // header + one row per retained event
 }
 
 TEST(Export, MetricsJsonIsWellFormed) {
@@ -366,6 +386,126 @@ TEST(Export, JsonEscapeHandlesControlChars) {
   EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
   EXPECT_EQ(obs::json_escape("a\nb"), "a\\nb");
   EXPECT_EQ(obs::json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(obs::json_escape("a\tb\rc\fd\be"), "a\\tb\\rc\\u000cd\\u0008e");
+  // Multi-byte UTF-8 passes through untouched (bytes >= 0x80 are not
+  // control characters even though they are "negative" chars).
+  EXPECT_EQ(obs::json_escape("温度\xc3\xa9"), "温度\xc3\xa9");
+}
+
+TEST(Recorder, DropNewestFreezesHeadAndCountsDropped) {
+  obs::Recorder rec(4, obs::DropPolicy::kNewest);
+  obs::MetricsRegistry reg;
+  obs::ObservationScope scope(&rec, &reg, [] { return 0.0; });
+  const auto track = rec.track("x", "y");
+  for (int i = 0; i < 10; ++i)
+    rec.instant(track, "e" + std::to_string(i));
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // kNewest keeps the run's head: the first four events survive.
+  EXPECT_EQ(events[0].name, "e0");
+  EXPECT_EQ(events[3].name, "e3");
+  EXPECT_EQ(reg.snapshot().counter("trace.dropped_events"), 6u);
+}
+
+TEST(Recorder, DropOldestCountsDroppedMetric) {
+  obs::Recorder rec(2, obs::DropPolicy::kOldest);
+  obs::MetricsRegistry reg;
+  obs::ObservationScope scope(&rec, &reg, [] { return 0.0; });
+  const auto track = rec.track("x", "y");
+  for (int i = 0; i < 5; ++i) rec.instant(track, "e" + std::to_string(i));
+  EXPECT_EQ(rec.dropped(), 3u);
+  EXPECT_EQ(reg.snapshot().counter("trace.dropped_events"), 3u);
+  rec.clear();
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(Recorder, SpansCarryCausalIdsAndEdges) {
+  obs::Recorder rec;
+  double t = 0.0;
+  obs::ScopedSimClock clock([&t] { return t; });
+  obs::CauseId producer = 0;
+  {
+    obs::Span s = rec.span(rec.track("scheduler", "inbox"), "assign");
+    producer = s.id();
+    EXPECT_NE(producer, 0u);
+    t = 1.0;
+  }
+  {
+    obs::Span s = rec.span(rec.track("worker-0", "execute"), "task");
+    s.set_cause(producer, obs::EdgeKind::kAssign);
+    t = 2.0;
+  }
+  rec.edge(producer, producer + 7, obs::EdgeKind::kDep,
+           rec.track("worker-0", "fetch"));
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].cause_id, producer);
+  EXPECT_EQ(events[1].edge, obs::EdgeKind::kAssign);
+  EXPECT_EQ(events[2].type, obs::EventType::kEdge);
+  EXPECT_EQ(events[2].self_id, producer + 7);
+  EXPECT_EQ(events[2].cause_id, producer);
+  EXPECT_EQ(events[2].edge, obs::EdgeKind::kDep);
+}
+
+TEST(Export, ChromeTraceRoundTripsThroughLoader) {
+  obs::Recorder rec;
+  double t = 0.25;
+  obs::ScopedSimClock clock([&t] { return t; });
+  obs::CauseId sched_id = 0;
+  {
+    obs::Span s = rec.span(rec.track("scheduler", "inbox"), "assign \"k\"");
+    s.add_arg(obs::arg("svc", 0.001));
+    s.add_arg(obs::arg("to", "worker-0"));
+    sched_id = s.id();
+    t = 0.5;
+  }
+  {
+    obs::Span s = rec.span(rec.track("worker-0", "execute"), "task-a");
+    s.set_cause(sched_id, obs::EdgeKind::kAssign);
+    s.add_arg(obs::arg("bytes", std::uint64_t{4096}));
+    t = 1.5;
+  }
+  rec.instant(rec.track("bridge", "rank-0"), "sent:G_temp\n");
+  rec.counter(rec.track("worker-0", "memory"), "memory_bytes", 2.5e6);
+  rec.edge(sched_id, sched_id + 1, obs::EdgeKind::kDep,
+           rec.track("worker-0", "fetch"));
+
+  std::ostringstream out;
+  obs::write_chrome_trace(rec, out);
+  std::istringstream in(out.str());
+  const obs::TraceData loaded = obs::load_chrome_trace(in);
+
+  ASSERT_EQ(loaded.events.size(), rec.size());
+  ASSERT_EQ(loaded.tracks.size(), rec.tracks().size());
+  const auto src = rec.events();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    // Exporter emits in ring order, which the loader preserves.
+    const obs::TraceEvent& a = src[i];
+    const obs::TraceEvent& b = loaded.events[i];
+    EXPECT_EQ(b.type, a.type) << i;
+    EXPECT_EQ(b.name, a.name) << i;
+    EXPECT_NEAR(b.ts, a.ts, 1e-6) << i;
+    EXPECT_NEAR(b.dur, a.dur, 1e-6) << i;
+    EXPECT_EQ(b.self_id, a.self_id) << i;
+    EXPECT_EQ(b.cause_id, a.cause_id) << i;
+    EXPECT_EQ(b.edge, a.edge) << i;
+    EXPECT_EQ(loaded.tracks[b.track].actor, rec.tracks()[a.track].actor) << i;
+    EXPECT_EQ(loaded.tracks[b.track].lane, rec.tracks()[a.track].lane) << i;
+    ASSERT_EQ(b.args.size(), a.args.size()) << i;
+    for (std::size_t j = 0; j < a.args.size(); ++j)
+      EXPECT_EQ(b.args[j].key, a.args[j].key) << i << "/" << j;
+  }
+  const obs::TraceEvent& counter = loaded.events[3];
+  ASSERT_EQ(counter.type, obs::EventType::kCounter);
+  EXPECT_NEAR(counter.value, 2.5e6, 1e-3);
+}
+
+TEST(Export, LoaderRejectsMalformedJson) {
+  std::istringstream in("{\"traceEvents\": [");
+  EXPECT_THROW(obs::load_chrome_trace(in), util::ConfigError);
 }
 
 }  // namespace

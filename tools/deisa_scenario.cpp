@@ -1,8 +1,8 @@
 // deisa_scenario — run any of the paper's five workflow pipelines from a
 // YAML description and print the measured timings.
 //
-//   $ deisa_scenario [--trace-out trace.json] [--metrics-out metrics.json] \
-//         my_run.yaml
+//   $ deisa_scenario [--trace-out trace.json] [--metrics-out metrics.json]
+//         [--metrics-format=table|json] my_run.yaml
 //
 //   # my_run.yaml
 //   pipeline: DEISA3         # DEISA1|DEISA2|DEISA3|posthoc-old|posthoc-new
@@ -18,6 +18,8 @@
 //   substrate: sim           # optional: sim (default) | threads
 //   substrate_threads: 0     # optional: threads backend worker count
 //   time_scale: 0.05         # optional: wall seconds per model second
+//   trace_capacity: 1048576  # optional: trace ring size (events)
+//   trace_drop: oldest       # optional: ring policy, oldest | newest
 //
 // --substrate=threads (or `substrate: threads`) runs the same actor code
 // on the real-thread executor/transport instead of the simulator: outputs
@@ -40,9 +42,11 @@
 // Same plan + same seed reproduces the same failure trace bit for bit.
 //
 // --trace-out records the first run's event trace and writes it as Chrome
-// trace-event JSON (open in ui.perfetto.dev or chrome://tracing; a .csv
-// extension switches to flat CSV). --metrics-out dumps the first run's
-// counters/gauges/histograms as JSON.
+// trace-event JSON (open in ui.perfetto.dev or chrome://tracing, or feed
+// to deisa_trace; a .csv extension switches to flat CSV). --metrics-out
+// dumps the first run's counters/gauges/histograms, as JSON by default or
+// as aligned text tables with --metrics-format=table. Output paths are
+// probed before the run so a typo fails fast with a non-zero exit.
 #include <fstream>
 #include <iostream>
 
@@ -70,6 +74,15 @@ std::ofstream open_out(const std::string& path) {
   std::ofstream out(path);
   if (!out) throw util::ConfigError("cannot open '" + path + "' for writing");
   return out;
+}
+
+/// Fail fast on unwritable output paths: a typo'd --trace-out directory
+/// should abort before the (possibly long) run, not after it.
+void check_writable(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream probe(path, std::ios::app);
+  if (!probe)
+    throw util::ConfigError("cannot open '" + path + "' for writing");
 }
 
 /// Parse the `faults:` config section: either the compact spec string
@@ -112,8 +125,10 @@ harness::Pipeline pipeline_of(const std::string& name) {
 }
 
 int run(const std::string& path, const std::string& trace_out,
-        const std::string& metrics_out, const std::string& fault_spec,
-        const std::string& substrate_flag) {
+        const std::string& metrics_out, const std::string& metrics_format,
+        const std::string& fault_spec, const std::string& substrate_flag) {
+  check_writable(trace_out);
+  check_writable(metrics_out);
   const cfg::Node doc = cfg::parse_yaml_file(path);
   const auto pipeline = pipeline_of(doc.get_string("pipeline", "DEISA3"));
 
@@ -133,6 +148,16 @@ int run(const std::string& path, const std::string& trace_out,
   p.real_data = doc.get_bool("real_data", false);
   p.n_components =
       static_cast<std::size_t>(doc.get_int("n_components", 2));
+  p.trace_capacity = static_cast<std::size_t>(
+      doc.get_int("trace_capacity",
+                  static_cast<std::int64_t>(p.trace_capacity)));
+  const std::string drop = doc.get_string("trace_drop", "oldest");
+  if (drop == "newest") {
+    p.trace_drop_policy = obs::DropPolicy::kNewest;
+  } else if (drop != "oldest") {
+    throw util::ConfigError("unknown trace_drop '" + drop +
+                            "' (expected oldest|newest)");
+  }
   const int runs = static_cast<int>(doc.get_int("runs", 1));
   const auto seed = static_cast<std::uint64_t>(doc.get_int("seed", 1000));
   if (!fault_spec.empty()) {
@@ -173,7 +198,11 @@ int run(const std::string& path, const std::string& trace_out,
     }
     if (i == 0 && !metrics_out.empty()) {
       auto out = open_out(metrics_out);
-      obs::write_metrics_json(r.metrics, out);
+      if (metrics_format == "table") {
+        obs::write_metrics_table(r.metrics, out);
+      } else {
+        obs::write_metrics_json(r.metrics, out);
+      }
       std::cout << "metrics: " << r.metrics.counters.size() << " counters, "
                 << r.metrics.histograms.size() << " histograms -> "
                 << metrics_out << "\n";
@@ -217,11 +246,20 @@ int main(int argc, char** argv) {
   std::string config;
   std::string trace_out;
   std::string metrics_out;
+  std::string metrics_format = "json";
   std::string fault_spec;
   std::string substrate_flag;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--substrate=", 0) == 0) {
+    if (a.rfind("--metrics-format=", 0) == 0) {
+      metrics_format = a.substr(17);
+    } else if (a == "--metrics-format") {
+      if (i + 1 >= argc) {
+        std::cerr << "option '--metrics-format' requires a value\n";
+        return 2;
+      }
+      metrics_format = argv[++i];
+    } else if (a.rfind("--substrate=", 0) == 0) {
       substrate_flag = a.substr(12);
     } else if (a == "--substrate") {
       if (i + 1 >= argc) {
@@ -253,14 +291,20 @@ int main(int argc, char** argv) {
       break;
     }
   }
+  if (metrics_format != "table" && metrics_format != "json") {
+    std::cerr << "unknown metrics format '" << metrics_format
+              << "' (expected table|json)\n";
+    return 2;
+  }
   if (config.empty()) {
     std::cerr << "usage: deisa_scenario [--trace-out FILE] "
-                 "[--metrics-out FILE] [--fault=SPEC] "
-                 "[--substrate=sim|threads] <config.yaml>\n";
+                 "[--metrics-out FILE] [--metrics-format=table|json] "
+                 "[--fault=SPEC] [--substrate=sim|threads] <config.yaml>\n";
     return 2;
   }
   try {
-    return run(config, trace_out, metrics_out, fault_spec, substrate_flag);
+    return run(config, trace_out, metrics_out, metrics_format, fault_spec,
+               substrate_flag);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

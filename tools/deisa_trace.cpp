@@ -1,0 +1,284 @@
+// deisa_trace — analyze causal traces recorded by deisa_scenario.
+//
+//   $ deisa_trace analyze trace.json [--top N] [--bins N]
+//         [--format=table|json]
+//   $ deisa_trace diff a.json b.json [--format=table|json]
+//
+// `analyze` reconstructs the run's causal DAG from a Chrome trace-event
+// file (written with --trace-out), walks the critical path backward from
+// the last finished span and prints where the makespan went: compute,
+// transfer, scheduler handling, or queueing/idle. The breakdown
+// partitions the run window exactly, so the percentages sum to 100. It
+// also lists the top-K critical-path contributors (like-named spans
+// aggregated, digit runs collapsed) and per-actor utilization.
+//
+// `diff` runs the same analysis on two traces — e.g. the same scenario
+// on the sim and threads substrates, or before/after a scheduler change —
+// and reports per-category deltas plus whether the causal DAG shapes
+// (node/edge counts) match. Matching shapes mean the two runs executed
+// the same workflow; differing category splits then isolate where the
+// substrates or code versions spend their time.
+//
+// --format=json emits the same numbers machine-readably for CI gates.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "deisa/obs/causal.hpp"
+#include "deisa/obs/export.hpp"
+#include "deisa/obs/trace_io.hpp"
+#include "deisa/util/error.hpp"
+#include "deisa/util/table.hpp"
+
+namespace obs = deisa::obs;
+namespace util = deisa::util;
+
+namespace {
+
+constexpr obs::Category kCategories[] = {
+    obs::Category::kCompute, obs::Category::kTransfer,
+    obs::Category::kScheduler, obs::Category::kIdle};
+
+std::string num(double v, int digits = 6) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+std::string pct(double part, double whole) {
+  if (whole <= 0.0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * part / whole);
+  return buf;
+}
+
+struct Analysis {
+  obs::CausalGraph graph;
+  obs::CriticalPathReport report;
+};
+
+Analysis analyze_file(const std::string& path, std::size_t top_k,
+                      std::size_t bins) {
+  Analysis a;
+  const obs::TraceData data = obs::load_chrome_trace_file(path);
+  a.graph = obs::build_causal_graph(data);
+  a.report = obs::analyze_critical_path(a.graph, top_k, bins);
+  return a;
+}
+
+void print_report_table(const std::string& path, const Analysis& a,
+                        std::ostream& out) {
+  const obs::CriticalPathReport& r = a.report;
+  out << path << ": " << r.nodes << " causal spans, " << r.edges
+      << " edges";
+  if (r.dangling_edges > 0)
+    out << " (" << r.dangling_edges << " dangling: ring evicted endpoints)";
+  out << "\n";
+  out << "makespan " << num(r.makespan()) << " s  [" << num(r.t_begin)
+      << ", " << num(r.t_end) << "]\n\n";
+
+  {
+    util::Table t({"category", "seconds", "share"});
+    for (const obs::Category c : kCategories)
+      t.add_row({obs::to_string(c), num(r.category(c)),
+                 pct(r.category(c), r.makespan())});
+    t.print(out);
+  }
+
+  if (!r.contributors.empty()) {
+    out << "\ncritical-path contributors (top " << r.contributors.size()
+        << "):\n";
+    util::Table t({"span", "category", "seconds", "share", "count"});
+    for (const obs::Contributor& c : r.contributors)
+      t.add_row({c.label, obs::to_string(c.cat), num(c.seconds),
+                 pct(c.seconds, r.makespan()), std::to_string(c.count)});
+    t.print(out);
+  }
+
+  if (!r.utilization.empty()) {
+    out << "\nper-actor utilization (busy share of run window):\n";
+    util::Table t({"actor", "busy (s)", "share", "timeline"});
+    for (const obs::ActorUtilization& u : r.utilization) {
+      // Five-level bar chart: ' ' (idle) .. '#' (saturated) per bin.
+      std::string bar;
+      for (const double f : u.bins) {
+        static const char levels[] = " .:+#";
+        const int level = std::clamp(static_cast<int>(f * 4.0 + 0.5), 0, 4);
+        bar += levels[level];
+      }
+      t.add_row({u.actor, num(u.busy_seconds), pct(u.busy_seconds,
+                 r.makespan()), bar});
+    }
+    t.print(out);
+  }
+}
+
+void print_report_json(const std::string& path, const Analysis& a,
+                       std::ostream& out) {
+  const obs::CriticalPathReport& r = a.report;
+  out << "{\n  \"trace\": \"" << obs::json_escape(path) << "\",\n"
+      << "  \"nodes\": " << r.nodes << ",\n  \"edges\": " << r.edges
+      << ",\n  \"dangling_edges\": " << r.dangling_edges << ",\n"
+      << "  \"t_begin\": " << num(r.t_begin, 12)
+      << ",\n  \"t_end\": " << num(r.t_end, 12)
+      << ",\n  \"makespan_s\": " << num(r.makespan(), 12)
+      << ",\n  \"categories\": {";
+  bool first = true;
+  for (const obs::Category c : kCategories) {
+    out << (first ? "" : ",") << "\n    \"" << obs::to_string(c)
+        << "\": " << num(r.category(c), 12);
+    first = false;
+  }
+  out << "\n  },\n  \"contributors\": [";
+  first = true;
+  for (const obs::Contributor& c : r.contributors) {
+    out << (first ? "" : ",") << "\n    {\"span\": \""
+        << obs::json_escape(c.label) << "\", \"category\": \""
+        << obs::to_string(c.cat) << "\", \"seconds\": " << num(c.seconds, 12)
+        << ", \"count\": " << c.count << "}";
+    first = false;
+  }
+  out << "\n  ],\n  \"utilization\": [";
+  first = true;
+  for (const obs::ActorUtilization& u : r.utilization) {
+    out << (first ? "" : ",") << "\n    {\"actor\": \""
+        << obs::json_escape(u.actor)
+        << "\", \"busy_s\": " << num(u.busy_seconds, 12) << "}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+}
+
+int cmd_analyze(const std::string& path, std::size_t top_k, std::size_t bins,
+                const std::string& format) {
+  const Analysis a = analyze_file(path, top_k, bins);
+  if (format == "json") {
+    print_report_json(path, a, std::cout);
+  } else {
+    print_report_table(path, a, std::cout);
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b,
+             std::size_t top_k, const std::string& format) {
+  const Analysis a = analyze_file(path_a, top_k, /*bins=*/24);
+  const Analysis b = analyze_file(path_b, top_k, /*bins=*/24);
+  const obs::CriticalPathReport& ra = a.report;
+  const obs::CriticalPathReport& rb = b.report;
+  const bool shape_match =
+      ra.nodes == rb.nodes && ra.edges == rb.edges;
+
+  if (format == "json") {
+    std::cout << "{\n  \"a\": \"" << obs::json_escape(path_a)
+              << "\",\n  \"b\": \"" << obs::json_escape(path_b) << "\",\n"
+              << "  \"dag_shape_match\": "
+              << (shape_match ? "true" : "false") << ",\n"
+              << "  \"nodes\": [" << ra.nodes << ", " << rb.nodes << "],\n"
+              << "  \"edges\": [" << ra.edges << ", " << rb.edges << "],\n"
+              << "  \"makespan_s\": [" << num(ra.makespan(), 12) << ", "
+              << num(rb.makespan(), 12) << "],\n  \"categories\": {";
+    bool first = true;
+    for (const obs::Category c : kCategories) {
+      std::cout << (first ? "" : ",") << "\n    \"" << obs::to_string(c)
+                << "\": {\"a\": " << num(ra.category(c), 12)
+                << ", \"b\": " << num(rb.category(c), 12)
+                << ", \"delta\": "
+                << num(rb.category(c) - ra.category(c), 12) << "}";
+      first = false;
+    }
+    std::cout << "\n  }\n}\n";
+    return shape_match ? 0 : 3;
+  }
+
+  std::cout << "A: " << path_a << " (" << ra.nodes << " nodes, " << ra.edges
+            << " edges, makespan " << num(ra.makespan()) << " s)\n"
+            << "B: " << path_b << " (" << rb.nodes << " nodes, " << rb.edges
+            << " edges, makespan " << num(rb.makespan()) << " s)\n"
+            << "causal DAG shape: "
+            << (shape_match ? "MATCH (same workflow)"
+                            : "MISMATCH (different workflows or truncated "
+                              "trace)")
+            << "\n\n";
+  util::Table t({"category", "A (s)", "A share", "B (s)", "B share",
+                 "delta (s)"});
+  for (const obs::Category c : kCategories) {
+    const double va = ra.category(c);
+    const double vb = rb.category(c);
+    t.add_row({obs::to_string(c), num(va), pct(va, ra.makespan()), num(vb),
+               pct(vb, rb.makespan()),
+               (vb >= va ? "+" : "") + num(vb - va)});
+  }
+  t.add_row({"makespan", num(ra.makespan()), "100%", num(rb.makespan()),
+             "100%",
+             (rb.makespan() >= ra.makespan() ? "+" : "") +
+                 num(rb.makespan() - ra.makespan())});
+  t.print(std::cout);
+  return shape_match ? 0 : 3;
+}
+
+int usage() {
+  std::cerr
+      << "usage: deisa_trace analyze <trace.json> [--top N] [--bins N]"
+         " [--format=table|json]\n"
+         "       deisa_trace diff <a.json> <b.json> [--top N]"
+         " [--format=table|json]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command;
+  std::vector<std::string> paths;
+  std::size_t top_k = 10;
+  std::size_t bins = 24;
+  std::string format = "table";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value_of = [&](const std::string& name) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "option '" << name << "' requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a.rfind("--format=", 0) == 0) {
+      format = a.substr(9);
+    } else if (a == "--format") {
+      format = value_of(a);
+    } else if (a.rfind("--top=", 0) == 0) {
+      top_k = static_cast<std::size_t>(std::stoul(a.substr(6)));
+    } else if (a == "--top") {
+      top_k = static_cast<std::size_t>(std::stoul(value_of(a)));
+    } else if (a.rfind("--bins=", 0) == 0) {
+      bins = static_cast<std::size_t>(std::stoul(a.substr(7)));
+    } else if (a == "--bins") {
+      bins = static_cast<std::size_t>(std::stoul(value_of(a)));
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown option '" << a << "'\n";
+      return 2;
+    } else if (command.empty()) {
+      command = a;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (format != "table" && format != "json") {
+    std::cerr << "unknown format '" << format << "' (expected table|json)\n";
+    return 2;
+  }
+  try {
+    if (command == "analyze" && paths.size() == 1)
+      return cmd_analyze(paths[0], top_k, bins, format);
+    if (command == "diff" && paths.size() == 2)
+      return cmd_diff(paths[0], paths[1], top_k, format);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
