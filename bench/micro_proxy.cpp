@@ -1,0 +1,239 @@
+// Proxy/ownership data-plane microbench: copy plane vs proxy handles,
+// A/B in the same process.
+//
+//   fig3    SIMULATED bandwidth-bound DEISA3 runs at two process counts:
+//           payload bytes physically moved through the transport
+//           (dataplane.bytes_moved) on the copy plane vs the proxy
+//           plane, plus wire bytes and end-to-end time. The proxy plane
+//           must move at least 2x fewer bytes — on the copy plane every
+//           scattered block is pushed eagerly AND duplicated per
+//           dependency read; on the proxy plane it crosses the wire
+//           once, on first dereference.
+//   gc      Refcount-GC residency A/B: the same DEISA3 run with and
+//           without release_consumed; reports the workers' peak store
+//           bytes and the keys released.
+//   heat2d  End-to-end functional run (real Heat2D data, real IPCA)
+//           on copy, proxy, and proxy+GC; asserts the fitted singular
+//           values are byte-identical across all three, so the
+//           ownership plane changes byte movement, not answers.
+//
+// Emits BENCH_proxy.json so later PRs can track the trajectory
+// (ci/check_bench.py gates on the moved-bytes ratios).
+//
+// Usage: micro_proxy [--out BENCH_proxy.json]
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "deisa/harness/scenario.hpp"
+#include "deisa/util/table.hpp"
+#include "deisa/util/units.hpp"
+
+namespace dts = deisa::dts;
+namespace harness = deisa::harness;
+namespace util = deisa::util;
+
+namespace {
+
+struct Fig3Row {
+  int ranks = 0;
+  std::uint64_t block_bytes = 0;
+  std::uint64_t copy_moved = 0;
+  std::uint64_t proxy_moved = 0;
+  std::uint64_t proxy_referenced = 0;
+  std::uint64_t copy_network = 0;
+  std::uint64_t proxy_network = 0;
+  double copy_seconds = 0.0;
+  double proxy_seconds = 0.0;
+
+  double moved_ratio() const {
+    return proxy_moved > 0 ? double(copy_moved) / double(proxy_moved) : 0.0;
+  }
+};
+
+harness::ScenarioParams fig3_params(int ranks, std::uint64_t block) {
+  // The paper's bandwidth-bound shape (§3.3 / fig3): big blocks, two
+  // ranks per node, workers at half the rank count, synthetic analytics.
+  harness::ScenarioParams p;
+  p.ranks = ranks;
+  p.ranks_per_node = 2;
+  p.workers = std::max(2, ranks / 2);
+  p.workers_per_node = 1;
+  p.block_bytes = block;
+  p.timesteps = 4;
+  return p;
+}
+
+Fig3Row run_fig3(int ranks, std::uint64_t block) {
+  Fig3Row row;
+  row.ranks = ranks;
+  row.block_bytes = block;
+  harness::ScenarioParams p = fig3_params(ranks, block);
+  p.data_plane = dts::DataPlane::kCopy;
+  const harness::RunResult copy =
+      harness::run_scenario(harness::Pipeline::kDeisa3, p);
+  p.data_plane = dts::DataPlane::kProxy;
+  const harness::RunResult proxy =
+      harness::run_scenario(harness::Pipeline::kDeisa3, p);
+  row.copy_moved = copy.bytes_moved;
+  row.proxy_moved = proxy.bytes_moved;
+  row.proxy_referenced = proxy.bytes_referenced;
+  row.copy_network = copy.network_bytes;
+  row.proxy_network = proxy.network_bytes;
+  row.copy_seconds = copy.total_seconds;
+  row.proxy_seconds = proxy.total_seconds;
+  return row;
+}
+
+struct GcResult {
+  std::uint64_t peak_off = 0;
+  std::uint64_t peak_on = 0;
+  std::uint64_t keys_released = 0;
+  std::uint64_t depot_peak = 0;
+
+  double peak_ratio() const {
+    return peak_on > 0 ? double(peak_off) / double(peak_on) : 0.0;
+  }
+};
+
+GcResult run_gc() {
+  GcResult r;
+  harness::ScenarioParams p = fig3_params(8, 8ull << 20);
+  p.timesteps = 8;
+  p.data_plane = dts::DataPlane::kProxy;
+  p.release_consumed = false;
+  const harness::RunResult off =
+      harness::run_scenario(harness::Pipeline::kDeisa3, p);
+  p.release_consumed = true;
+  const harness::RunResult on =
+      harness::run_scenario(harness::Pipeline::kDeisa3, p);
+  r.peak_off = off.worker_peak_bytes;
+  r.peak_on = on.worker_peak_bytes;
+  r.keys_released = on.keys_released;
+  r.depot_peak = on.depot_peak_bytes;
+  return r;
+}
+
+struct E2eResult {
+  bool identical_results = false;
+  std::uint64_t copy_moved = 0;
+  std::uint64_t proxy_moved = 0;
+
+  double moved_ratio() const {
+    return proxy_moved > 0 ? double(copy_moved) / double(proxy_moved) : 0.0;
+  }
+};
+
+E2eResult run_heat2d() {
+  harness::ScenarioParams p;
+  p.ranks = 8;
+  p.workers = 4;
+  p.block_bytes = 32 * 32 * sizeof(double);
+  p.timesteps = 4;
+  p.real_data = true;
+  p.data_plane = dts::DataPlane::kCopy;
+  const harness::RunResult copy =
+      harness::run_scenario(harness::Pipeline::kDeisa3, p);
+  p.data_plane = dts::DataPlane::kProxy;
+  const harness::RunResult proxy =
+      harness::run_scenario(harness::Pipeline::kDeisa3, p);
+  p.release_consumed = true;
+  const harness::RunResult proxy_gc =
+      harness::run_scenario(harness::Pipeline::kDeisa3, p);
+  E2eResult r;
+  r.identical_results = !copy.singular_values.empty() &&
+                        copy.singular_values == proxy.singular_values &&
+                        copy.singular_values == proxy_gc.singular_values;
+  r.copy_moved = copy.bytes_moved;
+  r.proxy_moved = proxy.bytes_moved;
+  return r;
+}
+
+void write_json(const std::string& path, const std::vector<Fig3Row>& fig3,
+                const GcResult& gc, const E2eResult& e2e) {
+  std::ofstream f(path);
+  f << "{\n  \"bench\": \"micro_proxy\",\n  \"fig3\": [\n";
+  for (std::size_t i = 0; i < fig3.size(); ++i) {
+    const Fig3Row& r = fig3[i];
+    f << "    {\"ranks\": " << r.ranks << ", \"block_bytes\": "
+      << r.block_bytes << ", \"copy_moved\": " << r.copy_moved
+      << ", \"proxy_moved\": " << r.proxy_moved
+      << ", \"proxy_referenced\": " << r.proxy_referenced
+      << ", \"copy_network\": " << r.copy_network
+      << ", \"proxy_network\": " << r.proxy_network
+      << ", \"copy_sim_seconds\": " << r.copy_seconds
+      << ", \"proxy_sim_seconds\": " << r.proxy_seconds
+      << ", \"moved_ratio\": " << r.moved_ratio() << "}"
+      << (i + 1 < fig3.size() ? "," : "") << "\n";
+  }
+  f << "  ],\n";
+  f << "  \"gc\": {\"peak_bytes_off\": " << gc.peak_off
+    << ", \"peak_bytes_on\": " << gc.peak_on
+    << ", \"keys_released\": " << gc.keys_released
+    << ", \"depot_peak_bytes\": " << gc.depot_peak
+    << ", \"peak_ratio\": " << gc.peak_ratio() << "},\n";
+  f << "  \"heat2d\": {\"identical_results\": "
+    << (e2e.identical_results ? "true" : "false")
+    << ", \"copy_moved\": " << e2e.copy_moved
+    << ", \"proxy_moved\": " << e2e.proxy_moved
+    << ", \"moved_ratio\": " << e2e.moved_ratio() << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_proxy.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::cerr << "usage: micro_proxy [--out file.json]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Fig3Row> fig3;
+  fig3.push_back(run_fig3(8, 32ull << 20));
+  fig3.push_back(run_fig3(16, 64ull << 20));
+  std::cout << "\n=== fig3 bandwidth-bound DEISA3: copy vs proxy plane "
+               "(simulated) ===\n";
+  util::Table t({"ranks", "block", "copy moved", "proxy moved", "ratio",
+                 "copy wire", "proxy wire"});
+  bool moved_ok = true;
+  for (const Fig3Row& r : fig3) {
+    t.add_row({std::to_string(r.ranks), util::format_bytes(r.block_bytes),
+               util::format_bytes(r.copy_moved),
+               util::format_bytes(r.proxy_moved),
+               util::Table::num(r.moved_ratio(), 2) + "x",
+               util::format_bytes(r.copy_network),
+               util::format_bytes(r.proxy_network)});
+    if (r.moved_ratio() < 2.0) moved_ok = false;
+  }
+  t.print(std::cout);
+  std::cout << "proxy plane moves >= 2x fewer payload bytes: "
+            << (moved_ok ? "yes" : "NO — REGRESSION") << "\n";
+
+  const GcResult gc = run_gc();
+  std::cout << "\n=== refcount GC: worker peak residency (proxy plane, "
+               "8 steps) ===\n"
+            << "release_consumed off: " << util::format_bytes(gc.peak_off)
+            << "\nrelease_consumed on:  " << util::format_bytes(gc.peak_on)
+            << "  (" << util::Table::num(gc.peak_ratio(), 2) << "x smaller, "
+            << gc.keys_released << " keys released, depot peak "
+            << util::format_bytes(gc.depot_peak) << ")\n";
+
+  const E2eResult e2e = run_heat2d();
+  std::cout << "\n=== heat2d end-to-end (real data, DEISA3) ===\n"
+            << "copy moved:  " << util::format_bytes(e2e.copy_moved)
+            << "\nproxy moved: " << util::format_bytes(e2e.proxy_moved)
+            << "  (" << util::Table::num(e2e.moved_ratio(), 2) << "x)\n"
+            << "singular values identical (copy == proxy == proxy+gc): "
+            << (e2e.identical_results ? "yes" : "NO — REGRESSION") << "\n";
+
+  write_json(out, fig3, gc, e2e);
+  std::cout << "\nwrote " << out << "\n";
+  return e2e.identical_results && moved_ok ? 0 : 1;
+}

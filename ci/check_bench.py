@@ -5,6 +5,7 @@ committed baseline in bench/baselines/ and fail on large regressions.
     check_bench.py sched     fresh.json baseline.json [--tolerance R]
     check_bench.py dataplane fresh.json baseline.json [--tolerance R]
     check_bench.py substrates fresh.json baseline.json [--tolerance R]
+    check_bench.py proxy     fresh.json baseline.json [--tolerance R]
 
 The baselines are recorded on one machine and CI runs on another, so
 this is a coarse gate, not a perf test: with the default tolerance a
@@ -65,10 +66,29 @@ def extract_substrates(doc):
     return metrics
 
 
+def extract_proxy(doc):
+    # Byte counts are deterministic (simulated runs), so the ratios are
+    # exact properties of the data plane, not machine-relative numbers:
+    # any drop means the ownership plane started copying again.
+    metrics = {}
+    for row in doc.get("fig3", []):
+        n = row["ranks"]
+        metrics[f"moved_ratio/{n}"] = (row["moved_ratio"], "higher")
+    gc = doc.get("gc")
+    if gc:
+        metrics["gc_peak_ratio"] = (gc["peak_ratio"], "higher")
+        metrics["gc_keys_released"] = (gc["keys_released"], "higher")
+    heat = doc.get("heat2d")
+    if heat:
+        metrics["heat2d_moved_ratio"] = (heat["moved_ratio"], "higher")
+    return metrics
+
+
 EXTRACTORS = {
     "sched": extract_sched,
     "dataplane": extract_dataplane,
     "substrates": extract_substrates,
+    "proxy": extract_proxy,
 }
 
 

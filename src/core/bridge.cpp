@@ -184,12 +184,19 @@ exec::Co<void> Bridge::run_repush() {
   // retries at the next re-routed target.
   double backoff = 0.05;
   constexpr int kMaxRounds = 8;
+  bool drained = false;
   for (int round = 0; round < kMaxRounds; ++round) {
     const dts::RepushList assignments = co_await client_->repush_keys();
-    if (assignments.empty()) break;
+    if (assignments.empty()) {
+      drained = true;
+      break;
+    }
     obs::trace_instant("bridge", bridge_lane(rank_),
                        "repush:" + std::to_string(assignments.size()));
-    bool any_pending = false;
+    // Group the replay by re-routed target and replay each group as one
+    // coalesced scatter_batch — the same wire shape as the original push,
+    // instead of a (transfer, RPC, ack) round trip per key.
+    std::map<int, std::vector<std::pair<dts::Key, dts::Data>>> by_worker;
     for (const auto& [key, worker] : assignments) {
       const auto it = replay_.find(key);
       if (it == replay_.end()) {
@@ -198,15 +205,31 @@ exec::Co<void> Bridge::run_repush() {
         obs::count("bridge.repush_misses");
         continue;
       }
-      ++blocks_repushed_;
-      obs::count("bridge.blocks_repushed");
-      const int ack = co_await client_->scatter(key, it->second, worker,
-                                                /*external=*/true);
-      if (ack == dts::kAckRepushPending) any_pending = true;
+      by_worker[worker].emplace_back(key, it->second);
     }
-    if (!any_pending) break;
+    bool any_pending = false;
+    for (auto& [worker, items] : by_worker) {
+      const std::size_t n = items.size();
+      blocks_repushed_ += n;
+      obs::count("bridge.blocks_repushed", n);
+      const std::vector<int> acks = co_await client_->scatter_batch(
+          std::move(items), worker, /*external=*/true);
+      for (const int ack : acks)
+        if (ack == dts::kAckRepushPending) any_pending = true;
+    }
+    if (!any_pending) {
+      drained = true;
+      break;
+    }
     co_await client_->engine().delay(backoff);
     backoff *= 2.0;
+  }
+  if (!drained) {
+    // All rounds spent with work still pending: make the give-up loud.
+    // The scheduler's re-push deadline will eventually err the keys out,
+    // but silence here would read as "replay succeeded".
+    obs::count("bridge.repush_exhausted");
+    obs::trace_instant("bridge", bridge_lane(rank_), "repush_exhausted");
   }
   repushing_ = false;
 }

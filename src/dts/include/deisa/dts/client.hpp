@@ -39,6 +39,16 @@ public:
   int num_workers() const { return static_cast<int>(workers_.size()); }
   exec::Executor& engine() { return *engine_; }
 
+  /// Switch this client onto the proxy data plane (set by the Runtime;
+  /// `depot` is the runtime-wide payload depot). Scatters then deposit
+  /// payloads and push ownership tokens, and gathers dereference
+  /// forwarded handles themselves.
+  void set_data_plane(DataPlane plane, ProxyDepot* depot) {
+    plane_ = plane;
+    depot_ = depot;
+  }
+  DataPlane data_plane() const { return plane_; }
+
   /// Submit a task graph; `wants` marks the keys this client will gather.
   exec::Co<void> submit(std::vector<TaskSpec> tasks,
                        std::vector<Key> wants = {});
@@ -134,6 +144,8 @@ private:
   exec::Channel<SchedMsg>* scheduler_inbox_;
   std::vector<WorkerRef> workers_;
   std::shared_ptr<exec::Channel<int>> notify_;
+  DataPlane plane_ = DataPlane::kCopy;
+  ProxyDepot* depot_ = nullptr;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t last_cause_ = 0;
 };

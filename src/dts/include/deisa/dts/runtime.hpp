@@ -13,6 +13,10 @@ namespace deisa::dts {
 struct RuntimeParams {
   SchedulerParams scheduler;
   WorkerParams worker;
+  /// Cluster-wide data plane. kProxy allocates a shared payload depot and
+  /// wires every worker and client onto it; worker.data_plane is forced
+  /// to match.
+  DataPlane data_plane = DataPlane::kCopy;
 };
 
 class Runtime {
@@ -35,9 +39,15 @@ public:
   /// Create a client homed on `node`; owned by the Runtime.
   Client& make_client(int node);
 
+  DataPlane data_plane() const { return data_plane_; }
+  /// Proxy-plane payload depot (nullptr on the copy plane).
+  ProxyDepot* depot() { return depot_.get(); }
+
 private:
   exec::Executor* engine_;
   exec::Transport* cluster_;
+  DataPlane data_plane_ = DataPlane::kCopy;
+  std::unique_ptr<ProxyDepot> depot_;
   std::unique_ptr<Scheduler> scheduler_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<Client>> clients_;

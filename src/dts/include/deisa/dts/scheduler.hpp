@@ -62,6 +62,17 @@ struct SchedulerParams {
   /// cone, so waiters fail instead of hanging) if the producer has not
   /// replayed it within this many seconds.
   double repush_timeout = 60.0;
+
+  // ---- refcount GC ----
+  /// Release a key's data (worker store + proxy deposit) once every
+  /// consumer that ever depended on it has finished. Consumers are
+  /// charged at graph-ingestion time and released on task completion;
+  /// keys nothing ever depends on (gather targets, leaves) are never
+  /// released. Off by default: long-running DEISA2/3 loops opt in to
+  /// hold bounded resident bytes. Not compatible with lineage
+  /// recomputation after worker loss (released inputs cannot be
+  /// re-read), so leave it off when running fault plans.
+  bool release_consumed = false;
 };
 
 /// Scheduler-side task state machine: which transitions are legal. Every
@@ -118,6 +129,16 @@ public:
     return state_counts_[static_cast<std::size_t>(s)];
   }
   const RecoveryCounters& recovery() const { return recovery_; }
+
+  // ---- refcount-GC introspection (property/stress tests) ----
+  /// Consumers of `key` charged at ingestion and not yet finished.
+  int pending_consumers(const Key& key) const;
+  /// Whether the GC released `key`'s data (kMemory records only; the
+  /// record itself is never erased).
+  bool is_released(const Key& key) const;
+  /// Keys whose data the GC has released so far.
+  std::uint64_t keys_released() const { return keys_released_; }
+
   bool worker_is_dead(int worker) const {
     return worker >= 0 && static_cast<std::size_t>(worker) < dead_.size() &&
            dead_[static_cast<std::size_t>(worker)] != 0;
@@ -163,6 +184,18 @@ private:
     int attempts = 0;  // executions so far (retry support)
     int pusher_client = -1;  // client id of the bridge that completed an
                              // external key (for re-push routing)
+    /// Refcount plane: consumers charged at ingestion (one per dependent
+    /// edge, decremented as each dependent reaches a terminal state) and
+    /// the historical total (a key nothing ever consumed is never
+    /// released — it is a gather target or a leaf).
+    int pending_consumers = 0;
+    int ever_consumers = 0;
+    /// GC released this key's data (state stays kMemory; the release is
+    /// a storage fact, not a lifecycle transition).
+    bool released = false;
+    /// This task's input refcounts were already returned (guards against
+    /// double decrements on poison-then-finish paths).
+    bool inputs_released = false;
     std::uint64_t bytes = 0;
     double state_since = 0.0;  // sim time of the last transition (tracing)
     std::uint64_t rearm_epoch = 0;  // bumps on memory -> external re-arm
@@ -260,6 +293,14 @@ private:
   exec::Co<void> finish_task(KeyId id, TaskRecord& rec, int worker,
                             std::uint64_t bytes, bool erred,
                             const std::string& error);
+  /// Return the input refcounts a terminal task holds (one per dep) and
+  /// release any input whose last consumer this was. Idempotent per
+  /// record (inputs_released flag).
+  exec::Co<void> release_task_inputs(TaskRecord& rec);
+  /// Release `id`'s data if the refcount GC proves nothing will read it
+  /// again: gc enabled, in memory, every historical consumer finished,
+  /// no blocked waiters, and a live owner to send the release to.
+  exec::Co<void> maybe_release(KeyId id, TaskRecord& rec);
   exec::Co<void> assign(KeyId id);
   int decide_worker(const TaskRecord& rec);
   exec::Co<void> reply_ack(std::shared_ptr<exec::Channel<Ack>> ch,
@@ -318,6 +359,7 @@ private:
   std::array<std::uint64_t, kSchedMsgKindCount> arrivals_{};
   std::uint64_t total_messages_ = 0;
   std::uint64_t retries_performed_ = 0;
+  std::uint64_t keys_released_ = 0;
   /// Causality id of the handling span of the message currently being
   /// processed (0 untraced); stamped into outgoing assigns and recorded
   /// as done_cause when a key completes.

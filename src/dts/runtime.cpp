@@ -5,7 +5,9 @@ namespace deisa::dts {
 Runtime::Runtime(exec::Executor& engine, exec::Transport& cluster,
                  int scheduler_node, std::vector<int> worker_nodes,
                  RuntimeParams params)
-    : engine_(&engine), cluster_(&cluster) {
+    : engine_(&engine), cluster_(&cluster), data_plane_(params.data_plane) {
+  if (data_plane_ == DataPlane::kProxy) depot_ = std::make_unique<ProxyDepot>();
+  params.worker.data_plane = data_plane_;
   scheduler_ = std::make_unique<Scheduler>(engine, cluster, scheduler_node,
                                            params.scheduler);
   for (std::size_t i = 0; i < worker_nodes.size(); ++i)
@@ -14,8 +16,10 @@ Runtime::Runtime(exec::Executor& engine, exec::Transport& cluster,
 
   std::vector<WorkerRef> refs = worker_refs();
   scheduler_->attach_workers(refs);
-  for (auto& w : workers_)
+  for (auto& w : workers_) {
     w->attach(scheduler_node, &scheduler_->inbox(), refs);
+    w->set_depot(depot_.get());
+  }
 }
 
 std::vector<WorkerRef> Runtime::worker_refs() const {
@@ -48,6 +52,7 @@ Client& Runtime::make_client(int node) {
   clients_.push_back(std::make_unique<Client>(
       *engine_, *cluster_, static_cast<int>(clients_.size()), node,
       scheduler_->node(), &scheduler_->inbox(), worker_refs()));
+  clients_.back()->set_data_plane(data_plane_, depot_.get());
   return *clients_.back();
 }
 

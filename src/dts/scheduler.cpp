@@ -21,6 +21,14 @@ const char* to_string(TaskState s) {
   return "?";
 }
 
+const char* to_string(DataPlane p) {
+  switch (p) {
+    case DataPlane::kCopy: return "copy";
+    case DataPlane::kProxy: return "proxy";
+  }
+  return "?";
+}
+
 const char* to_string(SchedMsgKind k) {
   switch (k) {
     case SchedMsgKind::kUpdateGraph: return "update_graph";
@@ -113,6 +121,18 @@ TaskState Scheduler::state_of(const Key& key) const {
   const KeyId id = keys_.find(key);
   DEISA_CHECK(id != kNoKeyId, "unknown task key: " << key);
   return records_[id].state;
+}
+
+int Scheduler::pending_consumers(const Key& key) const {
+  const KeyId id = keys_.find(key);
+  DEISA_CHECK(id != kNoKeyId, "unknown task key: " << key);
+  return records_[id].pending_consumers;
+}
+
+bool Scheduler::is_released(const Key& key) const {
+  const KeyId id = keys_.find(key);
+  DEISA_CHECK(id != kNoKeyId, "unknown task key: " << key);
+  return records_[id].released;
 }
 
 std::size_t Scheduler::pending_waiters() const {
@@ -399,16 +419,73 @@ exec::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
         fresh = false;
         break;
       }
+      DEISA_CHECK(!drec.released,
+                  "graph references key '" << dep
+                                           << "' already released by the "
+                                              "refcount GC");
       deps_pool_.push_back(d);
       ++rec.dep_count;
+      // Refcount plane: charge the dep one consumer per dependent edge
+      // at assignment time, regardless of its current state — the
+      // consumer will read it exactly once before finishing.
+      ++drec.pending_consumers;
+      ++drec.ever_consumers;
       if (drec.state != TaskState::kMemory) {
         ++rec.nwaiting;
         add_dependent(drec, id);
       }
     }
     if (fresh && rec.nwaiting == 0) push_ready(id);
+    // Poisoned at ingestion (erred dep): the task is terminal before it
+    // ever ran, so return the consumer charges on the deps it did take.
+    if (!fresh) co_await release_task_inputs(rec);
   }
   co_await drain_ready();
+}
+
+exec::Co<void> Scheduler::release_task_inputs(TaskRecord& rec) {
+  if (rec.inputs_released) co_return;
+  rec.inputs_released = true;
+  if (!params_.release_consumed) co_return;
+  for (std::uint32_t i = 0; i < rec.dep_count; ++i) {
+    const KeyId d = deps_pool_[rec.dep_off + i];
+    TaskRecord& drec = records_[d];
+    DEISA_ASSERT(drec.pending_consumers > 0,
+                 "refcount underflow on " << keys_.name(d));
+    --drec.pending_consumers;
+    co_await maybe_release(d, drec);
+  }
+}
+
+exec::Co<void> Scheduler::maybe_release(KeyId id, TaskRecord& rec) {
+  if (!params_.release_consumed) co_return;
+  if (rec.released || rec.state != TaskState::kMemory) co_return;
+  // Never release a key that still has (or could get) readers: a pending
+  // consumer holds a charge until it reaches a terminal state, a key
+  // nothing ever consumed is a gather target or a leaf, and a blocked
+  // wait_key means a client is about to fetch it.
+  if (rec.ever_consumers == 0 || rec.pending_consumers > 0) co_return;
+  if (waiters_.count(id) != 0) co_return;
+  if (rec.worker < 0 || worker_is_dead(rec.worker)) co_return;
+  rec.released = true;
+  ++keys_released_;
+  has_what_[static_cast<std::size_t>(rec.worker)].erase(id);
+  if (auto* m = obs::metrics()) {
+    m->counter("scheduler.gc.keys_released").add();
+    m->counter("scheduler.gc.bytes_released").add(rec.bytes);
+  }
+  obs::trace_instant("scheduler", "gc", "release:" + keys_.name(id));
+  // Tell the owner to drop the bytes (store copy, unresolved handle, and
+  // the proxy deposit it owns). State stays kMemory: the release is a
+  // storage fact, and the record keeps answering metadata queries.
+  const WorkerRef& ref = workers_[static_cast<std::size_t>(rec.worker)];
+  const Key& name = keys_.name(id);
+  co_await cluster_->send_control(node_, ref.node,
+                                  kControlMsgBase + name.size());
+  WorkerMsg m(WorkerMsgKind::kReleaseKey);
+  m.key = name;
+  m.cause = current_cause_;
+  ref.inbox->send(std::move(m));
 }
 
 int Scheduler::pick_live_worker() {
@@ -500,6 +577,9 @@ exec::Co<void> Scheduler::poison_task(KeyId id, const std::string& error) {
     transition(id, rec, TaskState::kErred);
     errors_[id] = error;
     co_await release_waiters(id, kAckErred);
+    // Erred is terminal (retries were exhausted upstream): the task will
+    // never read its inputs, so return their consumer charges.
+    co_await release_task_inputs(rec);
   }
   // Poison the whole downstream cone, replying to any waiters so blocked
   // clients observe the failure instead of hanging.
@@ -515,6 +595,7 @@ exec::Co<void> Scheduler::poison_task(KeyId id, const std::string& error) {
     transition(dk, drec, TaskState::kErred);
     errors_[dk] = "dependency erred: " + keys_.name(id);
     co_await release_waiters(dk, kAckErred);
+    co_await release_task_inputs(drec);
     take_dependents(drec, next);
     poison.insert(poison.end(), next.begin(), next.end());
   }
@@ -548,6 +629,9 @@ exec::Co<void> Scheduler::finish_task(KeyId id, TaskRecord& rec, int worker,
     has_what_[static_cast<std::size_t>(worker)].insert(id);
   // Wake clients blocked in wait_key/gather.
   co_await release_waiters(id, worker);
+  // Refcount plane: this task has read its inputs for the last time —
+  // return the charges, releasing any input whose last consumer it was.
+  co_await release_task_inputs(rec);
   // Unblock dependents (standard task-finished stimulus; external tasks
   // reuse exactly this path — the point of §2.2).
   take_dependents(rec, scratch_dependents_);
@@ -557,6 +641,10 @@ exec::Co<void> Scheduler::finish_task(KeyId id, TaskRecord& rec, int worker,
       push_ready(dk);
   }
   co_await drain_ready();
+  // Covers the consumers-finished-first edge: if every consumer of this
+  // key reached a terminal state before the key itself completed (e.g.
+  // they were poisoned), its refcount is already zero on arrival.
+  co_await maybe_release(id, rec);
 }
 
 exec::Co<void> Scheduler::handle_task_finished(SchedMsg& msg) {
@@ -671,12 +759,14 @@ exec::Co<int> Scheduler::update_data_one(Key key, int worker,
           obs::count("scheduler.stale.update_data");
           ack = kAckDiscarded;
         } else {
-          // Re-scatter of an existing key: refresh location.
+          // Re-scatter of an existing key: refresh location. Fresh bytes
+          // landed, so a GC release from a previous round is undone.
           if (rec.worker >= 0 &&
               static_cast<std::size_t>(rec.worker) < has_what_.size())
             has_what_[static_cast<std::size_t>(rec.worker)].erase(id);
           rec.worker = worker;
           rec.bytes = bytes;
+          rec.released = false;
           if (worker >= 0 &&
               static_cast<std::size_t>(worker) < has_what_.size())
             has_what_[static_cast<std::size_t>(worker)].insert(id);

@@ -68,6 +68,14 @@ struct ScenarioParams {
   /// Worker-side bound on concurrent peer dependency fetches (1 = the
   /// pre-overlap strictly sequential behavior; see WorkerParams).
   int max_concurrent_fetches = 8;
+  /// Data plane: kCopy pushes payload bytes eagerly (dask baseline);
+  /// kProxy moves ownership tokens and resolves bytes lazily on first
+  /// use (see RuntimeParams::data_plane).
+  dts::DataPlane data_plane = dts::DataPlane::kCopy;
+  /// Refcount GC: release a key from worker memory once every consumer
+  /// task has finished (bounded residency over long runs). Off by
+  /// default — incompatible with lineage recomputation under faults.
+  bool release_consumed = false;
 
   /// Allocation seed: different submissions get different node placements
   /// (the run-to-run variability axis of Figure 5).
@@ -147,6 +155,20 @@ struct RunResult {
   double scheduler_busy_seconds = 0.0;
   std::uint64_t pfs_bytes_written = 0;
   std::uint64_t pfs_bytes_read = 0;
+
+  // ---- data-plane accounting ----
+  /// Payload bytes physically moved through the transport
+  /// (dataplane.bytes_moved).
+  std::uint64_t bytes_moved = 0;
+  /// Payload bytes passed by reference instead of moved
+  /// (dataplane.bytes_referenced).
+  std::uint64_t bytes_referenced = 0;
+  /// Highest per-worker store residency over the run.
+  std::uint64_t worker_peak_bytes = 0;
+  /// Depot high-water mark (proxy plane; 0 on kCopy).
+  std::uint64_t depot_peak_bytes = 0;
+  /// Keys dropped by the scheduler's refcount GC.
+  std::uint64_t keys_released = 0;
 
   /// Scheduler-side recovery counters (all zero on fault-free runs).
   dts::RecoveryCounters recovery;

@@ -8,6 +8,7 @@
 #include "deisa/core/bridge.hpp"
 #include "deisa/io/posthoc.hpp"
 #include "deisa/mpix/comm.hpp"
+#include "deisa/obs/dataplane.hpp"
 #include "deisa/obs/observation.hpp"
 #include "deisa/rt/threaded_executor.hpp"
 #include "deisa/rt/threaded_transport.hpp"
@@ -180,6 +181,8 @@ struct World {
       rp.scheduler.heartbeat_timeout = 3.5 * p.worker_heartbeat_interval;
     rp.worker.heartbeat_interval = p.worker_heartbeat_interval;
     rp.worker.max_concurrent_fetches = p.max_concurrent_fetches;
+    rp.data_plane = p.data_plane;
+    rp.scheduler.release_consumed = p.release_consumed;
     runtime = std::make_unique<dts::Runtime>(engine, cluster, scheduler_node,
                                              worker_nodes, rp);
     if (sim_engine) {
@@ -673,10 +676,15 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
   }
   res.network_bytes = w.cluster.stats().bytes;
   res.scheduler_busy_seconds = sched.total_service_time();
+  res.keys_released = sched.keys_released();
   for (int i = 0; i < w.runtime->num_workers(); ++i) {
     res.worker_busy_seconds.push_back(w.runtime->worker(i).busy_time());
     res.worker_tasks.push_back(w.runtime->worker(i).tasks_executed());
+    res.worker_peak_bytes =
+        std::max(res.worker_peak_bytes, w.runtime->worker(i).peak_memory_bytes());
   }
+  if (const dts::ProxyDepot* depot = w.runtime->depot())
+    res.depot_peak_bytes = depot->peak_bytes();
   res.pfs_bytes_written = w.pfs.bytes_written();
   res.pfs_bytes_read = w.pfs.bytes_read();
   res.recovery = sched.recovery();
@@ -687,6 +695,8 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
   if (recorder) obs::gauge_set("trace.dropped_events_final",
                                static_cast<double>(recorder->dropped()));
   res.metrics = registry.snapshot();
+  res.bytes_moved = res.metrics.counter(obs::kBytesMoved);
+  res.bytes_referenced = res.metrics.counter(obs::kBytesReferenced);
   res.trace = std::move(recorder);
   return res;
 }

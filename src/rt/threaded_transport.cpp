@@ -51,6 +51,13 @@ exec::Co<void> ThreadedTransport::transfer(int src, int dst,
   const exec::FaultDecision fd =
       consult_hook(src, dst, bytes, exec::Delivery::kBulk);
   if (fd.extra_delay > 0.0) co_await ex_->delay(fd.extra_delay);
+  if (src == dst) {
+    // Same-node hand-off: the payload already lives in this address
+    // space, so there is no NIC to contend for and nothing to copy
+    // through scratch (proxy-plane zero-copy dereferences land here).
+    obs::count("rt.nic.local_bypass");
+    co_return;
+  }
   {
     Nic& eg = *egress_[static_cast<std::size_t>(src)];
     Nic& in = *ingress_[static_cast<std::size_t>(dst)];

@@ -9,6 +9,7 @@
 #include "deisa/net/cluster.hpp"
 #include "deisa/sim/engine.hpp"
 #include "deisa/dts/runtime.hpp"
+#include "deisa/obs/dataplane.hpp"
 #include "deisa/obs/observation.hpp"
 
 namespace dts = deisa::dts;
@@ -545,6 +546,101 @@ TEST(Dts, ScatterBatchIsOneRegistrationRpc) {
             1u);
   for (const char* k : {"b0", "b1", "b2", "b3"})
     EXPECT_EQ(tc.rt->scheduler().state_of(k), dts::TaskState::kMemory);
+}
+
+// ---- proxy data plane / refcount GC ----
+
+namespace obs = deisa::obs;
+
+sim::Co<void> local_chain_flow(TestCluster& tc, std::uint64_t block) {
+  co_await tc.client->external_futures(keys("x"), ints(0));
+  std::vector<dts::TaskSpec> tasks;
+  tasks.push_back(dts::TaskSpec("y", keys("x"), [block](const auto&) {
+    return dts::Data::sized(block);
+  }));
+  tasks.push_back(dts::TaskSpec("z", keys("y"), [block](const auto&) {
+    return dts::Data::sized(block);
+  }));
+  co_await tc.client->submit(std::move(tasks), keys("z"));
+  (void)co_await tc.client->scatter("x", dts::Data::sized(block),
+                                    /*worker=*/0, /*external=*/true);
+  (void)co_await tc.client->gather("z");
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, ProxyPlaneLocalDepsMoveZeroExtraBytes) {
+  // Single worker: every dependency read is local. The copy plane models
+  // dask's per-read duplication (scatter push + each local dep read move
+  // the block); the proxy plane must move the block exactly once — the
+  // lazy pull of the scattered deposit — and read local deps by
+  // reference, zero extra bytes moved.
+  constexpr std::uint64_t kBlock = 4096;
+  std::uint64_t moved[2] = {0, 0};
+  std::uint64_t referenced[2] = {0, 0};
+  int i = 0;
+  for (dts::DataPlane plane :
+       {dts::DataPlane::kCopy, dts::DataPlane::kProxy}) {
+    dts::RuntimeParams rp;
+    rp.data_plane = plane;
+    TestCluster tc(1, rp);
+    obs::MetricsRegistry registry;
+    obs::ObservationScope scope(nullptr, &registry);
+    tc.run(local_chain_flow(tc, kBlock));
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    moved[i] = snap.counter(obs::kBytesMoved);
+    referenced[i] = snap.counter(obs::kBytesReferenced);
+    ++i;
+  }
+  // Copy plane: scatter + two local dependency reads, a move each.
+  EXPECT_EQ(moved[0], 3 * kBlock);
+  EXPECT_EQ(referenced[0], 0u);
+  // Proxy plane: one materializing pull; deposit hand-off and both local
+  // dependency reads are references.
+  EXPECT_EQ(moved[1], kBlock);
+  EXPECT_EQ(referenced[1], 3 * kBlock);
+}
+
+sim::Co<void> gc_release_flow(TestCluster& tc) {
+  co_await tc.client->external_futures(keys("a"), ints(0));
+  std::vector<dts::TaskSpec> tasks;
+  tasks.push_back(add_task("b", keys("a")));
+  co_await tc.client->submit(std::move(tasks), keys("b"));
+  (void)co_await tc.client->scatter("a", int_data(7), /*worker=*/0,
+                                    /*external=*/true);
+  const dts::Data d = co_await tc.client->gather("b");
+  EXPECT_EQ(d.as<int>(), 7);
+  co_await tc.rt->shutdown();
+}
+
+TEST(Dts, ReleaseConsumedFreesConsumedKeys) {
+  dts::RuntimeParams rp;
+  rp.scheduler.release_consumed = true;
+  TestCluster tc(2, rp);
+  tc.run(gc_release_flow(tc));
+  // The consumed external block was released scheduler- and worker-side;
+  // the gathered sink (zero historical consumers) must never be.
+  EXPECT_TRUE(tc.rt->scheduler().is_released("a"));
+  EXPECT_EQ(tc.rt->scheduler().pending_consumers("a"), 0);
+  EXPECT_FALSE(tc.rt->scheduler().is_released("b"));
+  EXPECT_EQ(tc.rt->scheduler().keys_released(), 1u);
+  EXPECT_FALSE(tc.rt->worker(0).has_local("a"));
+  EXPECT_EQ(tc.rt->worker(0).keys_released() +
+                tc.rt->worker(1).keys_released(),
+            1u);
+}
+
+TEST(Dts, ProxyPlaneGcDropsDepotDeposit) {
+  // Proxy plane + GC: the release must also evict the depot deposit, not
+  // just the worker-store copy, or long runs leak in the depot instead.
+  dts::RuntimeParams rp;
+  rp.data_plane = dts::DataPlane::kProxy;
+  rp.scheduler.release_consumed = true;
+  TestCluster tc(2, rp);
+  tc.run(gc_release_flow(tc));
+  EXPECT_TRUE(tc.rt->scheduler().is_released("a"));
+  ASSERT_NE(tc.rt->depot(), nullptr);
+  EXPECT_FALSE(tc.rt->depot()->contains("a"));
+  EXPECT_GT(tc.rt->depot()->peak_bytes(), 0u);
 }
 
 }  // namespace

@@ -8,7 +8,12 @@
 //    value-transparent);
 //  * for ANY random virtual-array decomposition and selection box, the
 //    bridges' contract filtering must send exactly the brute-force set of
-//    overlapping blocks — no more, no fewer.
+//    overlapping blocks — no more, no fewer;
+//  * the proxy data plane and the refcount GC are value-transparent: for
+//    ANY random DAG, on either plane, either substrate, with or without
+//    release_consumed, the gathered sink values match the sequential
+//    evaluation — and with GC on, every ever-consumed key with a drained
+//    refcount actually got released.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -18,13 +23,17 @@
 #include "deisa/core/bridge.hpp"
 #include "deisa/dts/runtime.hpp"
 #include "deisa/fault/fault.hpp"
+#include "deisa/rt/threaded_executor.hpp"
+#include "deisa/rt/threaded_transport.hpp"
 #include "deisa/util/rng.hpp"
 
 namespace arr = deisa::array;
 namespace core = deisa::core;
 namespace dts = deisa::dts;
+namespace exec = deisa::exec;
 namespace fault = deisa::fault;
 namespace net = deisa::net;
+namespace rt = deisa::rt;
 namespace sim = deisa::sim;
 using deisa::util::Rng;
 
@@ -164,6 +173,190 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{60, 3, 33ull}, std::tuple{60, 5, 44ull},
                       std::tuple{120, 4, 55ull}, std::tuple{120, 8, 66ull},
                       std::tuple{200, 6, 77ull}));
+
+// ---- random DAGs × data plane × refcount GC × substrate ----
+
+struct PlaneCase {
+  int n;
+  int workers;
+  std::uint64_t seed;
+  std::uint64_t block_bytes;  // leaf/task payload size (accounting axis)
+  dts::DataPlane plane;
+  bool gc;       // scheduler release_consumed
+  bool threads;  // substrate: rt::ThreadedExecutor instead of sim
+};
+
+/// One cluster on either substrate with the data-plane knobs applied.
+struct PlaneCluster {
+  std::unique_ptr<sim::Engine> sim_engine;
+  std::unique_ptr<rt::ThreadedExecutor> thr_engine;
+  std::unique_ptr<net::Cluster> sim_cluster;
+  std::unique_ptr<rt::ThreadedTransport> thr_cluster;
+  std::unique_ptr<dts::Runtime> rt;
+  dts::Client* client = nullptr;
+
+  PlaneCluster(const PlaneCase& c) {
+    const int nodes = c.workers + 4;
+    if (c.threads) {
+      thr_engine = std::make_unique<rt::ThreadedExecutor>(
+          rt::ThreadedExecutorParams{0, 0.01});
+      thr_cluster = std::make_unique<rt::ThreadedTransport>(
+          *thr_engine, rt::ThreadedTransportParams{nodes});
+    } else {
+      sim_engine = std::make_unique<sim::Engine>();
+      net::ClusterParams cp;
+      cp.physical_nodes = nodes;
+      sim_cluster = std::make_unique<net::Cluster>(*sim_engine, cp);
+    }
+    std::vector<int> wn;
+    for (int i = 0; i < c.workers; ++i) wn.push_back(2 + i);
+    dts::RuntimeParams rp;
+    rp.scheduler.service_base = 1e-4;
+    rp.scheduler.service_per_task = 0;
+    rp.scheduler.service_per_key = 0;
+    rp.data_plane = c.plane;
+    rp.scheduler.release_consumed = c.gc;
+    rt = std::make_unique<dts::Runtime>(engine(), cluster(), 0, wn, rp);
+    rt->start();
+    client = &rt->make_client(1);
+  }
+
+  ~PlaneCluster() {
+    if (thr_engine) thr_engine->shutdown();
+  }
+
+  exec::Executor& engine() {
+    return sim_engine ? static_cast<exec::Executor&>(*sim_engine)
+                      : *thr_engine;
+  }
+  exec::Transport& cluster() {
+    return sim_cluster ? static_cast<exec::Transport&>(*sim_cluster)
+                       : *thr_cluster;
+  }
+};
+
+/// Like run_dag, but with GC on only the DAG's sinks are wanted and
+/// gathered: interior keys are released once their consumers finish, and
+/// gathering a released key is (by design) a loud error.
+exec::Co<void> run_dag_plane(dts::Runtime& runtime, dts::Client& client,
+                             const RandomDag& dag, const PlaneCase& c,
+                             const std::vector<bool>& has_consumer,
+                             std::map<std::size_t, std::int64_t>& results) {
+  std::vector<dts::Key> ext_keys;
+  std::vector<int> ext_workers;
+  for (const auto& node : dag.nodes)
+    if (node.external) {
+      ext_keys.push_back(node.key);
+      ext_workers.push_back(static_cast<int>(ext_keys.size()) %
+                            client.num_workers());
+    }
+  if (!ext_keys.empty())
+    co_await client.external_futures(ext_keys, ext_workers);
+
+  const std::uint64_t bytes = c.block_bytes;
+  std::vector<dts::TaskSpec> tasks;
+  std::vector<dts::Key> wants;
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+    const auto& node = dag.nodes[i];
+    if (node.external) continue;
+    std::vector<dts::Key> deps;
+    for (std::size_t d : node.deps) deps.push_back(dag.nodes[d].key);
+    const std::int64_t base = node.leaf_value + static_cast<std::int64_t>(i);
+    tasks.emplace_back(node.key, std::move(deps),
+                       [base, bytes](const std::vector<dts::Data>& in) {
+                         std::int64_t v = base;
+                         for (const auto& d : in) v += d.as<std::int64_t>();
+                         return dts::Data::make<std::int64_t>(v, bytes);
+                       });
+    if (!c.gc || !has_consumer[i]) wants.push_back(node.key);
+  }
+  co_await client.submit(std::move(tasks), std::move(wants));
+
+  for (std::size_t i = ext_keys.size(); i-- > 0;) {
+    const auto& node_key = ext_keys[i];
+    std::size_t node_i = 0;
+    for (std::size_t k = 0; k < dag.nodes.size(); ++k)
+      if (dag.nodes[k].key == node_key) node_i = k;
+    const std::int64_t v =
+        dag.nodes[node_i].leaf_value + static_cast<std::int64_t>(node_i);
+    co_await client.scatter(node_key,
+                            dts::Data::make<std::int64_t>(v, bytes),
+                            ext_workers[i], /*external=*/true);
+  }
+
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+    if (c.gc && has_consumer[i]) continue;  // released: must not gather
+    results[i] =
+        (co_await client.gather(dag.nodes[i].key)).as<std::int64_t>();
+  }
+  co_await runtime.shutdown();
+}
+
+class DataPlaneProperty : public ::testing::TestWithParam<PlaneCase> {};
+
+TEST_P(DataPlaneProperty, PlaneAndGcAreValueTransparent) {
+  const PlaneCase c = GetParam();
+  const RandomDag dag =
+      make_dag(static_cast<std::size_t>(c.n), 0.35, 0.5, c.seed);
+  const auto expected = evaluate_sequentially(dag);
+  std::vector<bool> has_consumer(dag.nodes.size(), false);
+  for (const auto& node : dag.nodes)
+    for (std::size_t d : node.deps) has_consumer[d] = true;
+
+  PlaneCluster pc(c);
+  std::map<std::size_t, std::int64_t> results;
+  pc.engine().spawn(
+      run_dag_plane(*pc.rt, *pc.client, dag, c, has_consumer, results));
+  pc.engine().run();
+
+  // Value transparency: every gathered key matches the sequential run.
+  for (const auto& [i, v] : results)
+    EXPECT_EQ(v, expected[i]) << "node " << i << " seed " << c.seed;
+  std::size_t gathered = 0;
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i)
+    if (!c.gc || !has_consumer[i]) ++gathered;
+  EXPECT_EQ(results.size(), gathered);
+
+  const dts::Scheduler& sched = pc.rt->scheduler();
+  if (c.gc) {
+    // Refcount invariant: a drained refcount implies an actual release —
+    // every ever-consumed key was charged per dependent, every finished
+    // consumer returned its charge, and the zero crossing freed the key.
+    std::uint64_t consumed = 0;
+    for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+      const dts::Key& key = dag.nodes[i].key;
+      if (has_consumer[i]) {
+        ++consumed;
+        EXPECT_EQ(sched.pending_consumers(key), 0)
+            << "node " << i << " seed " << c.seed;
+        EXPECT_TRUE(sched.is_released(key))
+            << "node " << i << " seed " << c.seed;
+      } else {
+        EXPECT_FALSE(sched.is_released(key))
+            << "sink/unconsumed node " << i << " must never be released";
+      }
+    }
+    EXPECT_EQ(sched.keys_released(), consumed);
+  } else {
+    EXPECT_EQ(sched.keys_released(), 0u);
+    for (std::size_t i = 0; i < dag.nodes.size(); ++i)
+      EXPECT_FALSE(sched.is_released(dag.nodes[i].key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlanesAndSubstrates, DataPlaneProperty,
+    ::testing::Values(
+        // sim substrate: proxy plane alone, GC alone, both, random sizes
+        PlaneCase{40, 3, 910ull, 64, dts::DataPlane::kProxy, false, false},
+        PlaneCase{60, 4, 911ull, 4096, dts::DataPlane::kProxy, false, false},
+        PlaneCase{60, 3, 912ull, 512, dts::DataPlane::kCopy, true, false},
+        PlaneCase{80, 4, 913ull, 1024, dts::DataPlane::kProxy, true, false},
+        PlaneCase{120, 6, 914ull, 96, dts::DataPlane::kProxy, true, false},
+        // threads substrate: same properties under real concurrency
+        PlaneCase{40, 3, 915ull, 256, dts::DataPlane::kProxy, false, true},
+        PlaneCase{60, 4, 916ull, 2048, dts::DataPlane::kProxy, true, true},
+        PlaneCase{60, 3, 917ull, 128, dts::DataPlane::kCopy, true, true}));
 
 // ---- random DAGs crossed with seeded fault plans ----
 

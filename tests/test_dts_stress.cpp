@@ -52,7 +52,8 @@ struct Fixture {
   std::unique_ptr<dts::Runtime> rt;
   dts::Client* client = nullptr;
 
-  Fixture() {
+  explicit Fixture(dts::DataPlane plane = dts::DataPlane::kCopy,
+                   bool release_consumed = false) {
     net::ClusterParams cp;
     cp.physical_nodes = kWorkers + 4;
     cluster = std::make_unique<net::Cluster>(eng, cp);
@@ -64,7 +65,9 @@ struct Fixture {
     rp.scheduler.service_base = 1e-9;
     rp.scheduler.service_per_task = 0;
     rp.scheduler.service_per_key = 0;
+    rp.scheduler.release_consumed = release_consumed;
     rp.worker.heartbeat_interval = 0;  // no background chatter
+    rp.data_plane = plane;
     rt = std::make_unique<dts::Runtime>(eng, *cluster, 0, wn, rp);
     rt->start();
     client = &rt->make_client(1);
@@ -173,6 +176,81 @@ TEST(SchedStress, HundredThousandTaskGraphDrainsWithoutLeaks) {
   EXPECT_EQ(sched->ready_queue_size(), 0u);
   EXPECT_EQ(sched->pending_waiters(), 0u);
   EXPECT_EQ(sched->repush_pending(), 0u);
+}
+
+// ---- refcount GC: bounded residency over a long timestep loop ----
+
+/// The DEISA2/3 shape at its simplest: per timestep, one external block
+/// is pushed and one consumer task reduces it. Without the refcount GC
+/// the worker's store accretes every step's block; with it, the block is
+/// released as soon as its consumer finishes.
+sim::Co<void> external_timestep_loop(Fixture& fx, int steps,
+                                     std::uint64_t block) {
+  for (int t = 0; t < steps; ++t) {
+    const std::string st = std::to_string(t);
+    std::vector<dts::Key> ext;
+    ext.push_back("s" + st);
+    std::vector<int> tgt;
+    tgt.push_back(0);
+    co_await fx.client->external_futures(std::move(ext), std::move(tgt));
+    std::vector<dts::TaskSpec> tasks;
+    std::vector<dts::Key> deps;
+    deps.push_back("s" + st);
+    tasks.emplace_back("r" + st, std::move(deps), dts::TaskFn{}, /*cost=*/0.0,
+                       /*out_bytes=*/64);
+    std::vector<dts::Key> wants;
+    wants.push_back("r" + st);
+    co_await fx.client->submit(std::move(tasks), std::move(wants));
+    (void)co_await fx.client->scatter("s" + st, dts::Data::sized(block),
+                                      /*worker=*/0, /*external=*/true);
+    (void)co_await fx.client->wait_key("r" + st);
+  }
+  co_await fx.rt->shutdown();
+}
+
+std::uint64_t peak_after_loop(dts::DataPlane plane, bool gc, int steps,
+                              std::uint64_t block,
+                              std::uint64_t* depot_peak = nullptr,
+                              std::uint64_t* released = nullptr) {
+  Fixture fx(plane, gc);
+  fx.eng.spawn(external_timestep_loop(fx, steps, block));
+  fx.eng.run();
+  std::uint64_t peak = 0;
+  for (int i = 0; i < kWorkers; ++i)
+    peak = std::max(peak, fx.rt->worker(i).peak_memory_bytes());
+  if (depot_peak != nullptr && fx.rt->depot() != nullptr)
+    *depot_peak = fx.rt->depot()->peak_bytes();
+  if (released != nullptr) *released = fx.rt->scheduler().keys_released();
+  return peak;
+}
+
+TEST(SchedStress, RefcountGcBoundsWorkerResidency) {
+  constexpr std::uint64_t kBlock = 256 * 1024;
+  constexpr int kShort = 12;
+  constexpr int kLong = 36;
+  // Without GC every step's block stays resident: peak grows with steps.
+  const std::uint64_t off =
+      peak_after_loop(dts::DataPlane::kCopy, false, kLong, kBlock);
+  EXPECT_GE(off, static_cast<std::uint64_t>(kLong) * kBlock);
+  // With GC the peak is a few blocks regardless of the step count.
+  std::uint64_t released_short = 0;
+  std::uint64_t released_long = 0;
+  const std::uint64_t on_short = peak_after_loop(
+      dts::DataPlane::kCopy, true, kShort, kBlock, nullptr, &released_short);
+  const std::uint64_t on_long = peak_after_loop(
+      dts::DataPlane::kCopy, true, kLong, kBlock, nullptr, &released_long);
+  EXPECT_EQ(released_short, static_cast<std::uint64_t>(kShort));
+  EXPECT_EQ(released_long, static_cast<std::uint64_t>(kLong));
+  EXPECT_LE(on_long, 3 * kBlock);
+  EXPECT_LT(on_long, on_short + kBlock);  // growth independent of steps
+  // Proxy plane: the shared depot must stay bounded too — releases evict
+  // deposits, not just worker-store copies.
+  std::uint64_t depot_peak = 0;
+  const std::uint64_t on_proxy = peak_after_loop(
+      dts::DataPlane::kProxy, true, kLong, kBlock, &depot_peak);
+  EXPECT_LE(on_proxy, 3 * kBlock);
+  EXPECT_GT(depot_peak, 0u);
+  EXPECT_LE(depot_peak, 3 * kBlock);
 }
 
 TEST(SchedStress, IngestAndDrainScalesLinearish) {

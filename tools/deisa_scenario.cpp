@@ -17,6 +17,8 @@
 //   faults: "kill:1@30"      # optional: fault plan (spec string or map)
 //   substrate: sim           # optional: sim (default) | threads
 //   substrate_threads: 0     # optional: threads backend worker count
+//   data_plane: copy         # optional: copy (default) | proxy
+//   release_consumed: false  # optional: refcount-GC consumed keys
 //   time_scale: 0.05         # optional: wall seconds per model second
 //   trace_capacity: 1048576  # optional: trace ring size (events)
 //   trace_drop: oldest       # optional: ring policy, oldest | newest
@@ -106,6 +108,13 @@ fault::FaultPlan faults_of(const cfg::Node& node) {
   return plan;
 }
 
+deisa::dts::DataPlane data_plane_of(const std::string& name) {
+  if (name == "copy") return deisa::dts::DataPlane::kCopy;
+  if (name == "proxy") return deisa::dts::DataPlane::kProxy;
+  throw util::ConfigError("unknown data_plane '" + name +
+                          "' (expected copy|proxy)");
+}
+
 harness::Substrate substrate_of(const std::string& name) {
   if (name == "sim") return harness::Substrate::kSim;
   if (name == "threads") return harness::Substrate::kThreads;
@@ -126,7 +135,8 @@ harness::Pipeline pipeline_of(const std::string& name) {
 
 int run(const std::string& path, const std::string& trace_out,
         const std::string& metrics_out, const std::string& metrics_format,
-        const std::string& fault_spec, const std::string& substrate_flag) {
+        const std::string& fault_spec, const std::string& substrate_flag,
+        const std::string& data_plane_flag) {
   check_writable(trace_out);
   check_writable(metrics_out);
   const cfg::Node doc = cfg::parse_yaml_file(path);
@@ -139,6 +149,10 @@ int run(const std::string& path, const std::string& trace_out,
   p.substrate_threads =
       static_cast<int>(doc.get_int("substrate_threads", 0));
   p.time_scale = doc.get_double("time_scale", p.time_scale);
+  p.data_plane = data_plane_of(!data_plane_flag.empty()
+                                   ? data_plane_flag
+                                   : doc.get_string("data_plane", "copy"));
+  p.release_consumed = doc.get_bool("release_consumed", false);
   p.ranks = static_cast<int>(doc.get_int("ranks", 4));
   p.workers = static_cast<int>(doc.get_int("workers", 2));
   p.block_bytes =
@@ -170,7 +184,8 @@ int run(const std::string& path, const std::string& trace_out,
             << " ranks x " << util::format_bytes(p.block_bytes) << " x "
             << p.timesteps << " steps, " << p.workers << " workers, " << runs
             << " run(s), substrate " << harness::to_string(p.substrate)
-            << "\n";
+            << ", data plane " << deisa::dts::to_string(p.data_plane)
+            << (p.release_consumed ? " +gc" : "") << "\n";
   if (p.substrate == harness::Substrate::kThreads)
     std::cout << "note: threads substrate timings are wall-clock artifacts"
                  " (time_scale " << p.time_scale
@@ -249,6 +264,7 @@ int main(int argc, char** argv) {
   std::string metrics_format = "json";
   std::string fault_spec;
   std::string substrate_flag;
+  std::string data_plane_flag;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--metrics-format=", 0) == 0) {
@@ -259,6 +275,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       metrics_format = argv[++i];
+    } else if (a.rfind("--data-plane=", 0) == 0) {
+      data_plane_flag = a.substr(13);
+    } else if (a == "--data-plane") {
+      if (i + 1 >= argc) {
+        std::cerr << "option '--data-plane' requires a value\n";
+        return 2;
+      }
+      data_plane_flag = argv[++i];
     } else if (a.rfind("--substrate=", 0) == 0) {
       substrate_flag = a.substr(12);
     } else if (a == "--substrate") {
@@ -299,12 +323,13 @@ int main(int argc, char** argv) {
   if (config.empty()) {
     std::cerr << "usage: deisa_scenario [--trace-out FILE] "
                  "[--metrics-out FILE] [--metrics-format=table|json] "
-                 "[--fault=SPEC] [--substrate=sim|threads] <config.yaml>\n";
+                 "[--fault=SPEC] [--substrate=sim|threads] "
+                 "[--data-plane=copy|proxy] <config.yaml>\n";
     return 2;
   }
   try {
     return run(config, trace_out, metrics_out, metrics_format, fault_spec,
-               substrate_flag);
+               substrate_flag, data_plane_flag);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
