@@ -6,6 +6,7 @@ committed baseline in bench/baselines/ and fail on large regressions.
     check_bench.py dataplane fresh.json baseline.json [--tolerance R]
     check_bench.py substrates fresh.json baseline.json [--tolerance R]
     check_bench.py proxy     fresh.json baseline.json [--tolerance R]
+    check_bench.py policy    fresh.json baseline.json [--tolerance R]
 
 The baselines are recorded on one machine and CI runs on another, so
 this is a coarse gate, not a perf test: with the default tolerance a
@@ -84,11 +85,28 @@ def extract_proxy(doc):
     return metrics
 
 
+def extract_policy(doc):
+    # Sim makespans are deterministic model predictions, so per-scenario
+    # per-policy makespans gate exactly (within tolerance for model
+    # recalibrations). identical_analytics is the hard property: every
+    # policy must produce byte-identical fitted singular values.
+    metrics = {}
+    for row in doc.get("rows", []):
+        name = f"makespan/{row['scenario']}/{row['policy']}"
+        metrics[name] = (row["makespan"], "lower")
+    metrics["identical_analytics"] = (
+        1.0 if doc.get("identical_analytics") else 0.0,
+        "higher",
+    )
+    return metrics
+
+
 EXTRACTORS = {
     "sched": extract_sched,
     "dataplane": extract_dataplane,
     "substrates": extract_substrates,
     "proxy": extract_proxy,
+    "policy": extract_policy,
 }
 
 

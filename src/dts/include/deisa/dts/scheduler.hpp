@@ -26,6 +26,7 @@
 
 #include "deisa/dts/key_table.hpp"
 #include "deisa/dts/messages.hpp"
+#include "deisa/dts/policy.hpp"
 #include "deisa/dts/task.hpp"
 #include "deisa/exec/transport.hpp"
 #include "deisa/exec/primitives.hpp"
@@ -49,6 +50,10 @@ struct SchedulerParams {
   /// noise of the Python scheduler).
   double service_jitter_sigma = 0.0;
   std::uint64_t seed = 0x5c4ed;
+
+  /// Placement policy behind decide_worker (see policy.hpp). kLocality
+  /// is the paper's heuristic and the pre-seam behavior.
+  SchedulingPolicy policy = SchedulingPolicy::kLocality;
 
   // ---- failure detection / recovery ----
   /// Declare a worker lost after this many seconds without a heartbeat;
@@ -144,6 +149,16 @@ public:
            dead_[static_cast<std::size_t>(worker)] != 0;
   }
   std::size_t live_workers() const { return workers_.size() - dead_count_; }
+
+  /// Active placement policy (tests / tools).
+  SchedulingPolicy policy() const { return policy_->kind(); }
+  /// Tasks currently assigned to `worker` (kProcessing) — the queue
+  /// depth the least-loaded policy ranks by.
+  int inflight_on(int worker) const {
+    return worker >= 0 && static_cast<std::size_t>(worker) < inflight_.size()
+               ? inflight_[static_cast<std::size_t>(worker)]
+               : 0;
+  }
 
   // ---- leak / drain introspection (stress tests) ----
   /// Interned keys == task records ever created (records are never
@@ -303,6 +318,17 @@ private:
   exec::Co<void> maybe_release(KeyId id, TaskRecord& rec);
   exec::Co<void> assign(KeyId id);
   int decide_worker(const TaskRecord& rec);
+
+  /// The scheduler-backed PolicyContext: a narrow, stable view of live
+  /// workers, queue depths, and the shared round-robin cursor handed to
+  /// the placement policy (policies never see records or messages).
+  struct PolicyCtx final : PolicyContext {
+    Scheduler* s = nullptr;
+    std::size_t worker_count() const override { return s->workers_.size(); }
+    bool is_dead(int worker) const override { return s->is_dead(worker); }
+    int inflight(int worker) const override { return s->inflight_on(worker); }
+    int round_robin() override { return s->pick_live_worker(); }
+  };
   exec::Co<void> reply_ack(std::shared_ptr<exec::Channel<Ack>> ch,
                           int dst_node, int code, std::uint64_t cause);
   exec::Co<void> reply_data(std::shared_ptr<exec::Channel<Data>> ch,
@@ -342,6 +368,12 @@ private:
   std::vector<std::uint64_t> scratch_owner_bytes_;
 
   std::size_t rr_next_worker_ = 0;
+  std::unique_ptr<ISchedulingPolicy> policy_;
+  PolicyCtx policy_ctx_;
+  // Per-worker kProcessing task counts, maintained by transition() (the
+  // single choke point for state changes; rec.worker is always the
+  // assigned worker when a task enters or leaves kProcessing).
+  std::vector<int> inflight_;
 
   struct VariableSlot {
     bool set = false;

@@ -105,10 +105,14 @@ Scheduler::Scheduler(exec::Executor& engine, exec::Transport& cluster, int node,
       params_(params),
       inbox_(engine),
       server_(engine, 1),
-      rng_(params.seed) {}
+      rng_(params.seed),
+      policy_(make_policy(params.policy)) {
+  policy_ctx_.s = this;
+}
 
 void Scheduler::attach_workers(std::vector<WorkerRef> workers) {
   workers_ = std::move(workers);
+  inflight_.assign(workers_.size(), 0);
   dead_.assign(workers_.size(), 0);
   suspected_.assign(workers_.size(), 0);
   last_heartbeat_.assign(workers_.size(), -1.0);
@@ -207,6 +211,16 @@ void Scheduler::transition(KeyId id, TaskRecord& rec, TaskState to) {
   }
   --state_counts_[static_cast<std::size_t>(from)];
   ++state_counts_[static_cast<std::size_t>(to)];
+  // Queue-depth bookkeeping for the least-loaded policy: every edge in
+  // or out of kProcessing passes through here with rec.worker holding
+  // the assigned worker (assign sets it before transitioning in;
+  // finish/recover/poison clear it only after transitioning out).
+  if (from == TaskState::kProcessing && rec.worker >= 0 &&
+      static_cast<std::size_t>(rec.worker) < inflight_.size())
+    --inflight_[static_cast<std::size_t>(rec.worker)];
+  if (to == TaskState::kProcessing && rec.worker >= 0 &&
+      static_cast<std::size_t>(rec.worker) < inflight_.size())
+    ++inflight_[static_cast<std::size_t>(rec.worker)];
   rec.state = to;
   rec.state_since = engine_->now();
 }
@@ -507,9 +521,10 @@ int Scheduler::decide_worker(const TaskRecord& rec) {
     // path instead of assigning work to a corpse.
     if (!is_dead(rec.preferred_worker)) return rec.preferred_worker;
   }
-  // Data locality: pick the live worker already holding the most input
-  // bytes. Owner accumulation runs on two parallel scratch arrays (a
-  // task has a handful of deps); ties break to the lowest worker id.
+  // Build the policy's task view: which live workers already hold input
+  // bytes, accumulated on two parallel scratch arrays in dep order (a
+  // task has a handful of deps; dead owners and unplaced deps are
+  // filtered here so policies only ever rank live candidates).
   scratch_owner_.clear();
   scratch_owner_bytes_.clear();
   for (std::uint32_t i = 0; i < rec.dep_count; ++i) {
@@ -524,18 +539,21 @@ int Scheduler::decide_worker(const TaskRecord& rec) {
     }
     scratch_owner_bytes_[j] += drec.bytes;
   }
-  int best = -1;
-  std::uint64_t best_bytes = 0;
-  for (std::size_t j = 0; j < scratch_owner_.size(); ++j) {
-    const std::uint64_t b = scratch_owner_bytes_[j];
-    if (b > best_bytes ||
-        (b == best_bytes && best >= 0 && scratch_owner_[j] < best)) {
-      best = scratch_owner_[j];
-      best_bytes = b;
-    }
+  TaskView view;
+  view.owners = scratch_owner_.data();
+  view.owner_bytes = scratch_owner_bytes_.data();
+  view.owner_count = scratch_owner_.size();
+  for (const std::uint64_t b : scratch_owner_bytes_) view.dep_bytes_total += b;
+  if (rec.spec != nullptr) {
+    view.cost = rec.spec->cost;
+    view.out_bytes = rec.spec->out_bytes;
   }
-  if (best >= 0) return best;
-  return pick_live_worker();
+  const int w = policy_->pick(view, policy_ctx_);
+  DEISA_ASSERT(w >= 0 && static_cast<std::size_t>(w) < workers_.size() &&
+                   !is_dead(w),
+               "policy " << to_string(policy_->kind())
+                         << " picked unusable worker " << w);
+  return w;
 }
 
 exec::Co<void> Scheduler::assign(KeyId id) {
@@ -545,8 +563,10 @@ exec::Co<void> Scheduler::assign(KeyId id) {
   DEISA_ASSERT(rec.spec != nullptr,
                "assigning specless task " << keys_.name(id));
   const int w = decide_worker(rec);
-  transition(id, rec, TaskState::kProcessing);
+  // Worker first, then the state edge: transition() charges the
+  // per-worker inflight counter from rec.worker on kProcessing edges.
   rec.worker = w;
+  transition(id, rec, TaskState::kProcessing);
   WorkerMsg m(WorkerMsgKind::kCompute);
   // Field-wise copy: the dep strings stay scheduler-side (workers consume
   // m.deps below), so assignment never re-serializes the dependency list.
@@ -616,12 +636,15 @@ exec::Co<void> Scheduler::release_waiters(KeyId id, int value) {
 exec::Co<void> Scheduler::finish_task(KeyId id, TaskRecord& rec, int worker,
                                      std::uint64_t bytes, bool erred,
                                      const std::string& error) {
-  rec.worker = worker;
-  rec.bytes = bytes;
   if (erred) {
+    // rec.worker keeps the assigned worker through the poison edge so
+    // the processing->erred transition uncharges the right inflight
+    // counter (the cancel path passes worker = -1 here).
     co_await poison_task(id, error);
     co_return;
   }
+  rec.worker = worker;
+  rec.bytes = bytes;
   transition(id, rec, TaskState::kMemory);
   rec.done_cause = current_cause_;
   errors_.erase(id);

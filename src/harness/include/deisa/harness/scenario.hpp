@@ -55,6 +55,10 @@ struct ScenarioParams {
   std::size_t n_components = 2;
   /// Fraction of the Y dimension selected by the contract (1.0 = all).
   double contract_fraction = 1.0;
+  /// Virtual arrays published per run (multi-array workflows: every rank
+  /// pushes a block of each array per timestep and the adaptor fits one
+  /// IPCA per array). Requires the external-task pipelines (DEISA2/3).
+  int arrays = 1;
 
   // ---- machine calibration (defaults ≈ Irene skylake + its Lustre) ----
   net::ClusterParams cluster = irene_cluster();
@@ -80,6 +84,12 @@ struct ScenarioParams {
   /// Allocation seed: different submissions get different node placements
   /// (the run-to-run variability axis of Figure 5).
   std::uint64_t alloc_seed = 1;
+
+  /// Provenance of generator-built scenarios (src/testkit): the corpus
+  /// seed that fully determines these params. Recorded in RunResult,
+  /// trace metadata and bench JSON so any corpus failure replays with
+  /// `deisa_scenario --scenario-seed=`. 0 = hand-written scenario.
+  std::uint64_t scenario_seed = 0;
 
   /// Functional mode: move real Heat2D data through the whole pipeline
   /// and run the real IPCA math (small problems only).
@@ -126,12 +136,21 @@ struct ScenarioParams {
   /// Process grid (x fastest), roughly square.
   std::pair<int, int> proc_grid() const;
   /// The virtual array describing the produced temperature field.
-  core::VirtualArray virtual_array() const;
+  core::VirtualArray virtual_array() const { return virtual_array(0); }
+  /// Array `index` of a multi-array workflow (same geometry, distinct
+  /// name/key space; index 0 keeps the classic "G_temp" name).
+  core::VirtualArray virtual_array(int index) const;
+  /// All `arrays` virtual arrays of the run.
+  std::vector<core::VirtualArray> virtual_arrays() const;
   int nodes_needed() const;
 };
 
 struct RunResult {
   Pipeline pipeline{};
+  /// Copied from ScenarioParams: generator seed (0 = hand-written) and
+  /// the placement policy the run used — replay provenance.
+  std::uint64_t scenario_seed = 0;
+  dts::SchedulingPolicy policy = dts::SchedulingPolicy::kLocality;
   /// Per-rank, per-iteration solver compute seconds.
   std::vector<std::vector<double>> sim_compute;
   /// Per-rank, per-iteration data-movement seconds (deisa send or PFS

@@ -83,12 +83,20 @@ std::pair<int, int> ScenarioParams::proc_grid() const {
   return {px, ranks / px};
 }
 
-core::VirtualArray ScenarioParams::virtual_array() const {
+core::VirtualArray ScenarioParams::virtual_array(int index) const {
   const auto [px, py] = proc_grid();
   const std::int64_t edge = local_edge();
+  std::string name = "G_temp";
+  if (index > 0) name += std::to_string(index + 1);  // G_temp2, G_temp3, ...
   return core::VirtualArray(
-      "G_temp", arr::Index{timesteps, edge * px, edge * py},
+      std::move(name), arr::Index{timesteps, edge * px, edge * py},
       arr::Index{1, edge, edge});
+}
+
+std::vector<core::VirtualArray> ScenarioParams::virtual_arrays() const {
+  std::vector<core::VirtualArray> vas;
+  for (int i = 0; i < std::max(1, arrays); ++i) vas.push_back(virtual_array(i));
+  return vas;
 }
 
 int ScenarioParams::nodes_needed() const {
@@ -307,7 +315,7 @@ struct SharedState {
   std::atomic<int> ranks_finished{0};
   std::vector<std::unique_ptr<core::Bridge>> bridges;
   std::unique_ptr<core::Adaptor> adaptor;
-  std::unique_ptr<ml::ChunkProvider> provider;
+  std::vector<std::unique_ptr<ml::ChunkProvider>> providers;  // one per array
   std::map<std::string, arr::DArray> darrays;
 };
 
@@ -328,7 +336,8 @@ dts::Data block_payload(const ScenarioParams& p, const apps::Heat2d* solver,
 exec::Co<void> deisa_rank_actor(World& w, SharedState& st, Pipeline pipeline,
                                int rank, RunResult& res) {
   const ScenarioParams& p = w.params;
-  const core::VirtualArray va = p.virtual_array();
+  const std::vector<core::VirtualArray> vas = p.virtual_arrays();
+  const core::VirtualArray& va = vas.front();
   const auto [px, py] = p.proc_grid();
   core::Bridge& bridge = *st.bridges[static_cast<std::size_t>(rank)];
 
@@ -345,8 +354,7 @@ exec::Co<void> deisa_rank_actor(World& w, SharedState& st, Pipeline pipeline,
   }
 
   if (rank == 0) {
-    std::vector<core::VirtualArray> arrays;
-    arrays.push_back(va);
+    std::vector<core::VirtualArray> arrays = vas;
     co_await bridge.publish_arrays(std::move(arrays));
   }
   if (pipeline == Pipeline::kDeisa1) {
@@ -371,18 +379,22 @@ exec::Co<void> deisa_rank_actor(World& w, SharedState& st, Pipeline pipeline,
     // way — per-rank comm times become repeatable, as observed on Irene.
     co_await w.engine.delay(2e-3 * static_cast<double>(rank + 1));
     t0 = w.engine.now();
-    const arr::Index coord =
-        core::block_coord(va, {px, py}, rank, t);
-    dts::Data payload = block_payload(p, solver.get(), va);
     if (pipeline == Pipeline::kDeisa1) {
-      (void)co_await bridge.deisa1_send_block(va, coord, std::move(payload));
+      const arr::Index coord = core::block_coord(va, {px, py}, rank, t);
+      (void)co_await bridge.deisa1_send_block(
+          va, coord, block_payload(p, solver.get(), va));
     } else {
-      // Coalesced push path: with one block per rank-step this is a batch
-      // of one, but it keeps the heat2d scenario on the same bridge code
-      // the multi-block producers (PDI, multi-array twins) exercise.
-      std::vector<std::pair<arr::Index, dts::Data>> blocks;
-      blocks.emplace_back(coord, std::move(payload));
-      (void)co_await bridge.send_blocks(va, std::move(blocks));
+      // Coalesced push path: one batch per array per step (a batch of
+      // one block for single-array runs, but it keeps the heat2d
+      // scenario on the same bridge code the multi-block producers
+      // exercise). Multi-array runs push the same solver field under
+      // each array's key space.
+      for (const core::VirtualArray& a : vas) {
+        const arr::Index coord = core::block_coord(a, {px, py}, rank, t);
+        std::vector<std::pair<arr::Index, dts::Data>> blocks;
+        blocks.emplace_back(coord, block_payload(p, solver.get(), a));
+        (void)co_await bridge.send_blocks(a, std::move(blocks));
+      }
     }
     res.sim_io[static_cast<std::size_t>(rank)][static_cast<std::size_t>(t)] =
         w.engine.now() - t0;
@@ -402,28 +414,45 @@ exec::Co<void> deisa23_adaptor_actor(World& w, SharedState& st,
   const ScenarioParams& p = w.params;
   core::Adaptor& adaptor = *st.adaptor;
   const auto arrays = co_await adaptor.get_deisa_arrays();
-  const core::VirtualArray& va = arrays.at(0);
-  const arr::Box box = contract_box(va, p.contract_fraction);
-  adaptor.select(va.name, arr::Selection(box));
+  // One selection per published array (same geometry, same contract
+  // fraction); the multi-array workflow fits an independent IPCA per
+  // array and concatenates the outputs in publication order.
+  const arr::Box box = contract_box(arrays.at(0), p.contract_fraction);
+  for (const core::VirtualArray& a : arrays)
+    adaptor.select(a.name, arr::Selection(box));
   st.darrays = co_await adaptor.validate_contract();
-  const arr::DArray& da = st.darrays.at(va.name);
 
   const double t0 = w.engine.now();
-  st.provider = std::make_unique<SelectedArrayProvider>(da, box);
-  ml::InSituIncrementalPca ipca(adaptor.client(),
-                                ipca_options(p, "ipca", false));
-  ml::IpcaFit fit;
-  if (p.force_per_step_analytics) {
-    fit = co_await ipca.fit_per_step(*st.provider);
-  } else {
-    fit = co_await ipca.fit_ahead_of_time(*st.provider);
+  std::vector<std::unique_ptr<ml::InSituIncrementalPca>> ipcas;
+  std::vector<ml::IpcaFit> fits;
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    const arr::DArray& da = st.darrays.at(arrays[i].name);
+    st.providers.push_back(std::make_unique<SelectedArrayProvider>(da, box));
+    const std::string name = i == 0 ? "ipca" : "ipca-a" + std::to_string(i);
+    ipcas.push_back(std::make_unique<ml::InSituIncrementalPca>(
+        adaptor.client(), ipca_options(p, name, false)));
+    ml::IpcaFit fit;
+    if (p.force_per_step_analytics) {
+      fit = co_await ipcas.back()->fit_per_step(*st.providers.back());
+    } else {
+      fit = co_await ipcas.back()->fit_ahead_of_time(*st.providers.back());
+    }
+    fits.push_back(std::move(fit));
   }
-  co_await adaptor.client().wait_key(fit.singular_values_key);
+  for (const ml::IpcaFit& fit : fits)
+    co_await adaptor.client().wait_key(fit.singular_values_key);
   res.analytics_seconds = w.engine.now() - t0;
   if (p.real_data) {
-    res.singular_values = co_await ipca.collect_vector(fit.singular_values_key);
-    res.explained_variance =
-        co_await ipca.collect_vector(fit.explained_variance_key);
+    for (std::size_t i = 0; i < fits.size(); ++i) {
+      const auto sv =
+          co_await ipcas[i]->collect_vector(fits[i].singular_values_key);
+      const auto ev =
+          co_await ipcas[i]->collect_vector(fits[i].explained_variance_key);
+      res.singular_values.insert(res.singular_values.end(), sv.begin(),
+                                 sv.end());
+      res.explained_variance.insert(res.explained_variance.end(), ev.begin(),
+                                    ev.end());
+    }
   }
   st.analytics_done.set();
 }
@@ -441,14 +470,14 @@ exec::Co<void> deisa1_adaptor_actor(World& w, SharedState& st, RunResult& res) {
   const arr::DArray& da = st.darrays.at(va.name);
 
   const double t0 = w.engine.now();
-  st.provider = std::make_unique<SelectedArrayProvider>(da, box);
+  st.providers.push_back(std::make_unique<SelectedArrayProvider>(da, box));
   // DEISA1 pairs with the OLD IPCA throughout the evaluation.
   ml::InSituIncrementalPca ipca(adaptor.client(),
                                 ipca_options(p, "ipca-d1", true));
   for (int t = 0; t < p.timesteps; ++t) {
     co_await adaptor.deisa1_wait_step(p.ranks);
     std::vector<dts::TaskSpec> tasks;
-    ipca.build_step(*st.provider, /*submission=*/t, t, tasks);
+    ipca.build_step(*st.providers.back(), /*submission=*/t, t, tasks);
     std::vector<dts::Key> wants;
     wants.push_back(ipca.state_key(t));
     co_await adaptor.client().submit(std::move(tasks), std::move(wants));
@@ -559,6 +588,13 @@ exec::Co<void> orchestrator(World& w, SharedState& st, RunResult& res) {
 }  // namespace
 
 RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
+  DEISA_CHECK(params.arrays >= 1, "scenario needs at least one array");
+  DEISA_CHECK(params.arrays == 1 || (pipeline == Pipeline::kDeisa2 ||
+                                     pipeline == Pipeline::kDeisa3),
+              "multi-array workflows require the external-task pipelines "
+              "(DEISA2/3); got "
+                  << to_string(pipeline) << " with " << params.arrays
+                  << " arrays");
   World w(params);
   // Attach the observability layer for the duration of the run: a metrics
   // registry always, a trace recorder only when asked for, both stamped
@@ -574,6 +610,21 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
   SharedState st(w.engine);
   RunResult res;
   res.pipeline = pipeline;
+  // Replay provenance: the generator seed and placement policy ride with
+  // the result, the metrics snapshot, and (when tracing) the trace
+  // itself, so a corpus failure names its own reproduction command.
+  res.scenario_seed = params.scenario_seed;
+  res.policy = params.sched.policy;
+  obs::gauge_set("scenario.seed",
+                 static_cast<double>(params.scenario_seed));
+  obs::gauge_set("scenario.policy",
+                 static_cast<double>(params.sched.policy));
+  if (recorder)
+    recorder->instant(
+        recorder->track("harness", "scenario"),
+        "scenario:seed=" + std::to_string(params.scenario_seed),
+        {obs::arg("policy", dts::to_string(params.sched.policy)),
+         obs::arg("pipeline", to_string(pipeline))});
   res.sim_compute.assign(
       static_cast<std::size_t>(params.ranks),
       std::vector<double>(static_cast<std::size_t>(params.timesteps), 0.0));

@@ -3,6 +3,7 @@
 //
 //   $ deisa_scenario [--trace-out trace.json] [--metrics-out metrics.json]
 //         [--metrics-format=table|json] my_run.yaml
+//   $ deisa_scenario --scenario-seed=N [--policy=...]   # corpus replay
 //
 //   # my_run.yaml
 //   pipeline: DEISA3         # DEISA1|DEISA2|DEISA3|posthoc-old|posthoc-new
@@ -13,7 +14,10 @@
 //   runs: 3
 //   seed: 1000
 //   contract_fraction: 1.0   # optional: fraction of Y kept by the contract
+//   arrays: 1                # optional: multi-array workflow (DEISA2/3)
 //   real_data: false         # optional: move real Heat2D data (small runs)
+//   policy: locality         # optional: locality (default) | round-robin
+//                            #           | least-loaded | heft
 //   faults: "kill:1@30"      # optional: fault plan (spec string or map)
 //   substrate: sim           # optional: sim (default) | threads
 //   substrate_threads: 0     # optional: threads backend worker count
@@ -22,6 +26,15 @@
 //   time_scale: 0.05         # optional: wall seconds per model second
 //   trace_capacity: 1048576  # optional: trace ring size (events)
 //   trace_drop: oldest       # optional: ring policy, oldest | newest
+//
+// --policy= (or `policy:`) selects the scheduler placement policy behind
+// decide_worker (SchedulerParams::policy; see src/dts/policy.hpp). All
+// policies produce identical analytics values — only timings change.
+//
+// --scenario-seed=N replays a generated corpus scenario (src/testkit):
+// the seed fully determines the ScenarioParams, so a corpus/tournament
+// failure reproduces with no config file. --policy/--substrate/--trace-out
+// still apply on top.
 //
 // --substrate=threads (or `substrate: threads`) runs the same actor code
 // on the real-thread executor/transport instead of the simulator: outputs
@@ -56,6 +69,7 @@
 #include "deisa/fault/fault.hpp"
 #include "deisa/harness/scenario.hpp"
 #include "deisa/obs/export.hpp"
+#include "deisa/testkit/corpus.hpp"
 #include "deisa/util/table.hpp"
 #include "deisa/util/units.hpp"
 
@@ -63,6 +77,7 @@ namespace cfg = deisa::config;
 namespace fault = deisa::fault;
 namespace harness = deisa::harness;
 namespace obs = deisa::obs;
+namespace testkit = deisa::testkit;
 namespace util = deisa::util;
 
 namespace {
@@ -136,56 +151,83 @@ harness::Pipeline pipeline_of(const std::string& name) {
 int run(const std::string& path, const std::string& trace_out,
         const std::string& metrics_out, const std::string& metrics_format,
         const std::string& fault_spec, const std::string& substrate_flag,
-        const std::string& data_plane_flag) {
+        const std::string& data_plane_flag, const std::string& policy_flag,
+        const std::string& scenario_seed_flag) {
   check_writable(trace_out);
   check_writable(metrics_out);
-  const cfg::Node doc = cfg::parse_yaml_file(path);
-  const auto pipeline = pipeline_of(doc.get_string("pipeline", "DEISA3"));
 
   harness::ScenarioParams p;
-  p.substrate = substrate_of(!substrate_flag.empty()
-                                 ? substrate_flag
-                                 : doc.get_string("substrate", "sim"));
-  p.substrate_threads =
-      static_cast<int>(doc.get_int("substrate_threads", 0));
-  p.time_scale = doc.get_double("time_scale", p.time_scale);
-  p.data_plane = data_plane_of(!data_plane_flag.empty()
-                                   ? data_plane_flag
-                                   : doc.get_string("data_plane", "copy"));
-  p.release_consumed = doc.get_bool("release_consumed", false);
-  p.ranks = static_cast<int>(doc.get_int("ranks", 4));
-  p.workers = static_cast<int>(doc.get_int("workers", 2));
-  p.block_bytes =
-      static_cast<std::uint64_t>(doc.get_int("block_mib", 128)) * util::kMiB;
-  p.timesteps = static_cast<int>(doc.get_int("timesteps", 10));
-  p.contract_fraction = doc.get_double("contract_fraction", 1.0);
-  p.real_data = doc.get_bool("real_data", false);
-  p.n_components =
-      static_cast<std::size_t>(doc.get_int("n_components", 2));
-  p.trace_capacity = static_cast<std::size_t>(
-      doc.get_int("trace_capacity",
-                  static_cast<std::int64_t>(p.trace_capacity)));
-  const std::string drop = doc.get_string("trace_drop", "oldest");
-  if (drop == "newest") {
-    p.trace_drop_policy = obs::DropPolicy::kNewest;
-  } else if (drop != "oldest") {
-    throw util::ConfigError("unknown trace_drop '" + drop +
-                            "' (expected oldest|newest)");
+  harness::Pipeline pipeline = harness::Pipeline::kDeisa3;
+  int runs = 1;
+  std::uint64_t seed = 1000;
+  if (!scenario_seed_flag.empty()) {
+    // Corpus replay: the seed alone rebuilds the generated scenario.
+    const auto g = testkit::scenario_from_seed(
+        std::stoull(scenario_seed_flag));
+    p = g.params;
+    pipeline = g.pipeline;
+    seed = p.alloc_seed;
+    if (!substrate_flag.empty()) p.substrate = substrate_of(substrate_flag);
+    if (!data_plane_flag.empty())
+      p.data_plane = data_plane_of(data_plane_flag);
+    if (!fault_spec.empty()) p.faults = fault::FaultPlan::parse(fault_spec);
+    std::cout << "generated scenario " << g.name << " (family "
+              << testkit::to_string(g.family) << ", seed " << g.seed
+              << (g.sim_only ? ", sim-only" : "") << ")\n";
+  } else {
+    const cfg::Node doc = cfg::parse_yaml_file(path);
+    pipeline = pipeline_of(doc.get_string("pipeline", "DEISA3"));
+    p.substrate = substrate_of(!substrate_flag.empty()
+                                   ? substrate_flag
+                                   : doc.get_string("substrate", "sim"));
+    p.substrate_threads =
+        static_cast<int>(doc.get_int("substrate_threads", 0));
+    p.time_scale = doc.get_double("time_scale", p.time_scale);
+    p.data_plane = data_plane_of(!data_plane_flag.empty()
+                                     ? data_plane_flag
+                                     : doc.get_string("data_plane", "copy"));
+    p.release_consumed = doc.get_bool("release_consumed", false);
+    p.ranks = static_cast<int>(doc.get_int("ranks", 4));
+    p.workers = static_cast<int>(doc.get_int("workers", 2));
+    p.block_bytes =
+        static_cast<std::uint64_t>(doc.get_int("block_mib", 128)) * util::kMiB;
+    p.timesteps = static_cast<int>(doc.get_int("timesteps", 10));
+    p.contract_fraction = doc.get_double("contract_fraction", 1.0);
+    p.arrays = static_cast<int>(doc.get_int("arrays", 1));
+    p.real_data = doc.get_bool("real_data", false);
+    p.n_components =
+        static_cast<std::size_t>(doc.get_int("n_components", 2));
+    p.sched.policy =
+        deisa::dts::policy_of(doc.get_string("policy", "locality"));
+    p.trace_capacity = static_cast<std::size_t>(
+        doc.get_int("trace_capacity",
+                    static_cast<std::int64_t>(p.trace_capacity)));
+    const std::string drop = doc.get_string("trace_drop", "oldest");
+    if (drop == "newest") {
+      p.trace_drop_policy = obs::DropPolicy::kNewest;
+    } else if (drop != "oldest") {
+      throw util::ConfigError("unknown trace_drop '" + drop +
+                              "' (expected oldest|newest)");
+    }
+    runs = static_cast<int>(doc.get_int("runs", 1));
+    seed = static_cast<std::uint64_t>(doc.get_int("seed", 1000));
+    if (!fault_spec.empty()) {
+      p.faults = fault::FaultPlan::parse(fault_spec);
+    } else if (const cfg::Node* f = doc.find("faults")) {
+      p.faults = faults_of(*f);
+    }
   }
-  const int runs = static_cast<int>(doc.get_int("runs", 1));
-  const auto seed = static_cast<std::uint64_t>(doc.get_int("seed", 1000));
-  if (!fault_spec.empty()) {
-    p.faults = fault::FaultPlan::parse(fault_spec);
-  } else if (const cfg::Node* f = doc.find("faults")) {
-    p.faults = faults_of(*f);
-  }
+  // The flag wins over both the yaml knob and the generated default.
+  if (!policy_flag.empty()) p.sched.policy = deisa::dts::policy_of(policy_flag);
 
   std::cout << "pipeline " << harness::to_string(pipeline) << ": " << p.ranks
             << " ranks x " << util::format_bytes(p.block_bytes) << " x "
             << p.timesteps << " steps, " << p.workers << " workers, " << runs
             << " run(s), substrate " << harness::to_string(p.substrate)
             << ", data plane " << deisa::dts::to_string(p.data_plane)
-            << (p.release_consumed ? " +gc" : "") << "\n";
+            << (p.release_consumed ? " +gc" : "") << ", policy "
+            << deisa::dts::to_string(p.sched.policy) << "\n";
+  if (p.arrays > 1) std::cout << "arrays: " << p.arrays << "\n";
   if (p.substrate == harness::Substrate::kThreads)
     std::cout << "note: threads substrate timings are wall-clock artifacts"
                  " (time_scale " << p.time_scale
@@ -265,9 +307,27 @@ int main(int argc, char** argv) {
   std::string fault_spec;
   std::string substrate_flag;
   std::string data_plane_flag;
+  std::string policy_flag;
+  std::string scenario_seed_flag;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--metrics-format=", 0) == 0) {
+    if (a.rfind("--policy=", 0) == 0) {
+      policy_flag = a.substr(9);
+    } else if (a == "--policy") {
+      if (i + 1 >= argc) {
+        std::cerr << "option '--policy' requires a value\n";
+        return 2;
+      }
+      policy_flag = argv[++i];
+    } else if (a.rfind("--scenario-seed=", 0) == 0) {
+      scenario_seed_flag = a.substr(16);
+    } else if (a == "--scenario-seed") {
+      if (i + 1 >= argc) {
+        std::cerr << "option '--scenario-seed' requires a value\n";
+        return 2;
+      }
+      scenario_seed_flag = argv[++i];
+    } else if (a.rfind("--metrics-format=", 0) == 0) {
       metrics_format = a.substr(17);
     } else if (a == "--metrics-format") {
       if (i + 1 >= argc) {
@@ -320,16 +380,24 @@ int main(int argc, char** argv) {
               << "' (expected table|json)\n";
     return 2;
   }
-  if (config.empty()) {
+  if (config.empty() && scenario_seed_flag.empty()) {
     std::cerr << "usage: deisa_scenario [--trace-out FILE] "
                  "[--metrics-out FILE] [--metrics-format=table|json] "
                  "[--fault=SPEC] [--substrate=sim|threads] "
-                 "[--data-plane=copy|proxy] <config.yaml>\n";
+                 "[--data-plane=copy|proxy] "
+                 "[--policy=locality|round-robin|least-loaded|heft] "
+                 "(<config.yaml> | --scenario-seed=N)\n";
+    return 2;
+  }
+  if (!config.empty() && !scenario_seed_flag.empty()) {
+    std::cerr << "--scenario-seed replaces the config file; pass one or the "
+                 "other\n";
     return 2;
   }
   try {
     return run(config, trace_out, metrics_out, metrics_format, fault_spec,
-               substrate_flag, data_plane_flag);
+               substrate_flag, data_plane_flag, policy_flag,
+               scenario_seed_flag);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
