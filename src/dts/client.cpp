@@ -1,5 +1,9 @@
 #include "deisa/dts/client.hpp"
 
+#include <algorithm>
+#include <unordered_map>
+
+#include "deisa/dts/shard.hpp"
 #include "deisa/obs/dataplane.hpp"
 
 namespace deisa::dts {
@@ -15,21 +19,36 @@ Client::Client(exec::Executor& engine, exec::Transport& cluster, int id, int nod
       scheduler_inbox_(scheduler_inbox),
       workers_(std::move(workers)) {}
 
-exec::Co<void> Client::send_to_scheduler(SchedMsg msg,
-                                        exec::Delivery delivery) {
+exec::Co<void> Client::send_to_scheduler(SchedMsg msg, exec::Delivery delivery,
+                                        int shard) {
   ++messages_sent_;
   msg.sender_node = node_;
   msg.sender_client = id_;
+  // All shards are co-located on scheduler_node_; routing only picks the
+  // inbox. Dead branch at shards == 1 (the table is empty).
+  exec::Channel<SchedMsg>* target =
+      shard_inboxes_.empty() ? scheduler_inbox_
+                             : shard_inboxes_.at(static_cast<std::size_t>(shard));
   const exec::SendResult res = co_await cluster_->send_control(
       node_, scheduler_node_, wire_bytes(msg), delivery);
   // Fault injection decides delivery; the caller enqueues the copies
   // (0 = dropped, 2 = duplicated — only for non-reliable traffic).
-  for (int i = 1; i < res.copies; ++i) scheduler_inbox_->send(msg);
-  if (res.copies > 0) scheduler_inbox_->send(std::move(msg));
+  for (int i = 1; i < res.copies; ++i) target->send(msg);
+  if (res.copies > 0) target->send(std::move(msg));
+}
+
+int Client::shard_of(std::string_view key) const {
+  if (shard_inboxes_.size() <= 1) return 0;
+  const ShardMapper mapper{static_cast<int>(shard_inboxes_.size())};
+  return mapper.shard_of(key);
 }
 
 exec::Co<void> Client::submit(std::vector<TaskSpec> tasks,
                              std::vector<Key> wants) {
+  if (shard_inboxes_.size() > 1) {
+    co_await submit_sharded(std::move(tasks), std::move(wants));
+    co_return;
+  }
   SchedMsg msg(SchedMsgKind::kUpdateGraph);
   // Stamp the submission with the provenance of the last payload we saw:
   // per-step graphs triggered by queue tokens or gathered results chain
@@ -40,11 +59,80 @@ exec::Co<void> Client::submit(std::vector<TaskSpec> tasks,
   co_await send_to_scheduler(std::move(msg));
 }
 
+exec::Co<void> Client::submit_sharded(std::vector<TaskSpec> tasks,
+                                     std::vector<Key> wants) {
+  const int n = static_cast<int>(shard_inboxes_.size());
+  std::vector<SchedMsg> slices;
+  slices.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    slices.emplace_back(SchedMsgKind::kUpdateGraph);
+    slices.back().cause = last_cause_;
+  }
+  // One pass: place each task on the shard owning its key; every
+  // dependency owned by a DIFFERENT shard needs the owner to forward its
+  // completion, so a {dep, consumer shard} subscription is piggybacked
+  // on the owner's slice. Deduped with a per-dep consumer bitmask —
+  // layer-structured graphs make many same-shard tasks share one remote
+  // dependency (the 64-shard cap is enforced at ShardedScheduler
+  // construction).
+  std::unordered_map<Key, std::uint64_t> submask;
+  submask.reserve(tasks.size());
+  for (auto& slice : slices)
+    slice.tasks.reserve(tasks.size() / static_cast<std::size_t>(n) + 1);
+  for (TaskSpec& t : tasks) {
+    const int s = shard_of(t.key);
+    for (const Key& dep : t.deps) {
+      const int ds = shard_of(dep);
+      if (ds == s) continue;
+      std::uint64_t& bits = submask[dep];
+      const std::uint64_t bit = std::uint64_t{1} << s;
+      if ((bits & bit) != 0) continue;
+      bits |= bit;
+      auto& owner = slices[static_cast<std::size_t>(ds)];
+      owner.sub_keys.push_back(dep);
+      owner.sub_shards.push_back(s);
+    }
+    slices[static_cast<std::size_t>(s)].tasks.push_back(std::move(t));
+  }
+  for (Key& w : wants) {
+    const int s = shard_of(w);
+    slices[static_cast<std::size_t>(s)].wants.push_back(std::move(w));
+  }
+  for (int s = 0; s < n; ++s) {
+    SchedMsg& m = slices[static_cast<std::size_t>(s)];
+    if (m.tasks.empty() && m.wants.empty() && m.sub_keys.empty()) continue;
+    co_await send_to_scheduler(std::move(m), exec::Delivery::kReliable, s);
+  }
+}
+
 exec::Co<std::vector<Future>> Client::external_futures(
     std::vector<Key> keys, std::vector<int> preferred_workers) {
   std::vector<Future> futures;
   futures.reserve(keys.size());
   for (const Key& k : keys) futures.emplace_back(k, this);
+  if (shard_inboxes_.size() > 1) {
+    DEISA_CHECK(preferred_workers.empty() ||
+                    preferred_workers.size() == keys.size(),
+                "preferred_workers must be empty or parallel to keys");
+    const int n = static_cast<int>(shard_inboxes_.size());
+    std::vector<SchedMsg> slices;
+    slices.reserve(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s)
+      slices.emplace_back(SchedMsgKind::kCreateExternal);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      auto& slice = slices[static_cast<std::size_t>(shard_of(keys[i]))];
+      if (!preferred_workers.empty())
+        slice.preferred_workers.push_back(preferred_workers[i]);
+      slice.keys.push_back(std::move(keys[i]));
+    }
+    for (int s = 0; s < n; ++s) {
+      if (slices[static_cast<std::size_t>(s)].keys.empty()) continue;
+      co_await send_to_scheduler(
+          std::move(slices[static_cast<std::size_t>(s)]),
+          exec::Delivery::kReliable, s);
+    }
+    co_return futures;
+  }
   SchedMsg msg(SchedMsgKind::kCreateExternal);
   msg.keys = std::move(keys);
   msg.preferred_workers = std::move(preferred_workers);
@@ -95,7 +183,9 @@ exec::Co<int> Client::scatter(Key key, Data data, int worker, bool external,
     reg.external = external;
     reg.reply_worker = ack;
     reg.notify = notify_;
-    co_await send_to_scheduler(std::move(reg));
+    const int shard = shard_of(reg.key);
+    co_await send_to_scheduler(std::move(reg), exec::Delivery::kReliable,
+                               shard);
     const Ack a = co_await ack->recv();
     // The synchronous registration gates whatever this client does next
     // (DEISA1: the next timestep's push) — remember it as provenance.
@@ -155,12 +245,57 @@ exec::Co<std::vector<int>> Client::scatter_batch(
     push.batch = std::move(items);
     ref.inbox->send(std::move(push));
   }
+  if (shard_inboxes_.size() > 1)
+    co_return co_await register_batch_sharded(std::move(reg));
   // 2) One batched registration RPC; per-key acks come back together.
   auto acks = std::make_shared<exec::Channel<std::vector<int>>>(*engine_);
   reg.reply_acks = acks;
   reg.notify = notify_;
   co_await send_to_scheduler(std::move(reg));
   co_return co_await acks->recv();
+}
+
+exec::Co<std::vector<int>> Client::register_batch_sharded(SchedMsg reg) {
+  // 2') Sharded: one batched registration RPC per owner shard. All the
+  // sends go out before any ack is awaited so the shards register
+  // concurrently; acks are reassembled into item order.
+  const int n = static_cast<int>(shard_inboxes_.size());
+  std::vector<SchedMsg> slices;
+  std::vector<std::shared_ptr<exec::Channel<std::vector<int>>>> acks(
+      static_cast<std::size_t>(n));
+  std::vector<std::vector<std::size_t>> positions(static_cast<std::size_t>(n));
+  slices.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    slices.emplace_back(SchedMsgKind::kUpdateData);
+    slices.back().cause = reg.cause;
+    slices.back().worker = reg.worker;
+    slices.back().external = reg.external;
+  }
+  for (std::size_t i = 0; i < reg.keys.size(); ++i) {
+    const auto s = static_cast<std::size_t>(shard_of(reg.keys[i]));
+    positions[s].push_back(i);
+    slices[s].keys.push_back(std::move(reg.keys[i]));
+    slices[s].sizes.push_back(reg.sizes[i]);
+  }
+  for (int s = 0; s < n; ++s) {
+    auto& slice = slices[static_cast<std::size_t>(s)];
+    if (slice.keys.empty()) continue;
+    acks[static_cast<std::size_t>(s)] =
+        std::make_shared<exec::Channel<std::vector<int>>>(*engine_);
+    slice.reply_acks = acks[static_cast<std::size_t>(s)];
+    slice.notify = notify_;
+    co_await send_to_scheduler(std::move(slice), exec::Delivery::kReliable, s);
+  }
+  std::vector<int> out(reg.keys.size(), 0);
+  for (int s = 0; s < n; ++s) {
+    if (!acks[static_cast<std::size_t>(s)]) continue;
+    const std::vector<int> got =
+        co_await acks[static_cast<std::size_t>(s)]->recv();
+    const auto& pos = positions[static_cast<std::size_t>(s)];
+    DEISA_ASSERT(got.size() == pos.size(), "shard ack count mismatch");
+    for (std::size_t j = 0; j < got.size(); ++j) out[pos[j]] = got[j];
+  }
+  co_return out;
 }
 
 exec::Co<RepushList> Client::repush_keys() {
@@ -176,7 +311,8 @@ exec::Co<int> Client::wait_key(const Key& key) {
   SchedMsg msg(SchedMsgKind::kWaitKey);
   msg.key = key;
   msg.reply_worker = reply;
-  co_await send_to_scheduler(std::move(msg));
+  co_await send_to_scheduler(std::move(msg), exec::Delivery::kReliable,
+                             shard_of(key));
   const Ack ack = co_await reply->recv();
   DEISA_CHECK(ack.code != -2, "task erred: " << key);
   // The wait observed a completion: whatever this client does next
@@ -223,7 +359,10 @@ exec::Co<void> Client::variable_set(const std::string& name, Data value) {
   SchedMsg msg(SchedMsgKind::kVariableSet);
   msg.name = name;
   msg.payload = std::move(value);
-  co_await send_to_scheduler(std::move(msg));
+  // Variables/queues are name-keyed state: both ends of an exchange hash
+  // the name to the same owning shard.
+  co_await send_to_scheduler(std::move(msg), exec::Delivery::kReliable,
+                             shard_of(name));
 }
 
 exec::Co<Data> Client::variable_get(const std::string& name) {
@@ -231,7 +370,8 @@ exec::Co<Data> Client::variable_get(const std::string& name) {
   SchedMsg msg(SchedMsgKind::kVariableGet);
   msg.name = name;
   msg.reply_data = reply;
-  co_await send_to_scheduler(std::move(msg));
+  co_await send_to_scheduler(std::move(msg), exec::Delivery::kReliable,
+                             shard_of(name));
   Data d = co_await reply->recv();
   if (d.cause != 0) last_cause_ = d.cause;
   co_return d;
@@ -243,7 +383,8 @@ exec::Co<void> Client::queue_put(const std::string& name, Data value) {
   msg.name = name;
   msg.payload = std::move(value);
   msg.reply_worker = ack;  // Queue.put is synchronous in dask
-  co_await send_to_scheduler(std::move(msg));
+  co_await send_to_scheduler(std::move(msg), exec::Delivery::kReliable,
+                             shard_of(name));
   (void)co_await ack->recv();
 }
 
@@ -252,7 +393,8 @@ exec::Co<Data> Client::queue_get(const std::string& name) {
   SchedMsg msg(SchedMsgKind::kQueueGet);
   msg.name = name;
   msg.reply_data = reply;
-  co_await send_to_scheduler(std::move(msg));
+  co_await send_to_scheduler(std::move(msg), exec::Delivery::kReliable,
+                             shard_of(name));
   Data d = co_await reply->recv();
   if (d.cause != 0) last_cause_ = d.cause;
   co_return d;
@@ -274,13 +416,17 @@ exec::Co<void> Client::cancel(const Key& key) {
   SchedMsg msg(SchedMsgKind::kCancelKey);
   msg.key = key;
   msg.reply_worker = ack;
-  co_await send_to_scheduler(std::move(msg));
+  co_await send_to_scheduler(std::move(msg), exec::Delivery::kReliable,
+                             shard_of(key));
   (void)co_await ack->recv();
 }
 
 exec::Co<void> Client::send_shutdown() {
-  SchedMsg msg(SchedMsgKind::kShutdown);
-  co_await send_to_scheduler(std::move(msg));
+  const int n = std::max<int>(1, static_cast<int>(shard_inboxes_.size()));
+  for (int s = 0; s < n; ++s) {
+    SchedMsg msg(SchedMsgKind::kShutdown);
+    co_await send_to_scheduler(std::move(msg), exec::Delivery::kReliable, s);
+  }
 }
 
 }  // namespace deisa::dts

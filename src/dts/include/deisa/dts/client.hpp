@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "deisa/dts/scheduler.hpp"
@@ -48,6 +49,17 @@ public:
     depot_ = depot;
   }
   DataPlane data_plane() const { return plane_; }
+
+  /// Scheduler-shard routing table (set by the Runtime, only at
+  /// shards > 1). Submissions are then split per-shard in one pass with
+  /// cross-shard dependency subscriptions piggybacked on the owner's
+  /// slice; keyed RPCs route to the shard owning the key, name-keyed
+  /// ops (variables/queues) to the shard owning the name. At shards == 1
+  /// the table stays empty and every code path is exactly the pre-shard
+  /// single-scheduler one.
+  void set_shards(std::vector<exec::Channel<SchedMsg>*> inboxes) {
+    shard_inboxes_ = std::move(inboxes);
+  }
 
   /// Submit a task graph; `wants` marks the keys this client will gather.
   exec::Co<void> submit(std::vector<TaskSpec> tasks,
@@ -134,7 +146,17 @@ public:
 
 private:
   exec::Co<void> send_to_scheduler(
-      SchedMsg msg, exec::Delivery delivery = exec::Delivery::kReliable);
+      SchedMsg msg, exec::Delivery delivery = exec::Delivery::kReliable,
+      int shard = 0);
+  /// Shard owning `key` (0 when unsharded).
+  int shard_of(std::string_view key) const;
+  /// N > 1 half of submit(): split the batch per-shard, wiring
+  /// cross-shard dependency subscriptions onto the owners' slices.
+  exec::Co<void> submit_sharded(std::vector<TaskSpec> tasks,
+                               std::vector<Key> wants);
+  /// N > 1 half of scatter_batch(): split the batched registration
+  /// per-shard and reassemble the acks in item order.
+  exec::Co<std::vector<int>> register_batch_sharded(SchedMsg reg);
 
   exec::Executor* engine_;
   exec::Transport* cluster_;
@@ -142,6 +164,8 @@ private:
   int node_;
   int scheduler_node_;
   exec::Channel<SchedMsg>* scheduler_inbox_;
+  /// Empty at shards == 1 (every branch testing it is dead then).
+  std::vector<exec::Channel<SchedMsg>*> shard_inboxes_;
   std::vector<WorkerRef> workers_;
   std::shared_ptr<exec::Channel<int>> notify_;
   DataPlane plane_ = DataPlane::kCopy;

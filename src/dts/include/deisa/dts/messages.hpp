@@ -121,6 +121,8 @@ enum class SchedMsgKind {
   kRepushKeys,       // producer asks for its pending re-push assignments
   kRepushExpired,    // internal deadline: re-armed key never replayed
                      // (carries the re-arm epoch in `bytes`)
+  kShardKeyDone,     // cross-shard completion notification {key, worker,
+                     // bytes} from the owning shard to a subscriber shard
   kShutdown,
 };
 
@@ -161,6 +163,12 @@ struct SchedMsg {
   // kUpdateGraph
   std::vector<TaskSpec> tasks;
   std::vector<Key> wants;
+  /// Cross-shard completion subscriptions piggybacked on the slice sent
+  /// to the shard that OWNS sub_keys[i]: "when sub_keys[i] completes,
+  /// send kShardKeyDone to shard sub_shards[i]". Always empty at
+  /// shards == 1 (the single-shard wire format is unchanged).
+  std::vector<Key> sub_keys;
+  std::vector<int> sub_shards;
 
   // kTaskFinished / kUpdateData / kWaitKey
   Key key;

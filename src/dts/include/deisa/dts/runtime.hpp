@@ -6,6 +6,7 @@
 
 #include "deisa/dts/client.hpp"
 #include "deisa/dts/scheduler.hpp"
+#include "deisa/dts/shard.hpp"
 #include "deisa/dts/worker.hpp"
 
 namespace deisa::dts {
@@ -17,6 +18,11 @@ struct RuntimeParams {
   /// wires every worker and client onto it; worker.data_plane is forced
   /// to match.
   DataPlane data_plane = DataPlane::kCopy;
+  /// Scheduler shards (see shard.hpp). 1 is bit-identical to the
+  /// pre-shard single scheduler; N > 1 partitions the key space across N
+  /// scheduler actors (requires fault-free plans and release_consumed
+  /// off — enforced at construction).
+  int shards = 1;
 };
 
 class Runtime {
@@ -31,7 +37,12 @@ public:
   /// Ask every actor to exit (idempotent); the engine then drains.
   exec::Co<void> shutdown();
 
-  Scheduler& scheduler() { return *scheduler_; }
+  /// Shard 0 (the only shard at shards == 1). Single-shard callers and
+  /// tests keep reading counters exactly as before.
+  Scheduler& scheduler() { return sched_->shard(0); }
+  /// The full shard set with cross-shard aggregates.
+  ShardedScheduler& sharded() { return *sched_; }
+  int num_shards() const { return sched_->num_shards(); }
   Worker& worker(int i) { return *workers_.at(static_cast<std::size_t>(i)); }
   int num_workers() const { return static_cast<int>(workers_.size()); }
   std::vector<WorkerRef> worker_refs() const;
@@ -48,7 +59,7 @@ private:
   exec::Transport* cluster_;
   DataPlane data_plane_ = DataPlane::kCopy;
   std::unique_ptr<ProxyDepot> depot_;
-  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<ShardedScheduler> sched_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<Client>> clients_;
   bool started_ = false;

@@ -111,6 +111,18 @@ public:
   exec::Channel<SchedMsg>& inbox() { return inbox_; }
   void attach_workers(std::vector<WorkerRef> workers);
 
+  /// Make this scheduler shard `shard_index` of `num_shards` co-located
+  /// actors (see shard.hpp). `peer_inboxes[i]` is shard i's inbox (this
+  /// shard's own entry included, never sent to). At num_shards == 1 this
+  /// is a no-op: the single-scheduler hot path has no shard branches
+  /// taken and the trace actor id stays "scheduler".
+  void set_shard_context(int shard_index, int num_shards,
+                         std::vector<exec::Channel<SchedMsg>*> peer_inboxes);
+  int shard_index() const { return shard_index_; }
+  int num_shards() const { return num_shards_; }
+  /// Trace/span actor id ("scheduler", or "scheduler-<i>" when sharded).
+  const std::string& actor() const { return actor_; }
+
   /// Main actor loop (spawned by the Runtime). Exits on kShutdown.
   exec::Co<void> run();
   /// Heartbeat-deadline monitor (spawned alongside run()). Exits
@@ -172,11 +184,22 @@ public:
   /// Lost external keys still queued for a producer re-push.
   std::size_t repush_pending() const;
 
+  // ---- cross-shard protocol introspection ----
+  /// Dependency edges wired to a remote-owned mirror record (0 when
+  /// single-sharded).
+  std::uint64_t shard_remote_edges() const { return shard_remote_edges_; }
+  /// kShardKeyDone notifications this shard sent to subscriber shards.
+  std::uint64_t shard_notify_msgs() const { return shard_notify_msgs_; }
+
 private:
   /// Where a record's data comes from — decides what a lost key implies:
   /// computed keys re-run via lineage, external keys re-arm for a
-  /// producer re-push, plain scatters are unrecoverable.
-  enum class Origin : std::uint8_t { kComputed, kScattered, kExternal };
+  /// producer re-push, plain scatters are unrecoverable. kRemote marks a
+  /// mirror of a key owned by another shard: it completes only via
+  /// kShardKeyDone (riding the external→memory edge) and is never
+  /// assigned, recovered, or re-pushed locally.
+  enum class Origin : std::uint8_t { kComputed, kScattered, kExternal,
+                                     kRemote };
 
   static constexpr std::uint32_t kNoEdge = static_cast<std::uint32_t>(-1);
 
@@ -263,6 +286,23 @@ private:
 
   exec::Co<void> handle(SchedMsg msg);
   exec::Co<void> handle_update_graph(SchedMsg& msg);
+  /// Intern a mirror record for a dependency owned by shard
+  /// `h % num_shards_`: state kExternal, origin kRemote, no spec. The
+  /// subscriber slice of the same client batch registered a completion
+  /// subscription with the owner, so kShardKeyDone will land here.
+  KeyId create_remote_mirror(std::uint64_t h, const Key& dep);
+  /// Owner side: register the subscriptions piggybacked on an
+  /// update_graph slice (sub_keys/sub_shards); keys already terminal
+  /// notify the subscriber immediately.
+  exec::Co<void> process_shard_subscriptions(SchedMsg& msg);
+  /// Send one kShardKeyDone{key, worker, bytes} (or erred + error) for
+  /// record `id` to shard `shard`.
+  exec::Co<void> notify_one_shard(int shard, KeyId id, bool erred);
+  /// Notify and drop every subscriber of `id` (no-op unless sharded and
+  /// subscribed). Called when a record reaches kMemory or kErred.
+  exec::Co<void> notify_shard_subscribers(KeyId id);
+  /// Subscriber side: complete (or poison) the local mirror record.
+  exec::Co<void> handle_shard_key_done(SchedMsg& msg);
   exec::Co<void> handle_task_finished(SchedMsg& msg);
   exec::Co<void> handle_update_data(SchedMsg& msg);
   /// Register one pushed/scattered key on `worker` and return the ack
@@ -415,6 +455,17 @@ private:
   // Latest wake-up channel per producing client (see SchedMsg::notify).
   std::unordered_map<int, std::shared_ptr<exec::Channel<int>>> producer_notify_;
   RecoveryCounters recovery_;
+
+  // ---- cross-shard protocol state (see shard.hpp) ----
+  int shard_index_ = 0;
+  int num_shards_ = 1;
+  std::string actor_ = "scheduler";  // per-shard trace/span actor id
+  std::vector<exec::Channel<SchedMsg>*> shard_peers_;
+  /// Subscriber shards awaiting completion of a local key (cold: only
+  /// keys another shard depends on ever get an entry).
+  std::unordered_map<KeyId, std::vector<int>> shard_subs_;
+  std::uint64_t shard_remote_edges_ = 0;
+  std::uint64_t shard_notify_msgs_ = 0;
 };
 
 }  // namespace deisa::dts

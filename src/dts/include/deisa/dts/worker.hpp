@@ -41,6 +41,13 @@ public:
   void attach(int scheduler_node, exec::Channel<SchedMsg>* scheduler_inbox,
               std::vector<WorkerRef> peers);
 
+  /// Scheduler-shard routing table (Runtime, only at shards > 1): task
+  /// completions are routed to the shard owning the key; keyless traffic
+  /// (heartbeats) keeps going to shard 0 via scheduler_inbox_.
+  void set_shards(std::vector<exec::Channel<SchedMsg>*> inboxes) {
+    shard_inboxes_ = std::move(inboxes);
+  }
+
   /// Shared payload depot of the proxy data plane (nullptr on kCopy).
   void set_depot(ProxyDepot* depot) { depot_ = depot; }
 
@@ -142,6 +149,8 @@ private:
 
   int scheduler_node_ = -1;
   exec::Channel<SchedMsg>* scheduler_inbox_ = nullptr;
+  /// Empty at shards == 1 (every branch testing it is dead then).
+  std::vector<exec::Channel<SchedMsg>*> shard_inboxes_;
   std::vector<WorkerRef> peers_;
 
   std::unordered_map<Key, Data> store_;

@@ -8,17 +8,18 @@ Runtime::Runtime(exec::Executor& engine, exec::Transport& cluster,
     : engine_(&engine), cluster_(&cluster), data_plane_(params.data_plane) {
   if (data_plane_ == DataPlane::kProxy) depot_ = std::make_unique<ProxyDepot>();
   params.worker.data_plane = data_plane_;
-  scheduler_ = std::make_unique<Scheduler>(engine, cluster, scheduler_node,
-                                           params.scheduler);
+  sched_ = std::make_unique<ShardedScheduler>(
+      engine, cluster, scheduler_node, params.shards, params.scheduler);
   for (std::size_t i = 0; i < worker_nodes.size(); ++i)
     workers_.push_back(std::make_unique<Worker>(
         engine, cluster, static_cast<int>(i), worker_nodes[i], params.worker));
 
   std::vector<WorkerRef> refs = worker_refs();
-  scheduler_->attach_workers(refs);
+  sched_->attach_workers(refs);
   for (auto& w : workers_) {
-    w->attach(scheduler_node, &scheduler_->inbox(), refs);
+    w->attach(scheduler_node, &sched_->shard(0).inbox(), refs);
     w->set_depot(depot_.get());
+    if (params.shards > 1) w->set_shards(sched_->inboxes());
   }
 }
 
@@ -33,14 +34,12 @@ std::vector<WorkerRef> Runtime::worker_refs() const {
 void Runtime::start() {
   DEISA_CHECK(!started_, "runtime already started");
   started_ = true;
-  // Strand grouping (no-op under the simulator): the scheduler's message
+  // Strand grouping (no-op under the simulator): each shard's message
   // loop and failure detector share one strand, and each worker's task
   // loop shares a strand with its heartbeat emitter, because each pair
   // mutates the same unlocked actor state. Cross-actor traffic goes
   // through thread-safe channels.
-  void* sched_strand = engine_->new_strand();
-  engine_->spawn_on(sched_strand, scheduler_->run());
-  engine_->spawn_on(sched_strand, scheduler_->run_failure_detector());
+  sched_->start(*engine_);
   for (auto& w : workers_) {
     void* worker_strand = engine_->new_strand();
     engine_->spawn_on(worker_strand, w->run());
@@ -51,14 +50,14 @@ void Runtime::start() {
 Client& Runtime::make_client(int node) {
   clients_.push_back(std::make_unique<Client>(
       *engine_, *cluster_, static_cast<int>(clients_.size()), node,
-      scheduler_->node(), &scheduler_->inbox(), worker_refs()));
+      sched_->shard(0).node(), &sched_->shard(0).inbox(), worker_refs()));
   clients_.back()->set_data_plane(data_plane_, depot_.get());
+  if (sched_->num_shards() > 1) clients_.back()->set_shards(sched_->inboxes());
   return *clients_.back();
 }
 
 exec::Co<void> Runtime::shutdown() {
-  SchedMsg stop(SchedMsgKind::kShutdown);
-  scheduler_->inbox().send(std::move(stop));
+  sched_->send_shutdown();
   for (auto& w : workers_) {
     WorkerMsg wstop(WorkerMsgKind::kShutdown);
     w->inbox().send(std::move(wstop));

@@ -46,6 +46,7 @@ const char* to_string(SchedMsgKind k) {
     case SchedMsgKind::kWorkerLost: return "worker_lost";
     case SchedMsgKind::kRepushKeys: return "repush_keys";
     case SchedMsgKind::kRepushExpired: return "repush_expired";
+    case SchedMsgKind::kShardKeyDone: return "shard_key_done";
     case SchedMsgKind::kShutdown: return "shutdown";
   }
   return "?";
@@ -91,6 +92,7 @@ std::uint64_t wire_bytes(const SchedMsg& msg) {
   b += spec_dep_total(msg) * kWirePerDepBytes;
   b += msg.keys.size() * kWirePerKeyBytes;
   b += msg.wants.size() * kWirePerKeyBytes;
+  b += msg.sub_keys.size() * kWirePerKeyBytes;  // cross-shard subscriptions
   b += msg.sizes.size() * sizeof(std::uint64_t);  // batched push sizes
   b += msg.key.size();
   b += msg.payload.bytes;  // variables/queues carry their payload inline
@@ -108,6 +110,33 @@ Scheduler::Scheduler(exec::Executor& engine, exec::Transport& cluster, int node,
       rng_(params.seed),
       policy_(make_policy(params.policy)) {
   policy_ctx_.s = this;
+}
+
+void Scheduler::set_shard_context(
+    int shard_index, int num_shards,
+    std::vector<exec::Channel<SchedMsg>*> peer_inboxes) {
+  DEISA_CHECK(num_shards >= 1 && shard_index >= 0 &&
+                  shard_index < num_shards,
+              "bad shard context " << shard_index << "/" << num_shards);
+  DEISA_CHECK(static_cast<int>(peer_inboxes.size()) == num_shards,
+              "peer inbox count " << peer_inboxes.size()
+                                  << " != num_shards " << num_shards);
+  shard_index_ = shard_index;
+  num_shards_ = num_shards;
+  shard_peers_ = std::move(peer_inboxes);
+  // The single-shard actor id stays exactly "scheduler" so traces (and
+  // the critical-path partition) are bit-identical to the unsharded
+  // scheduler.
+  actor_ = num_shards == 1 ? "scheduler"
+                           : "scheduler-" + std::to_string(shard_index);
+  if (num_shards > 1) {
+    DEISA_CHECK(params_.heartbeat_timeout <= 0.0,
+                "failure detection is per-shard-unaware; run fault plans "
+                "at shards == 1");
+    DEISA_CHECK(!params_.release_consumed,
+                "refcount GC cannot see cross-shard consumers; run "
+                "release_consumed at shards == 1");
+  }
 }
 
 void Scheduler::attach_workers(std::vector<WorkerRef> workers) {
@@ -158,6 +187,7 @@ double Scheduler::service_time(const SchedMsg& msg) {
     t += params_.service_queue_extra;
   t += params_.service_per_task * static_cast<double>(msg.tasks.size());
   std::size_t keys = msg.keys.size() + msg.wants.size() + (msg.key.empty() ? 0 : 1);
+  keys += msg.sub_keys.size();
   keys += static_cast<std::size_t>(spec_dep_total(msg));
   t += params_.service_per_key * static_cast<double>(keys);
   if (params_.service_jitter_sigma > 0.0)
@@ -181,7 +211,7 @@ void Scheduler::record_created(KeyId id, TaskRecord& rec) {
         .add();
   }
   if (auto* r = obs::tracer())
-    r->instant(r->track("scheduler", "lifecycle"), "create:" + keys_.name(id),
+    r->instant(r->track(actor_, "lifecycle"), "create:" + keys_.name(id),
                {obs::arg("state", to_string(rec.state))});
 }
 
@@ -202,10 +232,10 @@ void Scheduler::transition(KeyId id, TaskRecord& rec, TaskState to) {
     // Time spent in the state being left, as a span on that state's lane;
     // terminal states (memory/erred) show up as lifecycle instants.
     const double now = engine_->now();
-    r->complete(r->track("scheduler", to_string(from)), keys_.name(id),
+    r->complete(r->track(actor_, to_string(from)), keys_.name(id),
                 rec.state_since, now - rec.state_since,
                 {obs::arg("to", to_string(to))});
-    r->instant(r->track("scheduler", "lifecycle"), keys_.name(id),
+    r->instant(r->track(actor_, "lifecycle"), keys_.name(id),
                {obs::arg("from", to_string(from)),
                 obs::arg("to", to_string(to))});
   }
@@ -284,7 +314,7 @@ exec::Co<void> Scheduler::run() {
     current_cause_ = 0;
     const double svc = service_time(msg);
     if (obs::tracer() != nullptr) {
-      span = obs::trace_span("scheduler", "inbox", to_string(msg.kind));
+      span = obs::trace_span(actor_, "inbox", to_string(msg.kind));
       span.set_cause(msg.cause, msg.kind == SchedMsgKind::kUpdateData
                                     ? obs::EdgeKind::kPush
                                     : obs::EdgeKind::kMessage);
@@ -333,6 +363,9 @@ exec::Co<void> Scheduler::handle(SchedMsg msg) {
     case SchedMsgKind::kRepushKeys: co_await handle_repush_keys(msg); break;
     case SchedMsgKind::kRepushExpired:
       co_await handle_repush_expired(msg);
+      break;
+    case SchedMsgKind::kShardKeyDone:
+      co_await handle_shard_key_done(msg);
       break;
     case SchedMsgKind::kVariableSet:
     case SchedMsgKind::kVariableGet:
@@ -406,9 +439,11 @@ exec::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
   const std::size_t ntasks = scratch_batch_.size();
   for (std::size_t t = 0; t < ntasks; ++t) {
     const KeyId id = scratch_batch_[t];
-    TaskRecord& rec = records_[id];
     const TaskSpec& spec = batch[t];
-    rec.dep_off = static_cast<std::uint32_t>(deps_pool_.size());
+    // Records are addressed through records_[...] per use, not a held
+    // reference: a cross-shard dependency below may intern a fresh
+    // mirror record, growing the table mid-loop.
+    records_[id].dep_off = static_cast<std::uint32_t>(deps_pool_.size());
     bool fresh = true;
     for (const Key& dep : spec.deps) {
       const std::uint64_t h = KeyTable::hash_key(dep);
@@ -420,6 +455,10 @@ exec::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
         }
       if (d == kNoKeyId) {
         d = keys_.find_hashed(h, dep);
+        if (d == kNoKeyId && num_shards_ > 1 &&
+            static_cast<int>(h % static_cast<std::uint64_t>(num_shards_)) !=
+                shard_index_)
+          d = create_remote_mirror(h, dep);
         memo[memo_rr++ % std::size(memo)] = DepMemo{h, d};
       }
       DEISA_CHECK(d != kNoKeyId,
@@ -428,7 +467,7 @@ exec::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
                       << "only depend on data already in the cluster");
       TaskRecord& drec = records_[d];
       if (drec.state == TaskState::kErred) {
-        transition(id, rec, TaskState::kErred);
+        transition(id, records_[id], TaskState::kErred);
         errors_[id] = "dependency erred: " + dep;
         fresh = false;
         break;
@@ -437,24 +476,137 @@ exec::Co<void> Scheduler::handle_update_graph(SchedMsg& msg) {
                   "graph references key '" << dep
                                            << "' already released by the "
                                               "refcount GC");
+      if (drec.origin == Origin::kRemote) {
+        ++shard_remote_edges_;
+        obs::count("scheduler.shard.remote_edges");
+      }
       deps_pool_.push_back(d);
-      ++rec.dep_count;
+      ++records_[id].dep_count;
       // Refcount plane: charge the dep one consumer per dependent edge
       // at assignment time, regardless of its current state — the
       // consumer will read it exactly once before finishing.
       ++drec.pending_consumers;
       ++drec.ever_consumers;
       if (drec.state != TaskState::kMemory) {
-        ++rec.nwaiting;
+        ++records_[id].nwaiting;
         add_dependent(drec, id);
       }
     }
-    if (fresh && rec.nwaiting == 0) push_ready(id);
+    if (fresh && records_[id].nwaiting == 0) push_ready(id);
     // Poisoned at ingestion (erred dep): the task is terminal before it
     // ever ran, so return the consumer charges on the deps it did take.
-    if (!fresh) co_await release_task_inputs(rec);
+    if (!fresh) co_await release_task_inputs(records_[id]);
   }
+  // Owner-side half of the cross-shard protocol: register (or
+  // immediately answer) the subscriptions piggybacked on this slice.
+  // After both passes, so intra-batch producers are interned.
+  if (!msg.sub_keys.empty()) co_await process_shard_subscriptions(msg);
   co_await drain_ready();
+}
+
+KeyId Scheduler::create_remote_mirror(std::uint64_t h, const Key& dep) {
+  const auto [id, fresh] = keys_.intern_hashed(h, Key(dep));
+  DEISA_ASSERT(fresh, "mirror for known key " << dep);
+  TaskRecord& rec = create_record(id);
+  rec.origin = Origin::kRemote;
+  rec.state = TaskState::kExternal;
+  record_created(id, rec);
+  return id;
+}
+
+exec::Co<void> Scheduler::process_shard_subscriptions(SchedMsg& msg) {
+  DEISA_CHECK(msg.sub_keys.size() == msg.sub_shards.size(),
+              "sub_keys/sub_shards length mismatch: "
+                  << msg.sub_keys.size() << " vs " << msg.sub_shards.size());
+  for (std::size_t i = 0; i < msg.sub_keys.size(); ++i) {
+    const Key& key = msg.sub_keys[i];
+    const int sub = msg.sub_shards[i];
+    DEISA_CHECK(sub >= 0 && sub < num_shards_ && sub != shard_index_,
+                "bad subscriber shard " << sub << " for key " << key);
+    const KeyId id = keys_.find(key);
+    // FIFO channel order guarantees the producer's slice (same message)
+    // or an earlier RPC from the same client already interned the key.
+    DEISA_CHECK(id != kNoKeyId,
+                "cross-shard subscription to unknown key '" << key << "'");
+    const TaskState st = records_[id].state;
+    if (st == TaskState::kMemory || st == TaskState::kErred) {
+      // Already terminal: answer now; nothing will transition it again.
+      co_await notify_one_shard(sub, id, st == TaskState::kErred);
+    } else {
+      auto& subs = shard_subs_[id];
+      if (std::find(subs.begin(), subs.end(), sub) == subs.end())
+        subs.push_back(sub);
+    }
+  }
+}
+
+exec::Co<void> Scheduler::notify_one_shard(int shard, KeyId id, bool erred) {
+  const TaskRecord& rec = records_[id];
+  SchedMsg m(SchedMsgKind::kShardKeyDone);
+  m.key = keys_.name(id);
+  m.worker = rec.worker;
+  m.bytes = rec.bytes;
+  m.erred = erred;
+  if (erred) {
+    const auto it = errors_.find(id);
+    if (it != errors_.end()) m.error = it->second;
+  }
+  m.sender_node = node_;
+  m.cause = current_cause_;
+  ++shard_notify_msgs_;
+  obs::count("scheduler.shard.notify_msgs");
+  exec::Channel<SchedMsg>* peer = shard_peers_[static_cast<std::size_t>(shard)];
+  DEISA_ASSERT(peer != nullptr, "no inbox for shard " << shard);
+  // Shards are co-located on the scheduler node; the notification still
+  // pays the intra-node control cost of an actor-to-actor message.
+  co_await cluster_->send_control(node_, node_, wire_bytes(m));
+  peer->send(std::move(m));
+}
+
+exec::Co<void> Scheduler::notify_shard_subscribers(KeyId id) {
+  if (num_shards_ <= 1) co_return;
+  const auto it = shard_subs_.find(id);
+  if (it == shard_subs_.end()) co_return;
+  std::vector<int> subs = std::move(it->second);
+  shard_subs_.erase(it);
+  const bool erred = records_[id].state == TaskState::kErred;
+  for (const int s : subs) co_await notify_one_shard(s, id, erred);
+}
+
+exec::Co<void> Scheduler::handle_shard_key_done(SchedMsg& msg) {
+  KeyId id = keys_.find(msg.key);
+  if (id == kNoKeyId) {
+    // The notification outran this shard's slice of the client batch
+    // (the owner ran its slice to completion first): register the
+    // remote key as already done — the late slice resolves it as a
+    // satisfied (or erred) dependency.
+    id = keys_.intern(std::move(msg.key)).first;
+    TaskRecord& rec = create_record(id);
+    rec.origin = Origin::kRemote;
+    if (msg.erred) {
+      rec.state = TaskState::kErred;
+      errors_[id] = msg.error;
+    } else {
+      rec.state = TaskState::kMemory;
+      rec.worker = msg.worker;
+      rec.bytes = msg.bytes;
+      rec.done_cause = current_cause_;
+      if (msg.worker >= 0 &&
+          static_cast<std::size_t>(msg.worker) < has_what_.size())
+        has_what_[static_cast<std::size_t>(msg.worker)].insert(id);
+    }
+    record_created(id, rec);
+    co_return;
+  }
+  TaskRecord& rec = records_[id];
+  DEISA_ASSERT(rec.origin == Origin::kRemote,
+               "shard_key_done for locally owned key " << msg.key);
+  if (rec.state != TaskState::kExternal) co_return;  // duplicate
+  if (msg.erred) {
+    co_await poison_task(id, msg.error);
+  } else {
+    co_await finish_task(id, rec, msg.worker, msg.bytes, false, {});
+  }
 }
 
 exec::Co<void> Scheduler::release_task_inputs(TaskRecord& rec) {
@@ -488,7 +640,7 @@ exec::Co<void> Scheduler::maybe_release(KeyId id, TaskRecord& rec) {
     m->counter("scheduler.gc.keys_released").add();
     m->counter("scheduler.gc.bytes_released").add(rec.bytes);
   }
-  obs::trace_instant("scheduler", "gc", "release:" + keys_.name(id));
+  obs::trace_instant(actor_, "gc", "release:" + keys_.name(id));
   // Tell the owner to drop the bytes (store copy, unresolved handle, and
   // the proxy deposit it owns). State stays kMemory: the release is a
   // storage fact, and the record keeps answering metadata queries.
@@ -597,6 +749,7 @@ exec::Co<void> Scheduler::poison_task(KeyId id, const std::string& error) {
     transition(id, rec, TaskState::kErred);
     errors_[id] = error;
     co_await release_waiters(id, kAckErred);
+    if (num_shards_ > 1) co_await notify_shard_subscribers(id);
     // Erred is terminal (retries were exhausted upstream): the task will
     // never read its inputs, so return their consumer charges.
     co_await release_task_inputs(rec);
@@ -615,6 +768,7 @@ exec::Co<void> Scheduler::poison_task(KeyId id, const std::string& error) {
     transition(dk, drec, TaskState::kErred);
     errors_[dk] = "dependency erred: " + keys_.name(id);
     co_await release_waiters(dk, kAckErred);
+    if (num_shards_ > 1) co_await notify_shard_subscribers(dk);
     co_await release_task_inputs(drec);
     take_dependents(drec, next);
     poison.insert(poison.end(), next.begin(), next.end());
@@ -650,6 +804,10 @@ exec::Co<void> Scheduler::finish_task(KeyId id, TaskRecord& rec, int worker,
   errors_.erase(id);
   if (worker >= 0 && static_cast<std::size_t>(worker) < has_what_.size())
     has_what_[static_cast<std::size_t>(worker)].insert(id);
+  // Cross-shard half of the completion cascade: subscriber shards get
+  // kShardKeyDone before local waiters/dependents are serviced, so both
+  // sides observe the completion in the same causal order.
+  if (num_shards_ > 1) co_await notify_shard_subscribers(id);
   // Wake clients blocked in wait_key/gather.
   co_await release_waiters(id, worker);
   // Refcount plane: this task has read its inputs for the last time —
@@ -687,7 +845,7 @@ exec::Co<void> Scheduler::handle_task_finished(SchedMsg& msg) {
   if (rec.state != TaskState::kProcessing || rec.worker != msg.worker) {
     ++recovery_.stale_task_finished;
     obs::count("scheduler.stale.task_finished");
-    obs::trace_instant("scheduler", "recovery", "stale_finish:" + msg.key);
+    obs::trace_instant(actor_, "recovery", "stale_finish:" + msg.key);
     co_return;
   }
   ++rec.attempts;
@@ -746,7 +904,7 @@ exec::Co<int> Scheduler::update_data_one(Key key, int worker,
         // acknowledge and discard so the producer keeps stepping.
         ++recovery_.stale_update_data;
         obs::count("scheduler.stale.update_data");
-        obs::trace_instant("scheduler", "recovery", "stale_push:" + key);
+        obs::trace_instant(actor_, "recovery", "stale_push:" + key);
         ack = kAckDiscarded;
         break;
       case TaskState::kExternal: {
@@ -986,7 +1144,7 @@ exec::Co<void> Scheduler::run_failure_detector() {
       // with every other handler instead of mutating records mid-flight.
       suspected_[w] = 1;
       obs::count("scheduler.recovery.suspected");
-      obs::trace_instant("scheduler", "recovery",
+      obs::trace_instant(actor_, "recovery",
                          "suspect:worker-" + std::to_string(ref.id));
       SchedMsg m(SchedMsgKind::kWorkerLost);
       m.worker = ref.id;
@@ -1013,7 +1171,7 @@ exec::Co<void> Scheduler::handle_worker_lost(SchedMsg& msg) {
   ++dead_count_;
   ++recovery_.workers_lost;
   obs::count("scheduler.recovery.workers_lost");
-  obs::trace_instant("scheduler", "recovery",
+  obs::trace_instant(actor_, "recovery",
                      "worker_lost:worker-" + std::to_string(w));
   DEISA_TRACE("scheduler", "worker " << w << " declared lost; recovering");
   co_await recover_worker(w);
@@ -1022,7 +1180,7 @@ exec::Co<void> Scheduler::handle_worker_lost(SchedMsg& msg) {
 exec::Co<void> Scheduler::recover_worker(int w) {
   obs::Span span;
   if (obs::tracer() != nullptr)
-    span = obs::trace_span("scheduler", "recovery",
+    span = obs::trace_span(actor_, "recovery",
                            "recover:worker-" + std::to_string(w));
   // Phase 1: classify every key whose data lived on the dead worker. The
   // has-what index hands them over directly (sorted for deterministic
@@ -1209,7 +1367,7 @@ exec::Co<void> Scheduler::handle_repush_expired(SchedMsg& msg) {
     co_return;
   ++recovery_.repush_expired;
   obs::count("scheduler.recovery.repush_expired");
-  obs::trace_instant("scheduler", "recovery", "repush_expired:" + msg.key);
+  obs::trace_instant(actor_, "recovery", "repush_expired:" + msg.key);
   for (auto& [client, ids] : repush_)
     ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
   co_await poison_task(id, "external re-push timed out");

@@ -1,5 +1,6 @@
 #include "deisa/dts/worker.hpp"
 
+#include "deisa/dts/shard.hpp"
 #include "deisa/obs/dataplane.hpp"
 #include "deisa/obs/metrics.hpp"
 #include "deisa/obs/trace.hpp"
@@ -449,12 +450,19 @@ exec::Co<void> Worker::handle_compute(TaskSpec spec,
 
 exec::Co<void> Worker::notify_scheduler(SchedMsg msg, exec::Delivery delivery) {
   DEISA_ASSERT(scheduler_inbox_ != nullptr, "worker not attached");
+  // Keyed notifications go to the shard owning the key; keyless traffic
+  // (heartbeats) stays on shard 0. Dead branch at shards == 1.
+  exec::Channel<SchedMsg>* target = scheduler_inbox_;
+  if (!shard_inboxes_.empty() && !msg.key.empty()) {
+    ShardMapper mapper{static_cast<int>(shard_inboxes_.size())};
+    target = shard_inboxes_[static_cast<std::size_t>(mapper.shard_of(msg.key))];
+  }
   const exec::SendResult res = co_await cluster_->send_control(
       node_, scheduler_node_, wire_bytes(msg), delivery);
   // Delivery is caller-side: enqueue 0, 1 or 2 copies as the fault hook
   // decided (0/2 only for droppable/idempotent traffic under injection).
-  for (int i = 1; i < res.copies; ++i) scheduler_inbox_->send(msg);
-  if (res.copies > 0) scheduler_inbox_->send(std::move(msg));
+  for (int i = 1; i < res.copies; ++i) target->send(msg);
+  if (res.copies > 0) target->send(std::move(msg));
 }
 
 }  // namespace deisa::dts

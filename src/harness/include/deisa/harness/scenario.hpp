@@ -80,6 +80,11 @@ struct ScenarioParams {
   /// task has finished (bounded residency over long runs). Off by
   /// default — incompatible with lineage recomputation under faults.
   bool release_consumed = false;
+  /// Scheduler shards: partition the key space across N scheduler actors
+  /// (dts::ShardedScheduler). 1 is bit-identical to the single
+  /// scheduler; N > 1 requires a fault-free plan and release_consumed
+  /// off.
+  int shards = 1;
 
   /// Allocation seed: different submissions get different node placements
   /// (the run-to-run variability axis of Figure 5).
@@ -165,6 +170,15 @@ struct RunResult {
 
   std::uint64_t scheduler_messages = 0;
   std::map<std::string, std::uint64_t> scheduler_messages_by_kind;
+  /// Scheduler shards the run used (1 = the single-scheduler layout).
+  int shards = 1;
+  /// Messages handled by each shard (size == shards; [0] equals
+  /// scheduler_messages at shards == 1).
+  std::vector<std::uint64_t> shard_messages;
+  /// Dependency edges whose producer lives on another shard.
+  std::uint64_t shard_remote_edges = 0;
+  /// kShardKeyDone notifications forwarded between shards.
+  std::uint64_t shard_notify_msgs = 0;
   std::uint64_t bridge_blocks_sent = 0;
   std::uint64_t bridge_blocks_filtered = 0;
   std::uint64_t network_bytes = 0;

@@ -191,6 +191,15 @@ struct World {
     rp.worker.max_concurrent_fetches = p.max_concurrent_fetches;
     rp.data_plane = p.data_plane;
     rp.scheduler.release_consumed = p.release_consumed;
+    rp.shards = p.shards;
+    if (p.shards > 1) {
+      DEISA_CHECK(p.faults.empty(),
+                  "fault plans require shards == 1 (failure detection is "
+                  "per-shard-unaware)");
+      DEISA_CHECK(!p.release_consumed,
+                  "release_consumed requires shards == 1 (refcount GC cannot "
+                  "see cross-shard consumers)");
+    }
     runtime = std::make_unique<dts::Runtime>(engine, cluster, scheduler_node,
                                              worker_nodes, rp);
     if (sim_engine) {
@@ -710,7 +719,9 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
                   << to_string(pipeline) << ", " << params.ranks
                   << " ranks): the configuration diverges");
 
-  const dts::Scheduler& sched = w.runtime->scheduler();
+  // Aggregated over shards (at shards == 1 these read the exact counters
+  // of the single scheduler, as before).
+  const dts::ShardedScheduler& sched = w.runtime->sharded();
   res.scheduler_messages = sched.total_messages();
   for (auto kind :
        {dts::SchedMsgKind::kUpdateGraph, dts::SchedMsgKind::kTaskFinished,
@@ -721,6 +732,11 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
         dts::SchedMsgKind::kQueueGet})
     res.scheduler_messages_by_kind[dts::to_string(kind)] =
         sched.messages_received(kind);
+  res.shards = sched.num_shards();
+  for (int s = 0; s < sched.num_shards(); ++s)
+    res.shard_messages.push_back(sched.shard(s).total_messages());
+  res.shard_remote_edges = sched.remote_edges();
+  res.shard_notify_msgs = sched.notify_msgs();
   for (const auto& b : st.bridges) {
     res.bridge_blocks_sent += b->blocks_sent();
     res.bridge_blocks_filtered += b->blocks_filtered();
@@ -738,7 +754,8 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
     res.depot_peak_bytes = depot->peak_bytes();
   res.pfs_bytes_written = w.pfs.bytes_written();
   res.pfs_bytes_read = w.pfs.bytes_read();
-  res.recovery = sched.recovery();
+  // Fault plans require shards == 1, so shard 0 holds all recovery state.
+  res.recovery = sched.shard(0).recovery();
   res.workers_killed = w.injector ? w.injector->kills_performed() : 0;
   // Threaded backend: fold the executor's contention counters (strand
   // queue depths, post->run latency) into the run's metrics.

@@ -36,7 +36,8 @@ Category categorize(const Track& track, const TraceEvent& ev) {
   if (track.actor == "net" || track.actor == "pfs") return Category::kTransfer;
   // Only message handling counts as scheduler work; its other lanes
   // (client-side waits on keys, lifecycle bookkeeping) are waiting.
-  if (track.actor == "scheduler")
+  // Shards trace as "scheduler-<i>" and partition identically.
+  if (track.actor.rfind("scheduler", 0) == 0)
     return track.lane == "inbox" ? Category::kScheduler : Category::kIdle;
   // Bridge push spans carry a bytes annotation; the bridge's waits
   // (contract negotiation, ack latency) do not.

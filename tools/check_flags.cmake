@@ -1,0 +1,38 @@
+# ctest script for deisa_scenario's flag handling: an unknown --flag must
+# exit with code 2 and print the known-flag list, and a known flag whose
+# value is missing must do the same. Run as
+#   cmake -DSCENARIO_BIN=<path> -P check_flags.cmake
+
+execute_process(
+  COMMAND ${SCENARIO_BIN} --no-such-flag=1
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "unknown flag: expected exit 2, got '${rc}'")
+endif()
+if(NOT err MATCHES "unknown option '--no-such-flag=1'")
+  message(FATAL_ERROR "unknown flag: stderr lacks the offending flag:\n${err}")
+endif()
+if(NOT err MATCHES "known flags:")
+  message(FATAL_ERROR "unknown flag: stderr lacks the known-flag list:\n${err}")
+endif()
+# Every real flag must appear in the help so users can self-correct.
+foreach(flag --trace-out --metrics-out --metrics-format --fault --substrate
+        --data-plane --policy --scenario-seed --shards)
+  if(NOT err MATCHES "${flag}=VALUE")
+    message(FATAL_ERROR "known-flag list lacks ${flag}:\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${SCENARIO_BIN} /dev/null --shards
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "valueless flag: expected exit 2, got '${rc}'")
+endif()
+if(NOT err MATCHES "option '--shards' requires a value")
+  message(FATAL_ERROR "valueless flag: stderr lacks the diagnostic:\n${err}")
+endif()

@@ -10,6 +10,8 @@
 //   ranks: 64
 //   workers: 32
 //   block_mib: 128
+//   block_kib: 0             # optional: sub-MiB blocks (wins over
+//                            #           block_mib; tiny functional runs)
 //   timesteps: 10
 //   runs: 3
 //   seed: 1000
@@ -23,6 +25,7 @@
 //   substrate_threads: 0     # optional: threads backend worker count
 //   data_plane: copy         # optional: copy (default) | proxy
 //   release_consumed: false  # optional: refcount-GC consumed keys
+//   shards: 1                # optional: scheduler shards (--shards= wins)
 //   time_scale: 0.05         # optional: wall seconds per model second
 //   trace_capacity: 1048576  # optional: trace ring size (events)
 //   trace_drop: oldest       # optional: ring policy, oldest | newest
@@ -55,6 +58,13 @@
 //
 // --fault=SPEC overrides the config, e.g. --fault="kill:0@25;seed:3".
 // Same plan + same seed reproduces the same failure trace bit for bit.
+//
+// --shards=N partitions the scheduler key space across N scheduler
+// actors (dts::ShardedScheduler). N=1 (the default) is bit-identical to
+// the single scheduler; N>1 requires a fault-free plan.
+//
+// Every option accepts both `--flag value` and `--flag=value`. Unknown
+// options abort with exit code 2 and the known-flag list.
 //
 // --trace-out records the first run's event trace and writes it as Chrome
 // trace-event JSON (open in ui.perfetto.dev or chrome://tracing, or feed
@@ -148,11 +158,51 @@ harness::Pipeline pipeline_of(const std::string& name) {
       "' (expected DEISA1|DEISA2|DEISA3|posthoc-old|posthoc-new)");
 }
 
-int run(const std::string& path, const std::string& trace_out,
-        const std::string& metrics_out, const std::string& metrics_format,
-        const std::string& fault_spec, const std::string& substrate_flag,
-        const std::string& data_plane_flag, const std::string& policy_flag,
-        const std::string& scenario_seed_flag) {
+/// Parsed command line. Every value-taking option lands in one slot; the
+/// known-flag table below maps names to slots.
+struct Flags {
+  std::string config;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string metrics_format = "json";
+  std::string fault_spec;
+  std::string substrate;
+  std::string data_plane;
+  std::string policy;
+  std::string scenario_seed;
+  std::string shards;
+};
+
+/// Known value-taking options, each accepted as `--name value` or
+/// `--name=value`. An option not in this table aborts with exit code 2
+/// and prints the list.
+struct FlagSpec {
+  const char* name;
+  std::string Flags::* slot;
+};
+
+const FlagSpec kFlagTable[] = {
+    {"--trace-out", &Flags::trace_out},
+    {"--metrics-out", &Flags::metrics_out},
+    {"--metrics-format", &Flags::metrics_format},
+    {"--fault", &Flags::fault_spec},
+    {"--substrate", &Flags::substrate},
+    {"--data-plane", &Flags::data_plane},
+    {"--policy", &Flags::policy},
+    {"--scenario-seed", &Flags::scenario_seed},
+    {"--shards", &Flags::shards},
+};
+
+int run(const Flags& flags) {
+  const std::string& path = flags.config;
+  const std::string& trace_out = flags.trace_out;
+  const std::string& metrics_out = flags.metrics_out;
+  const std::string& metrics_format = flags.metrics_format;
+  const std::string& fault_spec = flags.fault_spec;
+  const std::string& substrate_flag = flags.substrate;
+  const std::string& data_plane_flag = flags.data_plane;
+  const std::string& policy_flag = flags.policy;
+  const std::string& scenario_seed_flag = flags.scenario_seed;
   check_writable(trace_out);
   check_writable(metrics_out);
 
@@ -187,10 +237,13 @@ int run(const std::string& path, const std::string& trace_out,
                                      ? data_plane_flag
                                      : doc.get_string("data_plane", "copy"));
     p.release_consumed = doc.get_bool("release_consumed", false);
+    p.shards = static_cast<int>(doc.get_int("shards", 1));
     p.ranks = static_cast<int>(doc.get_int("ranks", 4));
     p.workers = static_cast<int>(doc.get_int("workers", 2));
     p.block_bytes =
         static_cast<std::uint64_t>(doc.get_int("block_mib", 128)) * util::kMiB;
+    if (const std::int64_t kib = doc.get_int("block_kib", 0); kib > 0)
+      p.block_bytes = static_cast<std::uint64_t>(kib) * 1024;
     p.timesteps = static_cast<int>(doc.get_int("timesteps", 10));
     p.contract_fraction = doc.get_double("contract_fraction", 1.0);
     p.arrays = static_cast<int>(doc.get_int("arrays", 1));
@@ -219,6 +272,7 @@ int run(const std::string& path, const std::string& trace_out,
   }
   // The flag wins over both the yaml knob and the generated default.
   if (!policy_flag.empty()) p.sched.policy = deisa::dts::policy_of(policy_flag);
+  if (!flags.shards.empty()) p.shards = std::stoi(flags.shards);
 
   std::cout << "pipeline " << harness::to_string(pipeline) << ": " << p.ranks
             << " ranks x " << util::format_bytes(p.block_bytes) << " x "
@@ -228,6 +282,7 @@ int run(const std::string& path, const std::string& trace_out,
             << (p.release_consumed ? " +gc" : "") << ", policy "
             << deisa::dts::to_string(p.sched.policy) << "\n";
   if (p.arrays > 1) std::cout << "arrays: " << p.arrays << "\n";
+  if (p.shards > 1) std::cout << "scheduler shards: " << p.shards << "\n";
   if (p.substrate == harness::Substrate::kThreads)
     std::cout << "note: threads substrate timings are wall-clock artifacts"
                  " (time_scale " << p.time_scale
@@ -279,6 +334,12 @@ int run(const std::string& path, const std::string& trace_out,
       for (double s : r.singular_values) std::cout << " " << s;
       std::cout << "\n";
     }
+    if (p.shards > 1) {
+      std::cout << "  shard msgs:";
+      for (std::uint64_t m : r.shard_messages) std::cout << " " << m;
+      std::cout << " (remote edges " << r.shard_remote_edges
+                << ", notify msgs " << r.shard_notify_msgs << ")\n";
+    }
     if (!p.faults.empty()) {
       const auto& rec = r.recovery;
       std::cout << "  recovery: killed " << r.workers_killed
@@ -300,104 +361,63 @@ int run(const std::string& path, const std::string& trace_out,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string config;
-  std::string trace_out;
-  std::string metrics_out;
-  std::string metrics_format = "json";
-  std::string fault_spec;
-  std::string substrate_flag;
-  std::string data_plane_flag;
-  std::string policy_flag;
-  std::string scenario_seed_flag;
+  Flags flags;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--policy=", 0) == 0) {
-      policy_flag = a.substr(9);
-    } else if (a == "--policy") {
-      if (i + 1 >= argc) {
-        std::cerr << "option '--policy' requires a value\n";
+    if (!a.empty() && a[0] == '-') {
+      bool matched = false;
+      for (const FlagSpec& f : kFlagTable) {
+        const std::string name = f.name;
+        if (a == name) {
+          if (i + 1 >= argc) {
+            std::cerr << "option '" << name << "' requires a value\n";
+            return 2;
+          }
+          flags.*f.slot = argv[++i];
+          matched = true;
+          break;
+        }
+        if (a.rfind(name + "=", 0) == 0) {
+          flags.*f.slot = a.substr(name.size() + 1);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        std::cerr << "unknown option '" << a << "'\nknown flags:";
+        for (const FlagSpec& f : kFlagTable)
+          std::cerr << " " << f.name << "=VALUE";
+        std::cerr << "\n";
         return 2;
       }
-      policy_flag = argv[++i];
-    } else if (a.rfind("--scenario-seed=", 0) == 0) {
-      scenario_seed_flag = a.substr(16);
-    } else if (a == "--scenario-seed") {
-      if (i + 1 >= argc) {
-        std::cerr << "option '--scenario-seed' requires a value\n";
-        return 2;
-      }
-      scenario_seed_flag = argv[++i];
-    } else if (a.rfind("--metrics-format=", 0) == 0) {
-      metrics_format = a.substr(17);
-    } else if (a == "--metrics-format") {
-      if (i + 1 >= argc) {
-        std::cerr << "option '--metrics-format' requires a value\n";
-        return 2;
-      }
-      metrics_format = argv[++i];
-    } else if (a.rfind("--data-plane=", 0) == 0) {
-      data_plane_flag = a.substr(13);
-    } else if (a == "--data-plane") {
-      if (i + 1 >= argc) {
-        std::cerr << "option '--data-plane' requires a value\n";
-        return 2;
-      }
-      data_plane_flag = argv[++i];
-    } else if (a.rfind("--substrate=", 0) == 0) {
-      substrate_flag = a.substr(12);
-    } else if (a == "--substrate") {
-      if (i + 1 >= argc) {
-        std::cerr << "option '--substrate' requires a value\n";
-        return 2;
-      }
-      substrate_flag = argv[++i];
-    } else if (a == "--trace-out" || a == "--metrics-out") {
-      if (i + 1 >= argc) {
-        std::cerr << "option '" << a << "' requires a value\n";
-        return 2;
-      }
-      (a == "--trace-out" ? trace_out : metrics_out) = argv[++i];
-    } else if (a.rfind("--fault=", 0) == 0) {
-      fault_spec = a.substr(8);
-    } else if (a == "--fault") {
-      if (i + 1 >= argc) {
-        std::cerr << "option '--fault' requires a value\n";
-        return 2;
-      }
-      fault_spec = argv[++i];
-    } else if (!a.empty() && a[0] == '-') {
-      std::cerr << "unknown option '" << a << "'\n";
-      return 2;
-    } else if (config.empty()) {
-      config = a;
+    } else if (flags.config.empty()) {
+      flags.config = a;
     } else {
-      config.clear();
+      flags.config.clear();
       break;
     }
   }
-  if (metrics_format != "table" && metrics_format != "json") {
-    std::cerr << "unknown metrics format '" << metrics_format
+  if (flags.metrics_format != "table" && flags.metrics_format != "json") {
+    std::cerr << "unknown metrics format '" << flags.metrics_format
               << "' (expected table|json)\n";
     return 2;
   }
-  if (config.empty() && scenario_seed_flag.empty()) {
+  if (flags.config.empty() && flags.scenario_seed.empty()) {
     std::cerr << "usage: deisa_scenario [--trace-out FILE] "
                  "[--metrics-out FILE] [--metrics-format=table|json] "
                  "[--fault=SPEC] [--substrate=sim|threads] "
-                 "[--data-plane=copy|proxy] "
+                 "[--data-plane=copy|proxy] [--shards=N] "
                  "[--policy=locality|round-robin|least-loaded|heft] "
                  "(<config.yaml> | --scenario-seed=N)\n";
     return 2;
   }
-  if (!config.empty() && !scenario_seed_flag.empty()) {
+  if (!flags.config.empty() && !flags.scenario_seed.empty()) {
     std::cerr << "--scenario-seed replaces the config file; pass one or the "
                  "other\n";
     return 2;
   }
   try {
-    return run(config, trace_out, metrics_out, metrics_format, fault_spec,
-               substrate_flag, data_plane_flag, policy_flag,
-               scenario_seed_flag);
+    return run(flags);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
