@@ -17,8 +17,17 @@
 // edges whose producer lives on another shard, counted at ingest) and
 // notify_msgs (kShardKeyDone forwards, counted while draining).
 //
+// The GC arm replays the DEISA timestep shape (one external block + one
+// consumer per step) with release_consumed on at every shard count: the
+// cross-shard lifetime protocol (charge on the subscription slice,
+// kShardKeyReleased drain ack back to the owner) must keep the worker
+// peak residency at a few blocks regardless of the step count, exactly
+// like the single scheduler (CI gates peak <= 4 blocks and
+// keys_released == steps at every shard count).
+//
 // Usage: micro_shard [--shards 1,2,4,8] [--ingest N] [--drain N]
-//                    [--push N] [--repeat N] [--out BENCH_shard.json]
+//                    [--push N] [--gc-steps N] [--gc-block BYTES]
+//                    [--repeat N] [--out BENCH_shard.json]
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -33,6 +42,7 @@
 #include "deisa/rt/threaded_executor.hpp"
 #include "deisa/rt/threaded_transport.hpp"
 #include "deisa/util/table.hpp"
+#include "deisa/util/units.hpp"
 
 namespace dts = deisa::dts;
 namespace rt = deisa::rt;
@@ -59,11 +69,12 @@ struct Fixture {
   std::unique_ptr<dts::Runtime> runtime;
   dts::Client* client = nullptr;
 
-  explicit Fixture(int shards)
+  explicit Fixture(int shards, bool release_consumed = false)
       : ex(rt::ThreadedExecutorParams{/*threads=*/2, kTimeScale}),
         transport(ex, rt::ThreadedTransportParams{/*nodes=*/kWorkers + 2}) {
     dts::RuntimeParams rp;
     rp.shards = shards;
+    rp.scheduler.release_consumed = release_consumed;
     // Deterministic service model sized so per-task service (not the C++
     // data structures) is the bottleneck being sharded; see file header.
     // 3e-4 is a quarter of the calibrated Python per-task cost — the
@@ -212,6 +223,64 @@ ShardResult run_shards(int shards, int ingest_n, int drain_n, int push_n,
   return r;
 }
 
+// ---- GC arm: bounded residency under release_consumed ----
+
+/// The DEISA2/3 timestep shape (one external block pushed, one consumer
+/// reducing it) — the same loop as the RefcountGcBoundsWorkerResidency
+/// stress test, on the threads substrate.
+exec::Co<void> gc_timestep_flow(Fixture& fx, int steps, std::uint64_t block) {
+  for (int t = 0; t < steps; ++t) {
+    const std::string st = std::to_string(t);
+    std::vector<dts::Key> ext;
+    ext.push_back("s" + st);
+    std::vector<int> tgt;
+    tgt.push_back(0);
+    co_await fx.client->external_futures(std::move(ext), std::move(tgt));
+    std::vector<dts::TaskSpec> tasks;
+    std::vector<dts::Key> deps;
+    deps.push_back("s" + st);
+    tasks.emplace_back("r" + st, std::move(deps), dts::TaskFn{}, /*cost=*/0.0,
+                       /*out_bytes=*/64);
+    std::vector<dts::Key> wants;
+    wants.push_back("r" + st);
+    co_await fx.client->submit(std::move(tasks), std::move(wants));
+    (void)co_await fx.client->scatter("s" + st, dts::Data::sized(block),
+                                      /*worker=*/0, /*external=*/true);
+    (void)co_await fx.client->wait_key("r" + st);
+  }
+  co_await fx.runtime->shutdown();
+}
+
+struct GcResult {
+  int shards = 0;
+  int steps = 0;
+  std::uint64_t block_bytes = 0;
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t keys_released = 0;
+  std::uint64_t release_acks = 0;
+
+  double peak_blocks() const {
+    return static_cast<double>(peak_bytes) /
+           static_cast<double>(block_bytes);
+  }
+};
+
+GcResult run_gc(int shards, int steps, std::uint64_t block) {
+  GcResult r;
+  r.shards = shards;
+  r.steps = steps;
+  r.block_bytes = block;
+  Fixture fx(shards, /*release_consumed=*/true);
+  fx.ex.spawn(gc_timestep_flow(fx, steps, block));
+  fx.ex.run();
+  for (int i = 0; i < kWorkers; ++i)
+    r.peak_bytes = std::max(r.peak_bytes,
+                            fx.runtime->worker(i).peak_memory_bytes());
+  r.keys_released = fx.runtime->sharded().keys_released();
+  r.release_acks = fx.runtime->sharded().release_acks();
+  return r;
+}
+
 std::vector<int> parse_list(const std::string& arg) {
   std::vector<int> out;
   std::stringstream ss(arg);
@@ -221,7 +290,8 @@ std::vector<int> parse_list(const std::string& arg) {
 }
 
 void write_json(const std::string& path, const std::vector<ShardResult>& rs,
-                int repeat, double scaling) {
+                const std::vector<GcResult>& gcs, int repeat,
+                double scaling) {
   std::ofstream f(path);
   f << "{\n  \"bench\": \"micro_shard\",\n  \"repeat\": " << repeat
     << ",\n  \"time_scale\": " << kTimeScale << ",\n  \"shards\": [\n";
@@ -240,7 +310,23 @@ void write_json(const std::string& path, const std::vector<ShardResult>& rs,
       << ", \"notify_msgs\": " << r.notify_msgs << "}"
       << (i + 1 < rs.size() ? "," : "") << "\n";
   }
-  f << "  ],\n  \"ingest_scaling_min_to_max_shards\": " << scaling << "\n}\n";
+  f << "  ],\n  \"gc\": [\n";
+  bool bounded = !gcs.empty();
+  for (std::size_t i = 0; i < gcs.size(); ++i) {
+    const GcResult& g = gcs[i];
+    if (g.peak_bytes > 4 * g.block_bytes ||
+        g.keys_released != static_cast<std::uint64_t>(g.steps))
+      bounded = false;
+    f << "    {\"shards\": " << g.shards << ", \"steps\": " << g.steps
+      << ", \"block_bytes\": " << g.block_bytes
+      << ", \"peak_bytes\": " << g.peak_bytes
+      << ", \"peak_blocks\": " << g.peak_blocks()
+      << ", \"keys_released\": " << g.keys_released
+      << ", \"release_acks\": " << g.release_acks << "}"
+      << (i + 1 < gcs.size() ? "," : "") << "\n";
+  }
+  f << "  ],\n  \"gc_residency_bounded\": " << (bounded ? "true" : "false")
+    << ",\n  \"ingest_scaling_min_to_max_shards\": " << scaling << "\n}\n";
 }
 
 }  // namespace
@@ -250,6 +336,8 @@ int main(int argc, char** argv) {
   int ingest_n = 1'000'000;
   int drain_n = 100'000;
   int push_n = 100'000;
+  int gc_steps = 24;
+  std::uint64_t gc_block = 256 * 1024;
   int repeat = 1;
   std::string out = "BENCH_shard.json";
   for (int i = 1; i < argc; ++i) {
@@ -262,13 +350,18 @@ int main(int argc, char** argv) {
       drain_n = std::stoi(argv[++i]);
     } else if (a == "--push" && i + 1 < argc) {
       push_n = std::stoi(argv[++i]);
+    } else if (a == "--gc-steps" && i + 1 < argc) {
+      gc_steps = std::stoi(argv[++i]);
+    } else if (a == "--gc-block" && i + 1 < argc) {
+      gc_block = static_cast<std::uint64_t>(std::stoll(argv[++i]));
     } else if (a == "--repeat" && i + 1 < argc) {
       repeat = std::stoi(argv[++i]);
     } else if (a == "--out" && i + 1 < argc) {
       out = argv[++i];
     } else {
       std::cerr << "usage: micro_shard [--shards 1,2,4,8] [--ingest N]"
-                   " [--drain N] [--push N] [--repeat N] [--out file.json]\n";
+                   " [--drain N] [--push N] [--gc-steps N] [--gc-block BYTES]"
+                   " [--repeat N] [--out file.json]\n";
       return 2;
     }
   }
@@ -299,7 +392,25 @@ int main(int argc, char** argv) {
   std::cout << "\ningest scaling " << results.front().shards << " -> "
             << results.back().shards << " shards: "
             << deisa::util::Table::num(scaling, 2) << "x\n";
-  write_json(out, results, repeat, scaling);
+
+  std::vector<GcResult> gc_results;
+  if (gc_steps > 0) {
+    deisa::util::Table gc_table({"shards", "steps", "peak blocks",
+                                 "keys released", "release acks"});
+    for (int s : shard_counts) {
+      const GcResult g = run_gc(s, gc_steps, gc_block);
+      gc_results.push_back(g);
+      gc_table.add_row({std::to_string(g.shards), std::to_string(g.steps),
+                        deisa::util::Table::num(g.peak_blocks(), 2),
+                        std::to_string(g.keys_released),
+                        std::to_string(g.release_acks)});
+    }
+    std::cout << "\n=== refcount GC residency (release_consumed, "
+              << deisa::util::format_bytes(gc_block) << " blocks) ===\n";
+    gc_table.print(std::cout);
+  }
+
+  write_json(out, results, gc_results, repeat, scaling);
   std::cout << "wrote " << out << "\n";
   return 0;
 }

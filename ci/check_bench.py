@@ -124,6 +124,16 @@ SUITES = {
             Metric("drain_tasks_per_sec", HIGHER),
             Metric("push_us_per_block", LOWER),
         )),
+        # GC arm: worker peak residency with release_consumed on, per
+        # shard count. keys_released is an exact count (== steps), so any
+        # drop means the cross-shard lifetime protocol stopped draining.
+        Rows("gc", ("shards",), (
+            Metric("peak_blocks", LOWER),
+            Metric("keys_released", HIGHER),
+        )),
+        # Hard bound, machine-independent: every shard count kept the
+        # peak <= 4 blocks and released every consumed key.
+        Scalar("gc_residency_bounded", HIGHER, min_value=1.0),
         # Acceptance criterion: ingest at 1e6 tasks must scale >= 3x from
         # the smallest to the largest shard count, on any machine.
         Scalar("ingest_scaling_min_to_max_shards", HIGHER, min_value=3.0),

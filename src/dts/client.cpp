@@ -70,12 +70,21 @@ exec::Co<void> Client::submit_sharded(std::vector<TaskSpec> tasks,
   }
   // One pass: place each task on the shard owning its key; every
   // dependency owned by a DIFFERENT shard needs the owner to forward its
-  // completion, so a {dep, consumer shard} subscription is piggybacked
-  // on the owner's slice. Deduped with a per-dep consumer bitmask —
-  // layer-structured graphs make many same-shard tasks share one remote
-  // dependency (the 64-shard cap is enforced at ShardedScheduler
-  // construction).
-  std::unordered_map<Key, std::uint64_t> submask;
+  // completion, so a {dep, consumer shard, consumer-edge count}
+  // subscription is piggybacked on the owner's slice. Deduped with a
+  // per-dep consumer bitmask — layer-structured graphs make many
+  // same-shard tasks share one remote dependency (the 64-shard cap is
+  // enforced at ShardedScheduler construction). Repeat edges from the
+  // same consumer shard bump the already-emitted count in place, so the
+  // owner's refcount GC charges exactly one consumer per dependent edge
+  // — the same rule the single scheduler applies at ingestion.
+  struct SubEntry {
+    std::uint64_t bits = 0;
+    // (consumer shard, index into the owner slice's sub_counts) pairs
+    // already emitted for this dep; a dep rarely spans many shards.
+    std::vector<std::pair<int, std::size_t>> at;
+  };
+  std::unordered_map<Key, SubEntry> submask;
   submask.reserve(tasks.size());
   for (auto& slice : slices)
     slice.tasks.reserve(tasks.size() / static_cast<std::size_t>(n) + 1);
@@ -84,13 +93,22 @@ exec::Co<void> Client::submit_sharded(std::vector<TaskSpec> tasks,
     for (const Key& dep : t.deps) {
       const int ds = shard_of(dep);
       if (ds == s) continue;
-      std::uint64_t& bits = submask[dep];
-      const std::uint64_t bit = std::uint64_t{1} << s;
-      if ((bits & bit) != 0) continue;
-      bits |= bit;
+      SubEntry& entry = submask[dep];
       auto& owner = slices[static_cast<std::size_t>(ds)];
+      const std::uint64_t bit = std::uint64_t{1} << s;
+      if ((entry.bits & bit) != 0) {
+        for (auto& [shard, idx] : entry.at)
+          if (shard == s) {
+            ++owner.sub_counts[idx];
+            break;
+          }
+        continue;
+      }
+      entry.bits |= bit;
+      entry.at.emplace_back(s, owner.sub_counts.size());
       owner.sub_keys.push_back(dep);
       owner.sub_shards.push_back(s);
+      owner.sub_counts.push_back(1);
     }
     slices[static_cast<std::size_t>(s)].tasks.push_back(std::move(t));
   }
@@ -299,11 +317,24 @@ exec::Co<std::vector<int>> Client::register_batch_sharded(SchedMsg reg) {
 }
 
 exec::Co<RepushList> Client::repush_keys() {
-  auto reply = std::make_shared<exec::Channel<RepushList>>(*engine_);
-  SchedMsg msg(SchedMsgKind::kRepushKeys);
-  msg.reply_repush = reply;
-  co_await send_to_scheduler(std::move(msg));
-  co_return co_await reply->recv();
+  // Re-armed keys live in the repush buffer of the shard that OWNS each
+  // key, so the drain must fan out over every shard and merge — querying
+  // only shard 0 would leave assignments on other shards to expire.
+  const int n = std::max<int>(1, static_cast<int>(shard_inboxes_.size()));
+  RepushList merged;
+  for (int s = 0; s < n; ++s) {
+    auto reply = std::make_shared<exec::Channel<RepushList>>(*engine_);
+    SchedMsg msg(SchedMsgKind::kRepushKeys);
+    msg.reply_repush = reply;
+    co_await send_to_scheduler(std::move(msg), exec::Delivery::kReliable, s);
+    RepushList part = co_await reply->recv();
+    if (merged.empty())
+      merged = std::move(part);
+    else
+      merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+  }
+  co_return merged;
 }
 
 exec::Co<int> Client::wait_key(const Key& key) {

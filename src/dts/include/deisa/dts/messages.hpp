@@ -123,6 +123,12 @@ enum class SchedMsgKind {
                      // (carries the re-arm epoch in `bytes`)
   kShardKeyDone,     // cross-shard completion notification {key, worker,
                      // bytes} from the owning shard to a subscriber shard
+  kShardWorkerDead,  // liveness broadcast from shard 0 {worker, epoch in
+                     // `bytes`}: every peer shard runs recovery over its
+                     // own records
+  kShardKeyReleased, // consumer-drain ack from a subscriber shard to the
+                     // owner {key, drained count in `bytes`}: the remote
+                     // consumers charged at ingest have all finished
   kShutdown,
 };
 
@@ -165,10 +171,15 @@ struct SchedMsg {
   std::vector<Key> wants;
   /// Cross-shard completion subscriptions piggybacked on the slice sent
   /// to the shard that OWNS sub_keys[i]: "when sub_keys[i] completes,
-  /// send kShardKeyDone to shard sub_shards[i]". Always empty at
-  /// shards == 1 (the single-shard wire format is unchanged).
+  /// send kShardKeyDone to shard sub_shards[i]". sub_counts[i] is the
+  /// number of consumer edges this batch charges against sub_keys[i]
+  /// from shard sub_shards[i] (refcount GC: the owner adds them to
+  /// pending_consumers/ever_consumers; the subscriber drains them back
+  /// with kShardKeyReleased). Always empty at shards == 1 (the
+  /// single-shard wire format is unchanged).
   std::vector<Key> sub_keys;
   std::vector<int> sub_shards;
+  std::vector<int> sub_counts;
 
   // kTaskFinished / kUpdateData / kWaitKey
   Key key;

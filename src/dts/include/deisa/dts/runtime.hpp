@@ -20,8 +20,9 @@ struct RuntimeParams {
   DataPlane data_plane = DataPlane::kCopy;
   /// Scheduler shards (see shard.hpp). 1 is bit-identical to the
   /// pre-shard single scheduler; N > 1 partitions the key space across N
-  /// scheduler actors (requires fault-free plans and release_consumed
-  /// off — enforced at construction).
+  /// scheduler actors and composes with fault plans (shard 0 is the
+  /// liveness authority) and with scheduler.release_consumed
+  /// (cross-shard consumer accounting; DESIGN.md §5j).
   int shards = 1;
 };
 

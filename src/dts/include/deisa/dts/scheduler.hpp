@@ -73,10 +73,13 @@ struct SchedulerParams {
   /// consumer that ever depended on it has finished. Consumers are
   /// charged at graph-ingestion time and released on task completion;
   /// keys nothing ever depends on (gather targets, leaves) are never
-  /// released. Off by default: long-running DEISA2/3 loops opt in to
-  /// hold bounded resident bytes. Not compatible with lineage
-  /// recomputation after worker loss (released inputs cannot be
-  /// re-read), so leave it off when running fault plans.
+  /// released. Cross-shard consumers are charged through the
+  /// subscription slices and drained back via kShardKeyReleased, so the
+  /// owner shard releases iff local AND remote consumers finished. Off
+  /// by default: long-running DEISA2/3 loops opt in to hold bounded
+  /// resident bytes. Not compatible with lineage recomputation after
+  /// worker loss (released inputs cannot be re-read), so leave it off
+  /// when running fault plans.
   bool release_consumed = false;
 };
 
@@ -95,6 +98,8 @@ struct RecoveryCounters {
   std::uint64_t external_rearmed = 0;    // lost external keys re-armed
   std::uint64_t external_rerouted = 0;   // preselections moved off a dead
                                          // worker before any push
+  std::uint64_t mirrors_rearmed = 0;     // remote mirrors parked back in
+                                         // external awaiting re-announce
   std::uint64_t keys_lost = 0;           // unrecoverable (plain scatter)
   std::uint64_t repush_expired = 0;      // re-armed keys never replayed
   std::uint64_t stale_task_finished = 0; // late/duplicate reports dropped
@@ -126,9 +131,11 @@ public:
   /// Main actor loop (spawned by the Runtime). Exits on kShutdown.
   exec::Co<void> run();
   /// Heartbeat-deadline monitor (spawned alongside run()). Exits
-  /// immediately when params.heartbeat_timeout <= 0. Suspected workers
-  /// are reported through the scheduler's own inbox (kWorkerLost), so
-  /// recovery serializes with every other handler.
+  /// immediately when params.heartbeat_timeout <= 0, and on every shard
+  /// except shard 0 when sharded (heartbeats land on shard 0 only; it is
+  /// the liveness authority and broadcasts kShardWorkerDead to peers).
+  /// Suspected workers are reported through the scheduler's own inbox
+  /// (kWorkerLost), so recovery serializes with every other handler.
   exec::Co<void> run_failure_detector();
 
   // ---- observability ----
@@ -190,6 +197,8 @@ public:
   std::uint64_t shard_remote_edges() const { return shard_remote_edges_; }
   /// kShardKeyDone notifications this shard sent to subscriber shards.
   std::uint64_t shard_notify_msgs() const { return shard_notify_msgs_; }
+  /// kShardKeyReleased consumer-drain acks this shard sent to owners.
+  std::uint64_t shard_release_acks() const { return shard_release_acks_; }
 
 private:
   /// Where a record's data comes from — decides what a lost key implies:
@@ -197,7 +206,8 @@ private:
   /// producer re-push, plain scatters are unrecoverable. kRemote marks a
   /// mirror of a key owned by another shard: it completes only via
   /// kShardKeyDone (riding the external→memory edge) and is never
-  /// assigned, recovered, or re-pushed locally.
+  /// assigned or re-pushed locally — a lost mirror parks back in
+  /// external until the owner's recovery re-announces it.
   enum class Origin : std::uint8_t { kComputed, kScattered, kExternal,
                                      kRemote };
 
@@ -301,8 +311,16 @@ private:
   /// Notify and drop every subscriber of `id` (no-op unless sharded and
   /// subscribed). Called when a record reaches kMemory or kErred.
   exec::Co<void> notify_shard_subscribers(KeyId id);
-  /// Subscriber side: complete (or poison) the local mirror record.
+  /// Subscriber side: complete (or poison) the local mirror record; a
+  /// re-announcement for a mirror already in memory refreshes the cached
+  /// location (post-recovery).
   exec::Co<void> handle_shard_key_done(SchedMsg& msg);
+  /// Peer side of the liveness broadcast: mark the worker dead (epoch-
+  /// guarded, idempotent) and run recovery over this shard's records.
+  exec::Co<void> handle_shard_worker_dead(SchedMsg& msg);
+  /// Owner side of the cross-shard refcount: a subscriber shard returned
+  /// `bytes` drained consumer charges for `key`.
+  exec::Co<void> handle_shard_key_released(SchedMsg& msg);
   exec::Co<void> handle_task_finished(SchedMsg& msg);
   exec::Co<void> handle_update_data(SchedMsg& msg);
   /// Register one pushed/scattered key on `worker` and return the ack
@@ -462,10 +480,24 @@ private:
   std::string actor_ = "scheduler";  // per-shard trace/span actor id
   std::vector<exec::Channel<SchedMsg>*> shard_peers_;
   /// Subscriber shards awaiting completion of a local key (cold: only
-  /// keys another shard depends on ever get an entry).
+  /// keys another shard depends on ever get an entry). Persistent: a key
+  /// recovered after worker loss re-announces through the same list.
   std::unordered_map<KeyId, std::vector<int>> shard_subs_;
+  /// Owner side of the cross-shard refcount: outstanding remote consumer
+  /// charges per local key (charged by subscription slices, drained by
+  /// kShardKeyReleased acks; transiently negative when an ack outruns
+  /// its charging slice). A non-zero balance blocks the GC release.
+  std::unordered_map<KeyId, int> shard_remote_counts_;
+  /// Subscriber side: consumer charges already acked back to the owner
+  /// per mirror record (ever_consumers - acked = still to drain).
+  std::unordered_map<KeyId, int> shard_drain_acked_;
   std::uint64_t shard_remote_edges_ = 0;
   std::uint64_t shard_notify_msgs_ = 0;
+  std::uint64_t shard_release_acks_ = 0;
+  /// Liveness-broadcast epoch: shard 0 stamps each kShardWorkerDead with
+  /// a fresh epoch; peers drop anything at or below the last one seen.
+  std::uint64_t shard_death_epoch_ = 0;
+  std::uint64_t shard_last_death_epoch_ = 0;
 };
 
 }  // namespace deisa::dts

@@ -18,6 +18,14 @@
 // external→memory cascade (erred keys ride the poison cascade). At
 // N == 1 every shard branch is dead and the behavior is bit-identical
 // to the single scheduler.
+//
+// Liveness and key lifetime compose with sharding (DESIGN.md §5j):
+// heartbeats land on shard 0 — the liveness authority — which
+// broadcasts kShardWorkerDead{worker, epoch} so every shard runs
+// lineage recovery over its own records, and the refcount GC charges
+// cross-shard consumers through the subscription slices, drained back
+// via kShardKeyReleased acks, so the owner releases iff local AND
+// remote consumers finished.
 #pragma once
 
 #include <memory>
@@ -79,6 +87,11 @@ public:
   std::uint64_t keys_released() const;
   std::uint64_t remote_edges() const;
   std::uint64_t notify_msgs() const;
+  std::uint64_t release_acks() const;
+  /// Field-wise sum of every shard's recovery counters. Each shard runs
+  /// lineage recovery over its own records, so the totals live spread
+  /// across shards (shard 0 counts workers_lost exactly once per death).
+  RecoveryCounters recovery() const;
 
 private:
   ShardMapper mapper_;

@@ -47,6 +47,8 @@ const char* to_string(SchedMsgKind k) {
     case SchedMsgKind::kRepushKeys: return "repush_keys";
     case SchedMsgKind::kRepushExpired: return "repush_expired";
     case SchedMsgKind::kShardKeyDone: return "shard_key_done";
+    case SchedMsgKind::kShardWorkerDead: return "shard_worker_dead";
+    case SchedMsgKind::kShardKeyReleased: return "shard_key_released";
     case SchedMsgKind::kShutdown: return "shutdown";
   }
   return "?";
@@ -93,6 +95,7 @@ std::uint64_t wire_bytes(const SchedMsg& msg) {
   b += msg.keys.size() * kWirePerKeyBytes;
   b += msg.wants.size() * kWirePerKeyBytes;
   b += msg.sub_keys.size() * kWirePerKeyBytes;  // cross-shard subscriptions
+  b += msg.sub_counts.size() * sizeof(int);     // piggybacked consumer counts
   b += msg.sizes.size() * sizeof(std::uint64_t);  // batched push sizes
   b += msg.key.size();
   b += msg.payload.bytes;  // variables/queues carry their payload inline
@@ -129,14 +132,6 @@ void Scheduler::set_shard_context(
   // scheduler.
   actor_ = num_shards == 1 ? "scheduler"
                            : "scheduler-" + std::to_string(shard_index);
-  if (num_shards > 1) {
-    DEISA_CHECK(params_.heartbeat_timeout <= 0.0,
-                "failure detection is per-shard-unaware; run fault plans "
-                "at shards == 1");
-    DEISA_CHECK(!params_.release_consumed,
-                "refcount GC cannot see cross-shard consumers; run "
-                "release_consumed at shards == 1");
-  }
 }
 
 void Scheduler::attach_workers(std::vector<WorkerRef> workers) {
@@ -367,6 +362,12 @@ exec::Co<void> Scheduler::handle(SchedMsg msg) {
     case SchedMsgKind::kShardKeyDone:
       co_await handle_shard_key_done(msg);
       break;
+    case SchedMsgKind::kShardWorkerDead:
+      co_await handle_shard_worker_dead(msg);
+      break;
+    case SchedMsgKind::kShardKeyReleased:
+      co_await handle_shard_key_released(msg);
+      break;
     case SchedMsgKind::kVariableSet:
     case SchedMsgKind::kVariableGet:
       co_await handle_variable(msg);
@@ -518,6 +519,10 @@ exec::Co<void> Scheduler::process_shard_subscriptions(SchedMsg& msg) {
   DEISA_CHECK(msg.sub_keys.size() == msg.sub_shards.size(),
               "sub_keys/sub_shards length mismatch: "
                   << msg.sub_keys.size() << " vs " << msg.sub_shards.size());
+  DEISA_CHECK(msg.sub_counts.empty() ||
+                  msg.sub_counts.size() == msg.sub_keys.size(),
+              "sub_counts length mismatch: " << msg.sub_counts.size()
+                                             << " vs " << msg.sub_keys.size());
   for (std::size_t i = 0; i < msg.sub_keys.size(); ++i) {
     const Key& key = msg.sub_keys[i];
     const int sub = msg.sub_shards[i];
@@ -528,15 +533,35 @@ exec::Co<void> Scheduler::process_shard_subscriptions(SchedMsg& msg) {
     // or an earlier RPC from the same client already interned the key.
     DEISA_CHECK(id != kNoKeyId,
                 "cross-shard subscription to unknown key '" << key << "'");
-    const TaskState st = records_[id].state;
-    if (st == TaskState::kMemory || st == TaskState::kErred) {
-      // Already terminal: answer now; nothing will transition it again.
-      co_await notify_one_shard(sub, id, st == TaskState::kErred);
-    } else {
-      auto& subs = shard_subs_[id];
-      if (std::find(subs.begin(), subs.end(), sub) == subs.end())
-        subs.push_back(sub);
+    TaskRecord& rec = records_[id];
+    // Refcount plane: the subscriber's slice charges `count` consumer
+    // edges against this key from shard `sub`; they drain back through
+    // kShardKeyReleased once those consumers reach a terminal state.
+    const int count = i < msg.sub_counts.size() ? msg.sub_counts[i] : 0;
+    if (count > 0 && params_.release_consumed) {
+      DEISA_CHECK(!rec.released,
+                  "cross-shard graph references key '"
+                      << key << "' already released by the refcount GC");
+      rec.ever_consumers += count;
+      const auto [cit, fresh] = shard_remote_counts_.try_emplace(id, 0);
+      cit->second += count;
+      if (cit->second == 0) {
+        // The drain ack outran this slice (different channels): the
+        // balance parked negative and blocked the release; it is settled
+        // now, so this charge is also the release trigger.
+        shard_remote_counts_.erase(cit);
+        co_await maybe_release(id, rec);
+      }
     }
+    // Register the subscriber persistently — even when the key is
+    // already terminal: a key recovered after worker loss re-announces
+    // its fresh completion through the same list.
+    auto& subs = shard_subs_[id];
+    if (std::find(subs.begin(), subs.end(), sub) == subs.end())
+      subs.push_back(sub);
+    const TaskState st = records_[id].state;
+    if (st == TaskState::kMemory || st == TaskState::kErred)
+      co_await notify_one_shard(sub, id, st == TaskState::kErred);
   }
 }
 
@@ -567,10 +592,11 @@ exec::Co<void> Scheduler::notify_shard_subscribers(KeyId id) {
   if (num_shards_ <= 1) co_return;
   const auto it = shard_subs_.find(id);
   if (it == shard_subs_.end()) co_return;
-  std::vector<int> subs = std::move(it->second);
-  shard_subs_.erase(it);
+  // The subscription list is persistent (not drained): when worker loss
+  // re-arms this key and lineage recovery completes it again, the fresh
+  // kShardKeyDone re-announces the new location to every subscriber.
   const bool erred = records_[id].state == TaskState::kErred;
-  for (const int s : subs) co_await notify_one_shard(s, id, erred);
+  for (const int s : it->second) co_await notify_one_shard(s, id, erred);
 }
 
 exec::Co<void> Scheduler::handle_shard_key_done(SchedMsg& msg) {
@@ -601,7 +627,26 @@ exec::Co<void> Scheduler::handle_shard_key_done(SchedMsg& msg) {
   TaskRecord& rec = records_[id];
   DEISA_ASSERT(rec.origin == Origin::kRemote,
                "shard_key_done for locally owned key " << msg.key);
-  if (rec.state != TaskState::kExternal) co_return;  // duplicate
+  if (rec.state == TaskState::kErred) co_return;  // terminal: duplicate
+  if (rec.state == TaskState::kMemory) {
+    // A re-announcement (or a notification that outran the death
+    // broadcast for this mirror's worker): refresh the cached location
+    // so assigns and recovery see where the bytes actually live now.
+    if (rec.worker >= 0 &&
+        static_cast<std::size_t>(rec.worker) < has_what_.size())
+      has_what_[static_cast<std::size_t>(rec.worker)].erase(id);
+    if (msg.erred) {
+      // The owner lost the key unrecoverably after announcing it.
+      co_await poison_task(id, msg.error);
+      co_return;
+    }
+    rec.worker = msg.worker;
+    rec.bytes = msg.bytes;
+    if (msg.worker >= 0 &&
+        static_cast<std::size_t>(msg.worker) < has_what_.size())
+      has_what_[static_cast<std::size_t>(msg.worker)].insert(id);
+    co_return;
+  }
   if (msg.erred) {
     co_await poison_task(id, msg.error);
   } else {
@@ -625,12 +670,55 @@ exec::Co<void> Scheduler::release_task_inputs(TaskRecord& rec) {
 
 exec::Co<void> Scheduler::maybe_release(KeyId id, TaskRecord& rec) {
   if (!params_.release_consumed) co_return;
+  if (rec.origin == Origin::kRemote) {
+    // Subscriber side of the cross-shard refcount: a mirror is never
+    // released locally — the owner shard holds the authoritative count.
+    // Once every local consumer charged against the mirror has drained,
+    // return the charges with a consumer-drain ack; the owner releases
+    // iff its local AND remote consumers are all accounted for.
+    if (rec.pending_consumers != 0) co_return;
+    int& acked = shard_drain_acked_[id];
+    if (rec.ever_consumers <= acked) co_return;
+    const int count = rec.ever_consumers - acked;
+    acked = rec.ever_consumers;
+    const Key& name = keys_.name(id);
+    const int owner = static_cast<int>(
+        KeyTable::hash_key(name) % static_cast<std::uint64_t>(num_shards_));
+    DEISA_ASSERT(owner != shard_index_,
+                 "remote mirror " << name << " owned by this shard");
+    SchedMsg m(SchedMsgKind::kShardKeyReleased);
+    m.key = name;
+    m.bytes = static_cast<std::uint64_t>(count);
+    m.sender_node = node_;
+    m.cause = current_cause_;
+    ++shard_release_acks_;
+    obs::count("scheduler.shard.release_acks");
+    exec::Channel<SchedMsg>* peer =
+        shard_peers_[static_cast<std::size_t>(owner)];
+    DEISA_ASSERT(peer != nullptr, "no inbox for shard " << owner);
+    // Enqueue before charging the control cost: the client may observe the
+    // consumer's completion (release_waiters runs first in finish_task) and
+    // enqueue kShutdown in this very tick — landing the ack in the owner's
+    // FIFO inbox now guarantees it is processed before that shutdown, so
+    // the final step of a run drains exactly like every other step. The
+    // intra-node control cost is still accounted against the network model.
+    const std::size_t ack_bytes = wire_bytes(m);
+    peer->send(std::move(m));
+    co_await cluster_->send_control(node_, node_, ack_bytes);
+    co_return;
+  }
   if (rec.released || rec.state != TaskState::kMemory) co_return;
   // Never release a key that still has (or could get) readers: a pending
   // consumer holds a charge until it reaches a terminal state, a key
   // nothing ever consumed is a gather target or a leaf, and a blocked
   // wait_key means a client is about to fetch it.
   if (rec.ever_consumers == 0 || rec.pending_consumers > 0) co_return;
+  // Cross-shard consumers: a non-zero balance means remote charges are
+  // still outstanding (positive) or a drain ack outran its charging
+  // slice (negative) — either way the release must wait.
+  if (const auto it = shard_remote_counts_.find(id);
+      it != shard_remote_counts_.end() && it->second != 0)
+    co_return;
   if (waiters_.count(id) != 0) co_return;
   if (rec.worker < 0 || worker_is_dead(rec.worker)) co_return;
   rec.released = true;
@@ -652,6 +740,24 @@ exec::Co<void> Scheduler::maybe_release(KeyId id, TaskRecord& rec) {
   m.key = name;
   m.cause = current_cause_;
   ref.inbox->send(std::move(m));
+}
+
+exec::Co<void> Scheduler::handle_shard_key_released(SchedMsg& msg) {
+  const KeyId id = keys_.find(msg.key);
+  DEISA_CHECK(id != kNoKeyId,
+              "consumer-drain ack for unknown key '" << msg.key << "'");
+  TaskRecord& rec = records_[id];
+  DEISA_ASSERT(rec.origin != Origin::kRemote,
+               "consumer-drain ack routed to a subscriber shard for "
+                   << msg.key);
+  const int count = static_cast<int>(msg.bytes);
+  const auto [it, fresh] = shard_remote_counts_.try_emplace(id, 0);
+  it->second -= count;
+  // A drain ack can outrun the subscription slice that charges its batch
+  // (they travel on different channels): the balance parks negative and
+  // the release stays blocked until the slice settles it back to zero.
+  if (it->second == 0) shard_remote_counts_.erase(it);
+  co_await maybe_release(id, rec);
 }
 
 int Scheduler::pick_live_worker() {
@@ -808,11 +914,15 @@ exec::Co<void> Scheduler::finish_task(KeyId id, TaskRecord& rec, int worker,
   // kShardKeyDone before local waiters/dependents are serviced, so both
   // sides observe the completion in the same causal order.
   if (num_shards_ > 1) co_await notify_shard_subscribers(id);
-  // Wake clients blocked in wait_key/gather.
-  co_await release_waiters(id, worker);
   // Refcount plane: this task has read its inputs for the last time —
   // return the charges, releasing any input whose last consumer it was.
+  // This runs BEFORE waiters wake: a client observing this completion may
+  // shut the runtime down in direct response (the last step of a run), and
+  // any cross-shard drain ack must already sit in the owner's FIFO inbox
+  // by then or the final release is lost on both substrates.
   co_await release_task_inputs(rec);
+  // Wake clients blocked in wait_key/gather.
+  co_await release_waiters(id, worker);
   // Unblock dependents (standard task-finished stimulus; external tasks
   // reuse exactly this path — the point of §2.2).
   take_dependents(rec, scratch_dependents_);
@@ -1124,6 +1234,11 @@ exec::Co<void> Scheduler::handle_queue(SchedMsg& msg) {
 
 exec::Co<void> Scheduler::run_failure_detector() {
   if (params_.heartbeat_timeout <= 0.0) co_return;
+  // Heartbeats are keyless, so workers route them to shard 0: it is the
+  // liveness authority. Peer shards must not run deadline scans over
+  // heartbeats they never receive (every worker would look dead); they
+  // learn of deaths through the kShardWorkerDead broadcast instead.
+  if (num_shards_ > 1 && shard_index_ != 0) co_return;
   const double interval = params_.failure_check_interval > 0.0
                               ? params_.failure_check_interval
                               : params_.heartbeat_timeout / 4.0;
@@ -1174,6 +1289,44 @@ exec::Co<void> Scheduler::handle_worker_lost(SchedMsg& msg) {
   obs::trace_instant(actor_, "recovery",
                      "worker_lost:worker-" + std::to_string(w));
   DEISA_TRACE("scheduler", "worker " << w << " declared lost; recovering");
+  if (num_shards_ > 1) {
+    // Liveness authority: broadcast the death (epoch in `bytes`) before
+    // running local recovery, so peer shards start recovering their own
+    // records — mirrors included — as early as possible. Deaths are
+    // monotone (workers never rejoin) and the epoch only moves forward,
+    // so a stale or duplicated report can never re-kill a worker whose
+    // recovery a peer already ran (DESIGN.md §5j).
+    const std::uint64_t epoch = ++shard_death_epoch_;
+    for (int s = 0; s < num_shards_; ++s) {
+      if (s == shard_index_) continue;
+      SchedMsg m(SchedMsgKind::kShardWorkerDead);
+      m.worker = w;
+      m.bytes = epoch;
+      m.sender_node = node_;
+      m.cause = current_cause_;
+      co_await cluster_->send_control(node_, node_, wire_bytes(m));
+      shard_peers_[static_cast<std::size_t>(s)]->send(std::move(m));
+    }
+  }
+  co_await recover_worker(w);
+}
+
+exec::Co<void> Scheduler::handle_shard_worker_dead(SchedMsg& msg) {
+  const int w = msg.worker;
+  if (w < 0 || static_cast<std::size_t>(w) >= workers_.size()) co_return;
+  // Epoch guard: drop anything at or below the last death this shard
+  // processed, and anything about a worker already marked dead. With
+  // FIFO delivery from shard 0 this only fires on duplicated or stale
+  // reports, but it makes the broadcast safely idempotent either way.
+  if (msg.bytes <= shard_last_death_epoch_ || is_dead(w)) co_return;
+  shard_last_death_epoch_ = msg.bytes;
+  dead_[static_cast<std::size_t>(w)] = 1;
+  ++dead_count_;
+  // recovery_.workers_lost stays untouched here: shard 0 counted the
+  // death once; per-shard sums must equal the single-scheduler count.
+  obs::count("scheduler.shard.worker_dead");
+  obs::trace_instant(actor_, "recovery",
+                     "shard_worker_dead:worker-" + std::to_string(w));
   co_await recover_worker(w);
 }
 
@@ -1228,6 +1381,19 @@ exec::Co<void> Scheduler::recover_worker(int w) {
             id, "scattered data lost with worker " + std::to_string(w));
         ++recovery_.keys_lost;
         obs::count("scheduler.recovery.keys_lost");
+        break;
+      case Origin::kRemote:
+        // Mirror of a key owned by another shard: the owner recovers the
+        // actual data (lineage, re-push, or poison) and re-announces the
+        // outcome through its persistent subscription list. Park the
+        // mirror back in external so the fresh kShardKeyDone completes
+        // it again with the new location.
+        transition(id, rec, TaskState::kExternal);
+        rec.worker = -1;
+        rec.bytes = 0;
+        rec.nwaiting = 0;
+        ++recovery_.mirrors_rearmed;
+        obs::count("scheduler.recovery.mirrors_rearmed");
         break;
     }
   }

@@ -86,4 +86,29 @@ std::uint64_t ShardedScheduler::notify_msgs() const {
   return n;
 }
 
+std::uint64_t ShardedScheduler::release_acks() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->shard_release_acks();
+  return n;
+}
+
+RecoveryCounters ShardedScheduler::recovery() const {
+  RecoveryCounters sum;
+  for (const auto& s : shards_) {
+    const RecoveryCounters& r = s->recovery();
+    sum.workers_lost += r.workers_lost;
+    sum.tasks_rerun += r.tasks_rerun;
+    sum.keys_recomputed += r.keys_recomputed;
+    sum.external_rearmed += r.external_rearmed;
+    sum.external_rerouted += r.external_rerouted;
+    sum.mirrors_rearmed += r.mirrors_rearmed;
+    sum.keys_lost += r.keys_lost;
+    sum.repush_expired += r.repush_expired;
+    sum.stale_task_finished += r.stale_task_finished;
+    sum.stale_update_data += r.stale_update_data;
+    sum.stale_heartbeats += r.stale_heartbeats;
+  }
+  return sum;
+}
+
 }  // namespace deisa::dts

@@ -77,13 +77,15 @@ struct ScenarioParams {
   /// use (see RuntimeParams::data_plane).
   dts::DataPlane data_plane = dts::DataPlane::kCopy;
   /// Refcount GC: release a key from worker memory once every consumer
-  /// task has finished (bounded residency over long runs). Off by
-  /// default — incompatible with lineage recomputation under faults.
+  /// task has finished (bounded residency over long runs), including
+  /// consumers ingested on other shards. Off by default — incompatible
+  /// with lineage recomputation under faults.
   bool release_consumed = false;
   /// Scheduler shards: partition the key space across N scheduler actors
   /// (dts::ShardedScheduler). 1 is bit-identical to the single
-  /// scheduler; N > 1 requires a fault-free plan and release_consumed
-  /// off.
+  /// scheduler; N > 1 composes with fault plans (shard 0 is the
+  /// liveness authority) and with release_consumed (cross-shard
+  /// consumer accounting).
   int shards = 1;
 
   /// Allocation seed: different submissions get different node placements
@@ -179,6 +181,8 @@ struct RunResult {
   std::uint64_t shard_remote_edges = 0;
   /// kShardKeyDone notifications forwarded between shards.
   std::uint64_t shard_notify_msgs = 0;
+  /// kShardKeyReleased consumer-drain acks forwarded between shards.
+  std::uint64_t shard_release_acks = 0;
   std::uint64_t bridge_blocks_sent = 0;
   std::uint64_t bridge_blocks_filtered = 0;
   std::uint64_t network_bytes = 0;
@@ -203,8 +207,12 @@ struct RunResult {
   /// Keys dropped by the scheduler's refcount GC.
   std::uint64_t keys_released = 0;
 
-  /// Scheduler-side recovery counters (all zero on fault-free runs).
+  /// Scheduler-side recovery counters, summed over all shards (all zero
+  /// on fault-free runs).
   dts::RecoveryCounters recovery;
+  /// Per-shard recovery breakdown (size == shards; [0] equals `recovery`
+  /// at shards == 1).
+  std::vector<dts::RecoveryCounters> shard_recovery;
   /// Worker crashes actually performed by the fault injector.
   std::uint64_t workers_killed = 0;
 

@@ -192,14 +192,6 @@ struct World {
     rp.data_plane = p.data_plane;
     rp.scheduler.release_consumed = p.release_consumed;
     rp.shards = p.shards;
-    if (p.shards > 1) {
-      DEISA_CHECK(p.faults.empty(),
-                  "fault plans require shards == 1 (failure detection is "
-                  "per-shard-unaware)");
-      DEISA_CHECK(!p.release_consumed,
-                  "release_consumed requires shards == 1 (refcount GC cannot "
-                  "see cross-shard consumers)");
-    }
     runtime = std::make_unique<dts::Runtime>(engine, cluster, scheduler_node,
                                              worker_nodes, rp);
     if (sim_engine) {
@@ -737,6 +729,7 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
     res.shard_messages.push_back(sched.shard(s).total_messages());
   res.shard_remote_edges = sched.remote_edges();
   res.shard_notify_msgs = sched.notify_msgs();
+  res.shard_release_acks = sched.release_acks();
   for (const auto& b : st.bridges) {
     res.bridge_blocks_sent += b->blocks_sent();
     res.bridge_blocks_filtered += b->blocks_filtered();
@@ -754,8 +747,11 @@ RunResult run_scenario(Pipeline pipeline, const ScenarioParams& params) {
     res.depot_peak_bytes = depot->peak_bytes();
   res.pfs_bytes_written = w.pfs.bytes_written();
   res.pfs_bytes_read = w.pfs.bytes_read();
-  // Fault plans require shards == 1, so shard 0 holds all recovery state.
-  res.recovery = sched.shard(0).recovery();
+  // Every shard runs lineage recovery over its own records: the totals
+  // are field-wise sums, with the per-shard breakdown kept for reporting.
+  res.recovery = sched.recovery();
+  for (int s = 0; s < sched.num_shards(); ++s)
+    res.shard_recovery.push_back(sched.shard(s).recovery());
   res.workers_killed = w.injector ? w.injector->kills_performed() : 0;
   // Threaded backend: fold the executor's contention counters (strand
   // queue depths, post->run latency) into the run's metrics.

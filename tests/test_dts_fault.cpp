@@ -1,16 +1,20 @@
 // Fault-handling tests for the task system: retries of transient
 // failures, cancellation semantics, worker memory accounting, stale
 // lifecycle reports, heartbeat-based failure detection, lost-key
-// re-execution, and the external re-arm/re-push protocol.
+// re-execution, the external re-arm/re-push protocol, and sharded
+// recovery (worker kills at shards > 1 produce byte-identical results).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 
 #include "deisa/dts/runtime.hpp"
 #include "deisa/fault/fault.hpp"
+#include "deisa/harness/scenario.hpp"
 
 namespace dts = deisa::dts;
 namespace fault = deisa::fault;
+namespace harness = deisa::harness;
 namespace net = deisa::net;
 namespace sim = deisa::sim;
 
@@ -403,6 +407,76 @@ TEST(Fault, WorkerMemoryAccounting) {
   EXPECT_TRUE(w.release_key("a"));
   EXPECT_EQ(w.memory_bytes(), 700u);
   EXPECT_FALSE(w.release_key("a"));
+}
+
+// ---- sharded recovery: worker kills at shards > 1 ----
+
+harness::ScenarioParams sharded_fault_params(int shards) {
+  harness::ScenarioParams p;
+  p.ranks = 4;
+  p.workers = 2;
+  p.block_bytes = 16 * 16 * sizeof(double);
+  p.timesteps = 4;
+  p.real_data = true;
+  p.cluster.jitter_sigma = 0.0;
+  p.sched.service_jitter_sigma = 0.0;
+  p.shards = shards;
+  return p;
+}
+
+TEST(ShardedFault, SeededWorkerKillMatchesFaultFreeResults) {
+  // Shard 0 is the liveness authority: the death broadcast must reach
+  // every shard so each one recovers its own slice of the lineage (and
+  // parks its mirrors of lost keys). The acceptance bar is the same as
+  // the single-scheduler recovery test: a killed worker changes nothing
+  // about the analytics outputs, byte for byte.
+  for (const int shards : {2, 4}) {
+    const auto p = sharded_fault_params(shards);
+    const auto clean = harness::run_scenario(harness::Pipeline::kDeisa3, p);
+    ASSERT_FALSE(clean.singular_values.empty()) << "shards " << shards;
+    EXPECT_EQ(clean.workers_killed, 0u);
+    EXPECT_EQ(clean.recovery.workers_lost, 0u);
+
+    auto pf = p;
+    pf.faults.kills.emplace_back(1, clean.sim_end * 0.5);
+    pf.faults.seed = 0xF0 + static_cast<std::uint64_t>(shards);
+    const auto faulty = harness::run_scenario(harness::Pipeline::kDeisa3, pf);
+    EXPECT_EQ(faulty.workers_killed, 1u) << "shards " << shards;
+    // Exactly one death, counted once (by shard 0) across all shards.
+    EXPECT_EQ(faulty.recovery.workers_lost, 1u) << "shards " << shards;
+    EXPECT_GT(faulty.recovery.external_rearmed + faulty.recovery.tasks_rerun +
+                  faulty.recovery.keys_recomputed +
+                  faulty.recovery.external_rerouted,
+              0u)
+        << "shards " << shards;
+    ASSERT_EQ(faulty.shard_recovery.size(),
+              static_cast<std::size_t>(shards));
+    // The per-shard breakdown really sums to the aggregate.
+    std::uint64_t lost = 0, rerun = 0;
+    for (const auto& sr : faulty.shard_recovery) {
+      lost += sr.workers_lost;
+      rerun += sr.tasks_rerun;
+    }
+    EXPECT_EQ(lost, faulty.recovery.workers_lost);
+    EXPECT_EQ(rerun, faulty.recovery.tasks_rerun);
+
+    ASSERT_EQ(faulty.singular_values.size(), clean.singular_values.size());
+    for (std::size_t i = 0; i < clean.singular_values.size(); ++i) {
+      // memcmp, not ==: byte-identical, including signed-zero/NaN bits.
+      EXPECT_EQ(std::memcmp(&faulty.singular_values[i],
+                            &clean.singular_values[i], sizeof(double)),
+                0)
+          << "shards " << shards << " sv[" << i << "]: "
+          << faulty.singular_values[i] << " vs " << clean.singular_values[i];
+    }
+    ASSERT_EQ(faulty.explained_variance.size(),
+              clean.explained_variance.size());
+    for (std::size_t i = 0; i < clean.explained_variance.size(); ++i)
+      EXPECT_EQ(std::memcmp(&faulty.explained_variance[i],
+                            &clean.explained_variance[i], sizeof(double)),
+                0)
+          << "shards " << shards << " ev[" << i << "]";
+  }
 }
 
 }  // namespace

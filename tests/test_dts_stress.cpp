@@ -53,7 +53,7 @@ struct Fixture {
   dts::Client* client = nullptr;
 
   explicit Fixture(dts::DataPlane plane = dts::DataPlane::kCopy,
-                   bool release_consumed = false) {
+                   bool release_consumed = false, int shards = 1) {
     net::ClusterParams cp;
     cp.physical_nodes = kWorkers + 4;
     cluster = std::make_unique<net::Cluster>(eng, cp);
@@ -68,6 +68,7 @@ struct Fixture {
     rp.scheduler.release_consumed = release_consumed;
     rp.worker.heartbeat_interval = 0;  // no background chatter
     rp.data_plane = plane;
+    rp.shards = shards;
     rt = std::make_unique<dts::Runtime>(eng, *cluster, 0, wn, rp);
     rt->start();
     client = &rt->make_client(1);
@@ -211,8 +212,9 @@ sim::Co<void> external_timestep_loop(Fixture& fx, int steps,
 std::uint64_t peak_after_loop(dts::DataPlane plane, bool gc, int steps,
                               std::uint64_t block,
                               std::uint64_t* depot_peak = nullptr,
-                              std::uint64_t* released = nullptr) {
-  Fixture fx(plane, gc);
+                              std::uint64_t* released = nullptr,
+                              int shards = 1) {
+  Fixture fx(plane, gc, shards);
   fx.eng.spawn(external_timestep_loop(fx, steps, block));
   fx.eng.run();
   std::uint64_t peak = 0;
@@ -220,7 +222,7 @@ std::uint64_t peak_after_loop(dts::DataPlane plane, bool gc, int steps,
     peak = std::max(peak, fx.rt->worker(i).peak_memory_bytes());
   if (depot_peak != nullptr && fx.rt->depot() != nullptr)
     *depot_peak = fx.rt->depot()->peak_bytes();
-  if (released != nullptr) *released = fx.rt->scheduler().keys_released();
+  if (released != nullptr) *released = fx.rt->sharded().keys_released();
   return peak;
 }
 
@@ -248,6 +250,37 @@ TEST(SchedStress, RefcountGcBoundsWorkerResidency) {
   std::uint64_t depot_peak = 0;
   const std::uint64_t on_proxy = peak_after_loop(
       dts::DataPlane::kProxy, true, kLong, kBlock, &depot_peak);
+  EXPECT_LE(on_proxy, 3 * kBlock);
+  EXPECT_GT(depot_peak, 0u);
+  EXPECT_LE(depot_peak, 3 * kBlock);
+}
+
+TEST(SchedStress, RefcountGcBoundsWorkerResidencyShardedFour) {
+  // Same bound as above, but with the key space sharded four ways: the
+  // external block and its consumer usually land on different shards, so
+  // the release now needs the full cross-shard accounting round trip
+  // (charge on the subscription slice, drain ack back to the owner). The
+  // residency bound and the released-everything invariant must hold
+  // exactly as in the single-scheduler run.
+  constexpr std::uint64_t kBlock = 256 * 1024;
+  constexpr int kShort = 12;
+  constexpr int kLong = 36;
+  std::uint64_t released_short = 0;
+  std::uint64_t released_long = 0;
+  const std::uint64_t on_short =
+      peak_after_loop(dts::DataPlane::kCopy, true, kShort, kBlock, nullptr,
+                      &released_short, /*shards=*/4);
+  const std::uint64_t on_long =
+      peak_after_loop(dts::DataPlane::kCopy, true, kLong, kBlock, nullptr,
+                      &released_long, /*shards=*/4);
+  EXPECT_EQ(released_short, static_cast<std::uint64_t>(kShort));
+  EXPECT_EQ(released_long, static_cast<std::uint64_t>(kLong));
+  EXPECT_LE(on_long, 3 * kBlock);
+  EXPECT_LT(on_long, on_short + kBlock);  // growth independent of steps
+  std::uint64_t depot_peak = 0;
+  const std::uint64_t on_proxy =
+      peak_after_loop(dts::DataPlane::kProxy, true, kLong, kBlock, &depot_peak,
+                      nullptr, /*shards=*/4);
   EXPECT_LE(on_proxy, 3 * kBlock);
   EXPECT_GT(depot_peak, 0u);
   EXPECT_LE(depot_peak, 3 * kBlock);

@@ -25,6 +25,7 @@
 //   substrate_threads: 0     # optional: threads backend worker count
 //   data_plane: copy         # optional: copy (default) | proxy
 //   release_consumed: false  # optional: refcount-GC consumed keys
+//                            #           (--release-consumed= wins)
 //   shards: 1                # optional: scheduler shards (--shards= wins)
 //   time_scale: 0.05         # optional: wall seconds per model second
 //   trace_capacity: 1048576  # optional: trace ring size (events)
@@ -61,7 +62,11 @@
 //
 // --shards=N partitions the scheduler key space across N scheduler
 // actors (dts::ShardedScheduler). N=1 (the default) is bit-identical to
-// the single scheduler; N>1 requires a fault-free plan.
+// the single scheduler. N>1 composes with --fault= (shard 0 is the
+// liveness authority and broadcasts worker deaths to its peers) and
+// with --data-plane=/--release-consumed= (cross-shard consumers are
+// charged through the subscription slices and drained back via
+// release acks; see DESIGN.md §5j).
 //
 // Every option accepts both `--flag value` and `--flag=value`. Unknown
 // options abort with exit code 2 and the known-flag list.
@@ -171,6 +176,7 @@ struct Flags {
   std::string policy;
   std::string scenario_seed;
   std::string shards;
+  std::string release_consumed;
 };
 
 /// Known value-taking options, each accepted as `--name value` or
@@ -191,7 +197,15 @@ const FlagSpec kFlagTable[] = {
     {"--policy", &Flags::policy},
     {"--scenario-seed", &Flags::scenario_seed},
     {"--shards", &Flags::shards},
+    {"--release-consumed", &Flags::release_consumed},
 };
+
+bool bool_of(const std::string& name, const std::string& value) {
+  if (value == "true" || value == "1" || value == "on") return true;
+  if (value == "false" || value == "0" || value == "off") return false;
+  throw util::ConfigError("unknown " + name + " value '" + value +
+                          "' (expected true|false)");
+}
 
 int run(const Flags& flags) {
   const std::string& path = flags.config;
@@ -273,6 +287,8 @@ int run(const Flags& flags) {
   // The flag wins over both the yaml knob and the generated default.
   if (!policy_flag.empty()) p.sched.policy = deisa::dts::policy_of(policy_flag);
   if (!flags.shards.empty()) p.shards = std::stoi(flags.shards);
+  if (!flags.release_consumed.empty())
+    p.release_consumed = bool_of("--release-consumed", flags.release_consumed);
 
   std::cout << "pipeline " << harness::to_string(pipeline) << ": " << p.ranks
             << " ranks x " << util::format_bytes(p.block_bytes) << " x "
@@ -338,7 +354,8 @@ int run(const Flags& flags) {
       std::cout << "  shard msgs:";
       for (std::uint64_t m : r.shard_messages) std::cout << " " << m;
       std::cout << " (remote edges " << r.shard_remote_edges
-                << ", notify msgs " << r.shard_notify_msgs << ")\n";
+                << ", notify msgs " << r.shard_notify_msgs
+                << ", release acks " << r.shard_release_acks << ")\n";
     }
     if (!p.faults.empty()) {
       const auto& rec = r.recovery;
@@ -347,11 +364,22 @@ int run(const Flags& flags) {
                 << rec.tasks_rerun << ", keys_recomputed "
                 << rec.keys_recomputed << ", external_rearmed "
                 << rec.external_rearmed << ", external_rerouted "
-                << rec.external_rerouted << ", keys_lost " << rec.keys_lost
+                << rec.external_rerouted << ", mirrors_rearmed "
+                << rec.mirrors_rearmed << ", keys_lost " << rec.keys_lost
                 << ", repush_expired " << rec.repush_expired << "\n"
                 << "  stale: task_finished " << rec.stale_task_finished
                 << ", update_data " << rec.stale_update_data
                 << ", heartbeats " << rec.stale_heartbeats << "\n";
+      if (p.shards > 1) {
+        for (std::size_t s = 0; s < r.shard_recovery.size(); ++s) {
+          const auto& sr = r.shard_recovery[s];
+          std::cout << "    shard " << s << ": tasks_rerun " << sr.tasks_rerun
+                    << ", keys_recomputed " << sr.keys_recomputed
+                    << ", external_rearmed " << sr.external_rearmed
+                    << ", mirrors_rearmed " << sr.mirrors_rearmed
+                    << ", keys_lost " << sr.keys_lost << "\n";
+        }
+      }
     }
   }
   t.print(std::cout);
@@ -407,6 +435,7 @@ int main(int argc, char** argv) {
                  "[--metrics-out FILE] [--metrics-format=table|json] "
                  "[--fault=SPEC] [--substrate=sim|threads] "
                  "[--data-plane=copy|proxy] [--shards=N] "
+                 "[--release-consumed=true|false] "
                  "[--policy=locality|round-robin|least-loaded|heft] "
                  "(<config.yaml> | --scenario-seed=N)\n";
     return 2;
